@@ -1,0 +1,133 @@
+"""Ablations of the architecture-level design choices (DESIGN.md S20).
+
+Three knobs the paper fixes by design are swept here:
+
+* **temporal accumulation depth** — the paper sets 3; deeper analog
+  accumulation divides the ADC rate further but the returns diminish
+  once the ADC is no longer the bottleneck;
+* **inter-core broadcast** — the Nt x modulation saving of Sec. IV-C.1;
+* **dispersion calibration** (extension) — digitally removing the
+  deterministic Eq. 9 error terms.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import render_table
+from repro.arch import ArchOptimizations, LTEnergyModel, lt_base, power_breakdown
+from repro.core import DPTCGeometry, dispersion_error_reduction
+from repro.units import MJ
+from repro.workloads import deit_tiny, gemm_trace
+
+
+def bench_ablation_accumulation_depth(benchmark):
+    trace = gemm_trace(deit_tiny())
+
+    def sweep():
+        rows = []
+        for depth in (1, 2, 3, 6, 12):
+            opts = ArchOptimizations(
+                analog_temporal_accumulation=depth > 1,
+                temporal_accumulation_depth=max(1, depth),
+            )
+            config = lt_base(4).with_optimizations(opts)
+            energy = LTEnergyModel(config).workload_energy(trace)
+            rows.append(
+                {
+                    "depth": depth,
+                    "adc_power_w": power_breakdown(config).by_category["adc"],
+                    "adc_energy_uj": energy.by_category["adc"] * 1e6,
+                    "total_energy_mj": energy.total / MJ,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    adc_energy = [row["adc_energy_uj"] for row in rows]
+    totals = [row["total_energy_mj"] for row in rows]
+    # ADC cost falls monotonically with depth...
+    assert adc_energy == sorted(adc_energy, reverse=True)
+    # ...and the paper's depth 3 captures most of the benefit.
+    saving_at_3 = totals[0] - totals[2]
+    saving_at_12 = totals[0] - totals[-1]
+    assert saving_at_3 > 0.6 * saving_at_12
+
+    benchmark.extra_info["total_at_depth3_mj"] = totals[2]
+    print()
+    print(render_table(rows, title="Ablation: analog temporal accumulation depth"))
+
+
+def bench_ablation_inter_core_broadcast(benchmark):
+    trace = gemm_trace(deit_tiny())
+
+    def sweep():
+        rows = []
+        for n_tiles in (2, 4, 8):
+            for broadcast in (False, True):
+                opts = ArchOptimizations(inter_core_broadcast=broadcast)
+                config = replace(
+                    lt_base(4).with_optimizations(opts), n_tiles=n_tiles
+                )
+                energy = LTEnergyModel(config).workload_energy(trace)
+                rows.append(
+                    {
+                        "n_tiles": n_tiles,
+                        "broadcast": broadcast,
+                        "op2_encoding_uj": (
+                            energy.by_category["op2-dac"]
+                            + energy.by_category["op2-mod"]
+                        )
+                        * 1e6,
+                        "total_energy_mj": energy.total / MJ,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Broadcast always reduces op2 encoding; the saving grows with Nt.
+    savings = {}
+    for n_tiles in (2, 4, 8):
+        off = next(
+            r for r in rows if r["n_tiles"] == n_tiles and not r["broadcast"]
+        )
+        on = next(r for r in rows if r["n_tiles"] == n_tiles and r["broadcast"])
+        savings[n_tiles] = off["op2_encoding_uj"] / on["op2_encoding_uj"]
+        assert savings[n_tiles] == pytest.approx(n_tiles, rel=0.1)
+    assert savings[8] > savings[2]
+
+    benchmark.extra_info["op2_saving_at_4_tiles"] = savings[4]
+    print()
+    print(render_table(rows, title="Ablation: inter-core operand broadcast"))
+
+
+def bench_ablation_dispersion_calibration(benchmark):
+    def sweep():
+        rows = []
+        for n_lambda in (12, 24, 48, 112):
+            plain, calibrated = dispersion_error_reduction(
+                DPTCGeometry(12, 12, n_lambda)
+            )
+            rows.append(
+                {
+                    "wavelengths": n_lambda,
+                    "uncalibrated_err": plain,
+                    "calibrated_err": calibrated,
+                    "reduction_x": plain / max(calibrated, 1e-18),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for row in rows:
+        assert row["calibrated_err"] < row["uncalibrated_err"] / 100
+    # Dispersion error grows with the comb width; calibration holds.
+    uncal = [row["uncalibrated_err"] for row in rows]
+    assert uncal == sorted(uncal)
+
+    benchmark.extra_info["reduction_at_112"] = rows[-1]["reduction_x"]
+    print()
+    print(render_table(rows, title="Extension: dispersion calibration"))

@@ -1,0 +1,26 @@
+"""Fig. 3 — kappa(lambda) / phi(lambda) dispersion of the DDot design point.
+
+Paper: over 25 DWDM channels the worst-case coupling deviation is ~1.8 %
+and the worst-case phase deviation ~0.28 deg, both second-order flat at
+the design point.
+"""
+
+import pytest
+
+from repro.analysis import fig3_dispersion, render_table
+
+
+def bench_fig3_dispersion(benchmark):
+    result = benchmark.pedantic(fig3_dispersion, rounds=3, iterations=1)
+
+    assert result["max_kappa_deviation_pct"] == pytest.approx(1.8, rel=0.1)
+    assert result["max_phase_deviation_deg"] == pytest.approx(0.28, abs=0.02)
+
+    benchmark.extra_info["max_kappa_deviation_pct"] = result[
+        "max_kappa_deviation_pct"
+    ]
+    benchmark.extra_info["max_phase_deviation_deg"] = result[
+        "max_phase_deviation_deg"
+    ]
+    print()
+    print(render_table(result["rows"], title="Fig. 3: dispersion across 25 channels"))

@@ -1,0 +1,20 @@
+"""Fig. 7 — area breakdown of LT-B and LT-L.
+
+Paper: photonic core ~20 %, memory ~25 %, DAC ~25 %; laser, ADC, and MZM
+account for less than 30 % combined.
+"""
+
+from repro.analysis import fig7_area_breakdown, render_table
+
+
+def bench_fig7_area_breakdown(benchmark):
+    rows = benchmark.pedantic(fig7_area_breakdown, rounds=3, iterations=1)
+
+    lt_b = {r["category"]: r for r in rows if r["config"] == "LT-B"}
+    assert 20 < lt_b["dac"]["share_pct"] < 30
+    assert 20 < lt_b["memory"]["share_pct"] < 30
+    assert 15 < lt_b["photonic_core"]["share_pct"] < 25
+
+    benchmark.extra_info["lt_b_dac_share_pct"] = lt_b["dac"]["share_pct"]
+    print()
+    print(render_table(rows, title="Fig. 7: area breakdown (mm^2)"))

@@ -1,0 +1,37 @@
+"""Fig. 8 — power breakdown at 4-bit and 8-bit precision.
+
+Paper: LT-B totals 14.75 W (4-bit) and 50.94 W (8-bit); the 8-bit DACs
+take over 50 % of total power, and laser power rises 0.77 W -> 12.3 W.
+"""
+
+import pytest
+
+from repro.analysis import fig8_power_breakdown, render_table
+
+
+def bench_fig8_power_breakdown(benchmark):
+    rows = benchmark.pedantic(fig8_power_breakdown, rounds=3, iterations=1)
+
+    def total(config_prefix, bits):
+        return sum(
+            r["power_w"]
+            for r in rows
+            if r["config"].startswith(config_prefix) and r["bits"] == bits
+        )
+
+    assert total("LT-B", 4) == pytest.approx(14.75, rel=0.05)
+    assert total("LT-B", 8) == pytest.approx(50.94, rel=0.08)
+    assert total("LT-L", 4) == pytest.approx(28.06, rel=0.05)
+    assert total("LT-L", 8) == pytest.approx(95.92, rel=0.08)
+
+    dac_8bit = next(
+        r
+        for r in rows
+        if r["config"].startswith("LT-B") and r["bits"] == 8 and r["category"] == "dac"
+    )
+    assert dac_8bit["share_pct"] > 45  # paper: >50 %
+
+    benchmark.extra_info["lt_b_4bit_w"] = total("LT-B", 4)
+    benchmark.extra_info["lt_b_8bit_w"] = total("LT-B", 8)
+    print()
+    print(render_table(rows, title="Fig. 8: power breakdown (W)"))

@@ -1,0 +1,27 @@
+"""Fig. 9 — single-DPTC area / power / path-latency scaling with core size.
+
+Paper: area 5.9 -> 49.3 mm^2, power 1.1 -> 17 W, latency 47 -> 106.4 ps
+as the core grows from 8 to 32; optics latency grows linearly while the
+E-O/O-E term stays constant.
+"""
+
+import pytest
+
+from repro.analysis import fig9_core_scaling, render_table
+
+
+def bench_fig9_core_scaling(benchmark):
+    rows = benchmark.pedantic(fig9_core_scaling, rounds=1, iterations=1)
+
+    by_size = {row["core_size"]: row for row in rows}
+    assert by_size[32]["area_mm2"] == pytest.approx(49.3, rel=0.08)
+    assert by_size[32]["power_w"] == pytest.approx(17.0, rel=0.12)
+    assert by_size[8]["latency_ps"] == pytest.approx(47.0, rel=0.05)
+    assert by_size[32]["latency_ps"] == pytest.approx(106.4, rel=0.05)
+    # E-O/O-E constant, optics linear.
+    assert by_size[8]["eo_oe_ps"] == by_size[32]["eo_oe_ps"]
+
+    benchmark.extra_info["area_32_mm2"] = by_size[32]["area_mm2"]
+    benchmark.extra_info["power_32_w"] = by_size[32]["power_w"]
+    print()
+    print(render_table(rows, title="Fig. 9: single-core scaling"))

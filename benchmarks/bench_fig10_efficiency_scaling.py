@@ -1,0 +1,25 @@
+"""Fig. 10 — performance/efficiency scaling of the optical computing part.
+
+Paper: TOPS, TOPS/W and TOPS/mm^2 increase with core size while
+TOPS/W/mm^2 decreases (the ADC/DAC bottleneck).
+"""
+
+from repro.analysis import fig10_efficiency_scaling, render_table
+
+
+def bench_fig10_efficiency_scaling(benchmark):
+    rows = benchmark.pedantic(fig10_efficiency_scaling, rounds=1, iterations=1)
+
+    tops = [row["tops"] for row in rows]
+    tops_per_w = [row["tops_per_w"] for row in rows]
+    tops_per_mm2 = [row["tops_per_mm2"] for row in rows]
+    per_area_eff = [row["tops_per_w_mm2"] for row in rows]
+
+    assert tops == sorted(tops)
+    assert tops_per_w[-1] > tops_per_w[0]
+    assert tops_per_mm2[-1] > tops_per_mm2[0]
+    assert per_area_eff[-1] < per_area_eff[0]
+
+    benchmark.extra_info["tops_at_largest"] = tops[-1]
+    print()
+    print(render_table(rows, title="Fig. 10: efficiency scaling (optical part)"))

@@ -1,0 +1,34 @@
+"""Fig. 11 — PTC-level energy vs MRR / MZI (arch-level opts disabled).
+
+Paper: on the DeiT-T attention workload the MRR bank costs 2.62x
+LT-crossbar-B; on the first FFN linear layer MRR costs 2.40x and the
+MZI array 3.54x (laser-dominated).
+"""
+
+import pytest
+
+from repro.analysis import fig11_energy_comparison, render_table
+
+
+def bench_fig11_energy_vs_baselines(benchmark):
+    result = benchmark.pedantic(fig11_energy_comparison, rounds=1, iterations=1)
+
+    attention = {r["design"]: r for r in result["attention"]}
+    linear = {r["design"]: r for r in result["linear"]}
+
+    assert attention["LT-crossbar-B"]["normalized_total"] == pytest.approx(1.0)
+    assert attention["MRR"]["normalized_total"] == pytest.approx(2.62, rel=0.5)
+    assert linear["MRR"]["normalized_total"] > 1.5
+    assert linear["MZI"]["normalized_total"] > linear["LT-crossbar-B"][
+        "normalized_total"
+    ]
+    # The MRR's static-operand locking is a major share on attention.
+    assert attention["MRR"]["op1-mod"] / attention["MRR"]["normalized_total"] > 0.25
+
+    benchmark.extra_info["mrr_attention_ratio"] = attention["MRR"][
+        "normalized_total"
+    ]
+    benchmark.extra_info["mzi_linear_ratio"] = linear["MZI"]["normalized_total"]
+    print()
+    for workload, rows in result.items():
+        print(render_table(rows, title=f"Fig. 11 ({workload}): normalized energy"))

@@ -1,0 +1,30 @@
+"""Fig. 12 — ablation of the LT design features against the MRR bank.
+
+Paper (attention QK^T): MRR 5.05x, LT-broadcast-B 5.69x,
+LT-crossbar-B 1.91x, LT-B 1x.  Paper (FFN linear): 4.47 / 5.92 / 1.87 / 1.
+Each feature must pay for itself: crossbar sharing over plain broadcast,
+and the architecture-level optimizations over the crossbar alone.
+"""
+
+import pytest
+
+from repro.analysis import fig12_variant_ablation, render_table
+
+
+def bench_fig12_variant_ablation(benchmark):
+    result = benchmark.pedantic(fig12_variant_ablation, rounds=1, iterations=1)
+
+    for workload, rows in result.items():
+        by_design = {r["design"]: r["normalized_total"] for r in rows}
+        assert by_design["LT-B"] == pytest.approx(1.0)
+        assert by_design["LT-crossbar-B"] > 1.2
+        assert by_design["LT-broadcast-B"] > by_design["LT-crossbar-B"]
+        assert by_design["MRR"] > by_design["LT-crossbar-B"]
+
+    attention = {r["design"]: r["normalized_total"] for r in result["attention"]}
+    assert attention["MRR"] == pytest.approx(5.05, rel=0.35)
+
+    benchmark.extra_info["attention_ratios"] = attention
+    print()
+    for workload, rows in result.items():
+        print(render_table(rows, title=f"Fig. 12 ({workload}): variant ablation"))

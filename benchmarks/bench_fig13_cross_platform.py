@@ -1,0 +1,43 @@
+"""Fig. 13 — energy and FPS across electronic platforms and LT designs.
+
+Paper: Lightening-Transformer has the lowest energy (>300x vs CPU,
+~6.6x vs GPU, ~18x vs Edge TPU, ~20x vs FPGA DSAs) and the highest
+throughput on every workload (DeiT-T/S/B, BERT-base-128,
+BERT-large-320), with 2-3 orders of magnitude lower EDP.
+"""
+
+from repro.analysis import fig13_cross_platform, render_table
+
+
+def bench_fig13_cross_platform(benchmark):
+    rows = benchmark.pedantic(fig13_cross_platform, rounds=1, iterations=1)
+
+    workloads = {row["workload"] for row in rows}
+    assert len(workloads) == 5
+    for workload in workloads:
+        subset = [r for r in rows if r["workload"] == workload]
+        lt_energy = min(
+            r["energy_mj"] for r in subset if r["platform"].startswith("LT")
+        )
+        electronic_energy = min(
+            r["energy_mj"] for r in subset if not r["platform"].startswith("LT")
+        )
+        assert lt_energy < electronic_energy
+        best_fps = max(subset, key=lambda r: r["fps"])
+        assert best_fps["platform"].startswith("LT")
+
+    cpu = next(
+        r
+        for r in rows
+        if r["workload"] == "DeiT-T-224" and r["platform"].startswith("CPU")
+    )
+    lt4 = next(
+        r
+        for r in rows
+        if r["workload"] == "DeiT-T-224" and r["platform"] == "LT-B" and r["bits"] == 4
+    )
+    assert cpu["energy_mj"] / lt4["energy_mj"] > 150  # paper: >300x
+
+    benchmark.extra_info["cpu_over_lt_energy"] = cpu["energy_mj"] / lt4["energy_mj"]
+    print()
+    print(render_table(rows, title="Fig. 13: cross-platform energy (mJ) and FPS"))

@@ -1,0 +1,95 @@
+"""Sec. VI-A (end) — heterogeneous / searched DPTC core shapes.
+
+Paper: "we have the flexibility to explore heterogeneous DPTCs by
+having different/searched core sizes ... For example, we can have a
+specific DPTC engine for vector-matrix multiplication by setting Nh to
+1 to support vector-matrix multiplication featured by non-block-wise
+sparsity."  This bench runs the shape search on three workload classes
+and confirms the searched engines beat the one-size-fits-all core.
+"""
+
+from repro.analysis import render_table
+from repro.arch.heterogeneous import evaluate_shape, search_core_shape
+from repro.core import DPTCGeometry
+from repro.workloads import MODULE_ATTENTION, MODULE_FFN, GEMMOp
+
+
+WORKLOADS = {
+    "dense attention (197x64x197)": [
+        GEMMOp("qkt", 197, 64, 197, module=MODULE_ATTENTION, dynamic=True, count=36)
+    ],
+    "FFN linear (197x192x768)": [
+        GEMMOp("ffn1", 197, 192, 768, module=MODULE_FFN, count=12)
+    ],
+    "vector-matrix (1x48x192, sparse rows)": [
+        GEMMOp("vm", 1, 48, 192, module=MODULE_ATTENTION, dynamic=True, count=256)
+    ],
+}
+
+
+def bench_heterogeneous_core_search(benchmark):
+    default = DPTCGeometry(12, 12, 12)
+
+    def sweep():
+        rows = []
+        for name, ops in WORKLOADS.items():
+            baseline = evaluate_shape(default, ops)
+            best = search_core_shape(ops, mac_budget=default.macs_per_cycle)
+            rows.append(
+                {
+                    "workload": name,
+                    "best_shape (Nh,Nl,Nv)": str(best.shape),
+                    "best_cycles": best.cycles,
+                    "default_cycles": baseline.cycles,
+                    "cycle_gain": baseline.cycles / best.cycles,
+                    "best_util_pct": 100 * best.utilization,
+                    "default_util_pct": 100 * baseline.utilization,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    by_workload = {row["workload"]: row for row in rows}
+    # Searched shapes never lose to the default.
+    assert all(row["cycle_gain"] >= 1.0 for row in rows)
+    # The paper's example: vector workloads want a flat (Nh small) engine
+    # and gain substantially.
+    vm = by_workload["vector-matrix (1x48x192, sparse rows)"]
+    assert vm["cycle_gain"] > 4.0
+    assert vm["best_shape (Nh,Nl,Nv)"].startswith("(1,") or vm[
+        "best_shape (Nh,Nl,Nv)"
+    ].startswith("(2,")
+
+    benchmark.extra_info["vm_cycle_gain"] = vm["cycle_gain"]
+    print()
+    print(render_table(rows, title="Heterogeneous DPTC core search"))
+
+
+def bench_device_sensitivity(benchmark):
+    """Extension: which Table III parameter moves the design most."""
+    from repro.analysis.sensitivity import sensitivity_sweep
+
+    def sweep():
+        return [
+            {
+                "parameter": r.parameter,
+                "power_ratio_at_2x": r.power_ratio,
+                "energy_ratio_at_2x": r.energy_ratio,
+                "power_elasticity": r.power_elasticity,
+            }
+            for r in sensitivity_sweep(factor=2.0)
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    by_parameter = {row["parameter"]: row for row in rows}
+    # Converters/modulators dominate; passive losses barely matter.
+    assert by_parameter["dac_power"]["power_ratio_at_2x"] > by_parameter[
+        "coupler_loss"
+    ]["power_ratio_at_2x"]
+    assert by_parameter["wall_plug_efficiency"]["power_ratio_at_2x"] < 1.0
+
+    benchmark.extra_info["top_parameter"] = rows[0]["parameter"]
+    print()
+    print(render_table(rows, title="Device-parameter sensitivity (2x scaling)"))

@@ -1,0 +1,82 @@
+"""Sec. VI-B — LLM autoregressive decode on Lightening-Transformer.
+
+Paper (discussion): decoder-only LLMs "generate tokens one at a time
+... resulting in small-dimensional matrix multiplications with low
+operation intensity.  This characteristic makes LLMs memory-bounded and
+underutilized the ultra-fast computing power offered by the photonic
+chips"; batching requests and recomputing K/V are cited as remedies.
+This bench quantifies each claim with the roofline model.
+"""
+
+from repro.analysis import analyze_decode, batch_to_saturate, render_table
+from repro.arch import lt_base, workload_latency
+from repro.workloads import gpt2_small, kv_cache_bytes, kv_recompute_trace, prefill_trace
+
+
+def bench_llm_decode_roofline(benchmark):
+    accelerator = lt_base(8)
+    model = gpt2_small()
+
+    def sweep():
+        rows = []
+        for context in (128, 512, 2048):
+            for batch in (1, 8, 64):
+                analysis = analyze_decode(accelerator, model, context, batch)
+                rows.append(
+                    {
+                        "context": context,
+                        "batch": batch,
+                        "ai_flops_per_byte": analysis.arithmetic_intensity,
+                        "memory_bound": analysis.memory_bound,
+                        "compute_util_pct": 100 * analysis.compute_utilization,
+                        "step_latency_us": analysis.latency * 1e6,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Batch-1 decode is memory-bound at every context length.
+    singles = [r for r in rows if r["batch"] == 1]
+    assert all(r["memory_bound"] for r in singles)
+    assert all(r["compute_util_pct"] < 50 for r in singles)
+    # Batching raises utilization.
+    at_128 = {r["batch"]: r for r in rows if r["context"] == 128}
+    assert at_128[64]["compute_util_pct"] > at_128[1]["compute_util_pct"]
+
+    benchmark.extra_info["batch1_util_pct"] = singles[0]["compute_util_pct"]
+    print()
+    print(render_table(rows, title="Sec. VI-B: decode roofline on LT-B (8-bit)"))
+
+
+def bench_llm_prefill_vs_decode(benchmark):
+    """Prefill is compute-friendly; decode is not — the phase asymmetry."""
+    accelerator = lt_base(8)
+    model = gpt2_small()
+
+    def measure():
+        prefill_latency = workload_latency(
+            accelerator, prefill_trace(model, prompt_len=512)
+        )
+        decode = analyze_decode(accelerator, model, context_len=512)
+        recompute_time = workload_latency(
+            accelerator, kv_recompute_trace(model, context_len=512)
+        )
+        return {
+            "prefill_512_us": prefill_latency * 1e6,
+            "decode_step_us": decode.latency * 1e6,
+            "decode_memory_bound": decode.memory_bound,
+            "kv_cache_512_mb": kv_cache_bytes(model, 512, 8) / 1e6,
+            "kv_recompute_us": recompute_time * 1e6,
+        }
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    assert result["decode_memory_bound"]
+    # Recomputing K/V optically costs ~100 us — the paper's point that
+    # optical compute is cheap enough to trade against KV memory.
+    assert result["kv_recompute_us"] < 200
+
+    benchmark.extra_info.update(result)
+    print()
+    print(render_table([result], title="Sec. VI-B: prefill vs decode vs KV recompute"))

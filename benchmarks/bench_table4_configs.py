@@ -1,0 +1,33 @@
+"""Table IV — LT-B / LT-L configurations, areas, and wavelength scaling.
+
+Paper: LT-B (4 tiles x 2 cores) is 60.3 mm^2; LT-L (8 tiles) 112.82 mm^2.
+The microdisk FSR (Eq. 10) limits the comb to 112 wavelengths.
+"""
+
+import pytest
+
+from repro.analysis import render_table, table4_configs, wavelength_scaling_summary
+
+
+def bench_table4_configs(benchmark):
+    rows = benchmark.pedantic(table4_configs, rounds=3, iterations=1)
+
+    by_name = {row["name"]: row for row in rows}
+    assert by_name["LT-B"]["area_mm2"] == pytest.approx(60.3, rel=0.05)
+    assert by_name["LT-L"]["area_mm2"] == pytest.approx(112.82, rel=0.05)
+
+    for row in rows:
+        benchmark.extra_info[f"{row['name']}_area_mm2"] = row["area_mm2"]
+    print()
+    print(render_table(rows, title="Table IV: configurations"))
+
+
+def bench_eq10_wavelength_scaling(benchmark):
+    summary = benchmark.pedantic(wavelength_scaling_summary, rounds=3, iterations=1)
+
+    assert summary["max_wavelengths"] == 112
+    assert summary["lambda_min_nm"] == pytest.approx(1527.88, abs=0.01)
+
+    benchmark.extra_info.update(summary)
+    print()
+    print(render_table([summary], title="Eq. 10: FSR-limited wavelength scaling"))

@@ -1,0 +1,85 @@
+"""Design-space exploration: scaling the DPTC core and the tile fabric.
+
+Run with::
+
+    python examples/design_space_exploration.py
+
+An extension study built on the Fig. 9/10 models: sweep the core size
+and the tile count, and examine where area efficiency, energy
+efficiency, and DeiT-T latency land.  Shows the trade-off the paper
+describes — bigger cores raise raw TOPS and TOPS/W of the optics, while
+converters erode system-level efficiency per unit area.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import render_table
+from repro.arch import (
+    LighteningTransformer,
+    area_breakdown,
+    lt_base,
+    power_breakdown,
+    single_core,
+    single_core_area_breakdown,
+    single_core_power_breakdown,
+)
+from repro.core import DPTCGeometry
+from repro.units import MJ, MS
+from repro.workloads import deit_tiny, gemm_trace
+
+
+def core_size_sweep() -> None:
+    rows = []
+    for size in (8, 12, 16, 24, 32, 48):
+        config = single_core(size)
+        area = single_core_area_breakdown(config).total_mm2
+        power = single_core_power_breakdown(config).total
+        tops = config.peak_ops / 1e12
+        rows.append(
+            {
+                "core_size": size,
+                "tops": tops,
+                "area_mm2": area,
+                "power_w": power,
+                "tops_per_w": tops / power,
+                "tops_per_mm2": tops / area,
+            }
+        )
+    print(render_table(rows, title="single-core scaling (converters included)"))
+
+
+def tile_fabric_sweep() -> None:
+    trace = gemm_trace(deit_tiny())
+    rows = []
+    for n_tiles in (2, 4, 8, 16):
+        for core_size in (8, 12, 16):
+            config = replace(
+                lt_base(4),
+                n_tiles=n_tiles,
+                geometry=DPTCGeometry(core_size, core_size, core_size),
+                name=f"{n_tiles}tx{core_size}",
+            )
+            accelerator = LighteningTransformer(config)
+            run = accelerator.run(trace)
+            rows.append(
+                {
+                    "config": config.name,
+                    "area_mm2": area_breakdown(config).total_mm2,
+                    "power_w": power_breakdown(config).total,
+                    "deit_t_latency_ms": run.latency / MS,
+                    "deit_t_energy_mj": run.energy_joules / MJ,
+                    "edp": run.edp / (MJ * MS),
+                }
+            )
+    best = min(rows, key=lambda r: r["edp"])
+    print(render_table(rows, title="tile-fabric sweep on DeiT-T"))
+    print(f"lowest-EDP configuration: {best['config']}")
+
+
+def main() -> None:
+    core_size_sweep()
+    tile_fabric_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Lightening-Transformer reproduction (HPCA 2024).
+
+A from-scratch Python implementation of the dynamically-operated,
+optically-interconnected photonic Transformer accelerator: photonic
+tensor-core models (:mod:`repro.core`), the field-level optics substrate
+(:mod:`repro.optics`), the accelerator behavioural simulator
+(:mod:`repro.arch`), photonic and electronic baselines
+(:mod:`repro.baselines`), transformer workload models
+(:mod:`repro.workloads`), and the noise-aware neural-network stack
+(:mod:`repro.neural`).
+"""
+
+from repro.core import (
+    DDot,
+    DPTC,
+    DPTCGeometry,
+    EncodingNoise,
+    NoiseModel,
+    SystematicNoise,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DDot",
+    "DPTC",
+    "DPTCGeometry",
+    "EncodingNoise",
+    "NoiseModel",
+    "SystematicNoise",
+    "__version__",
+]

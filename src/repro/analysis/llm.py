@@ -1,0 +1,98 @@
+"""Roofline analysis of LLM decode on the accelerator (Sec. VI-B).
+
+Classifies the autoregressive-decode phase of a decoder-only model as
+compute- or memory-bound on a given Lightening-Transformer
+configuration, quantifying the paper's discussion: token-by-token
+generation has ~2 FLOPs of work per weight/KV byte, so the photonic
+cores idle on HBM traffic unless requests are batched aggressively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import AcceleratorConfig
+from repro.arch.latency import workload_cycles
+from repro.arch.memory import HBMModel
+from repro.workloads.gemm import total_flops
+from repro.workloads.llm import DecoderConfig, decode_trace, kv_cache_bytes
+
+
+@dataclass(frozen=True)
+class RooflineAnalysis:
+    """Compute-vs-memory characterization of one workload phase."""
+
+    flops: float
+    hbm_bytes: float
+    compute_time: float  #: s at the accelerator's effective throughput
+    memory_time: float  #: s at the HBM bandwidth
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per HBM byte."""
+        return self.flops / self.hbm_bytes if self.hbm_bytes else math.inf
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.memory_time > self.compute_time
+
+    @property
+    def latency(self) -> float:
+        """Phase latency under perfect compute/transfer overlap."""
+        return max(self.compute_time, self.memory_time)
+
+    @property
+    def compute_utilization(self) -> float:
+        """Fraction of the compute time the photonic cores stay busy."""
+        return self.compute_time / self.latency
+
+
+def analyze_decode(
+    accelerator: AcceleratorConfig,
+    config: DecoderConfig,
+    context_len: int,
+    batch: int = 1,
+    hbm: HBMModel | None = None,
+) -> RooflineAnalysis:
+    """Roofline analysis of one decode step on an LT configuration.
+
+    HBM traffic covers the model weights (streamed once per step — the
+    batch amortises them) and the KV cache read for every request.
+    """
+    hbm = hbm if hbm is not None else HBMModel()
+    trace = decode_trace(config, context_len, batch)
+    # Weights stream once per decode step; the batch shares them (its
+    # token vectors ride the same GEMM), so weight bytes are per-step.
+    weight_bytes = sum(
+        op.static_weight_elements for op in trace if not op.dynamic
+    ) * accelerator.bits / 8
+    cache_bytes = kv_cache_bytes(config, context_len, accelerator.bits, batch)
+    hbm_bytes = weight_bytes + cache_bytes
+    cycles = workload_cycles(accelerator, trace)
+    return RooflineAnalysis(
+        flops=float(total_flops(trace)),
+        hbm_bytes=float(hbm_bytes),
+        compute_time=cycles * accelerator.cycle_time,
+        memory_time=hbm.transfer_time(hbm_bytes),
+    )
+
+
+def batch_to_saturate(
+    accelerator: AcceleratorConfig,
+    config: DecoderConfig,
+    context_len: int,
+    max_batch: int = 256,
+) -> int:
+    """Smallest batch at which decode becomes compute-bound.
+
+    Returns ``max_batch`` if memory still dominates at that size (the
+    paper's point: LLM decode under-utilises photonic compute without
+    aggressive batching).
+    """
+    batch = 1
+    while batch < max_batch:
+        if not analyze_decode(accelerator, config, context_len, batch).memory_bound:
+            return batch
+        batch *= 2
+    return max_batch

@@ -1,0 +1,181 @@
+"""Reproduction scorecard: every headline claim, checked programmatically.
+
+Each :class:`Claim` records one quantitative statement from the paper,
+the measured value from this repository's models, and a tolerance for
+the comparison.  :func:`run_scorecard` evaluates them all — the single
+entry point for "does this reproduction still hold?" (also exposed as
+``repro-lt verify``).
+
+Claims are grouped by how they are compared:
+
+* ``exact``   — dimensionless/structural results that must match;
+* ``relative``— absolute numbers expected within a tolerance band;
+* ``bound``   — ordering/threshold claims (who wins, by at least X).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable claim from the paper."""
+
+    name: str
+    paper_value: float
+    measure: Callable[[], float]
+    kind: str = "relative"  #: "exact" | "relative" | "lower-bound"
+    tolerance: float = 0.10  #: relative tolerance for "relative" kind
+
+    def evaluate(self) -> "ClaimResult":
+        measured = float(self.measure())
+        if self.kind == "exact":
+            passed = measured == self.paper_value
+        elif self.kind == "relative":
+            passed = (
+                abs(measured - self.paper_value)
+                <= self.tolerance * abs(self.paper_value)
+            )
+        elif self.kind == "lower-bound":
+            passed = measured >= self.paper_value
+        else:
+            raise ValueError(f"unknown claim kind {self.kind!r}")
+        return ClaimResult(self, measured, passed)
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim: Claim
+    measured: float
+    passed: bool
+
+    def as_row(self) -> dict:
+        return {
+            "claim": self.claim.name,
+            "paper": self.claim.paper_value,
+            "measured": self.measured,
+            "kind": self.claim.kind,
+            "pass": self.passed,
+        }
+
+
+def _lt_b_area() -> float:
+    from repro.arch import area_breakdown, lt_base
+
+    return area_breakdown(lt_base()).total_mm2
+
+
+def _lt_l_area() -> float:
+    from repro.arch import area_breakdown, lt_large
+
+    return area_breakdown(lt_large()).total_mm2
+
+
+def _lt_b_power(bits: int) -> float:
+    from repro.arch import lt_base, power_breakdown
+
+    return power_breakdown(lt_base(bits)).total
+
+
+def _deit_tiny_latency_ms() -> float:
+    from repro.arch import lt_base, workload_latency
+    from repro.units import MS
+    from repro.workloads import deit_tiny, gemm_trace
+
+    return workload_latency(lt_base(4), gemm_trace(deit_tiny())) / MS
+
+
+def _mrr_energy_ratio() -> float:
+    from repro.analysis.experiments import table5_average_ratios
+
+    return table5_average_ratios(4)["mrr_energy"]
+
+
+def _mrr_latency_ratio() -> float:
+    from repro.analysis.experiments import table5_average_ratios
+
+    return table5_average_ratios(4)["mrr_latency"]
+
+
+def _mzi_edp_ratio() -> float:
+    from repro.analysis.experiments import table5_average_ratios
+
+    return table5_average_ratios(4)["mzi_edp"]
+
+
+def _max_wavelengths() -> float:
+    from repro.optics import max_channels
+    from repro.units import THZ
+
+    return float(max_channels(5.6 * THZ))
+
+
+def _kappa_deviation_pct() -> float:
+    from repro.analysis.experiments import fig3_dispersion
+
+    return fig3_dispersion()["max_kappa_deviation_pct"]
+
+
+def _phase_deviation_deg() -> float:
+    from repro.analysis.experiments import fig3_dispersion
+
+    return fig3_dispersion()["max_phase_deviation_deg"]
+
+
+def _encoding_saving() -> float:
+    from repro.core import DPTCGeometry
+
+    return DPTCGeometry(12, 12, 12).encoding_saving()
+
+
+def _laser_power_ratio_8b_over_4b() -> float:
+    from repro.arch import laser_power, lt_base
+
+    return laser_power(lt_base(8)) / laser_power(lt_base(4))
+
+
+def _cpu_energy_ratio() -> float:
+    from repro.arch import LighteningTransformer, lt_base
+    from repro.baselines import cpu_i7_9750h
+    from repro.workloads import deit_tiny, gemm_trace
+
+    trace = gemm_trace(deit_tiny())
+    lt = LighteningTransformer(lt_base(4)).run(trace)
+    return cpu_i7_9750h().energy(trace) / lt.energy_joules
+
+
+def default_claims() -> list[Claim]:
+    """The paper's headline claims in checkable form."""
+    return [
+        Claim("Eq.10: FSR-limited wavelength count", 112, _max_wavelengths, "exact"),
+        Claim("Eq.6: DPTC encoding-cost saving (12x12 core)", 12.0, _encoding_saving, "exact"),
+        Claim("Fig.3: max kappa deviation (%)", 1.8, _kappa_deviation_pct, tolerance=0.10),
+        Claim("Fig.3: max phase deviation (deg)", 0.28, _phase_deviation_deg, tolerance=0.10),
+        Claim("Table IV: LT-B area (mm^2)", 60.3, _lt_b_area, tolerance=0.05),
+        Claim("Table IV: LT-L area (mm^2)", 112.82, _lt_l_area, tolerance=0.05),
+        Claim("Fig.8: LT-B 4-bit power (W)", 14.75, lambda: _lt_b_power(4), tolerance=0.05),
+        Claim("Fig.8: LT-B 8-bit power (W)", 50.94, lambda: _lt_b_power(8), tolerance=0.08),
+        Claim(
+            "Fig.8: laser power 8-bit/4-bit ratio", 16.0,
+            _laser_power_ratio_8b_over_4b, tolerance=0.02,
+        ),
+        Claim("Table V: DeiT-T latency on LT-B (ms)", 1.94e-2, _deit_tiny_latency_ms, tolerance=0.03),
+        Claim("Table V: MRR energy ratio (avg)", 4.03, _mrr_energy_ratio, tolerance=0.40),
+        Claim("Table V: MRR latency ratio (avg)", 12.85, _mrr_latency_ratio, tolerance=0.35),
+        Claim("Table V: MZI EDP gap (>=1000x)", 1e3, _mzi_edp_ratio, "lower-bound"),
+        Claim("Fig.13: CPU energy ratio (>=150x)", 150.0, _cpu_energy_ratio, "lower-bound"),
+    ]
+
+
+def run_scorecard(claims: list[Claim] | None = None) -> list[ClaimResult]:
+    """Evaluate all claims; returns the per-claim results."""
+    claims = claims if claims is not None else default_claims()
+    return [claim.evaluate() for claim in claims]
+
+
+def all_pass(results: list[ClaimResult] | None = None) -> bool:
+    """True when every scorecard claim holds."""
+    results = results if results is not None else run_scorecard()
+    return all(result.passed for result in results)

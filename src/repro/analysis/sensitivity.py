@@ -1,0 +1,142 @@
+"""Device-parameter sensitivity of the system design point.
+
+An extension study the behavioural models make cheap: perturb one
+Table III device parameter at a time and measure the change in
+system power and per-inference energy.  Quantifies the paper's
+qualitative claims — the design is DAC-dominated at high precision,
+laser-sensitive through the loss budget, and nearly insensitive to the
+passive components.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.arch.config import AcceleratorConfig, lt_base
+from repro.arch.energy import LTEnergyModel
+from repro.arch.power import power_breakdown
+from repro.devices.library import DeviceLibrary
+from repro.workloads.gemm import GEMMOp
+from repro.workloads.transformer import deit_tiny, gemm_trace
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Effect of scaling one device parameter by ``factor``."""
+
+    parameter: str
+    factor: float
+    power_ratio: float  #: perturbed / baseline chip power
+    energy_ratio: float  #: perturbed / baseline inference energy
+
+    @property
+    def power_elasticity(self) -> float:
+        """d(log power) / d(log parameter), finite-difference estimate."""
+        import math
+
+        return math.log(self.power_ratio) / math.log(self.factor)
+
+
+def _scale_device(
+    library: DeviceLibrary, parameter: str, factor: float
+) -> DeviceLibrary:
+    """Return a library with one device power/loss scaled by ``factor``."""
+    scalers: dict[str, Callable[[DeviceLibrary, float], DeviceLibrary]] = {
+        "dac_power": lambda lib, f: dataclasses.replace(
+            lib, dac=dataclasses.replace(lib.dac, power=lib.dac.power * f)
+        ),
+        "adc_power": lambda lib, f: dataclasses.replace(
+            lib, adc=dataclasses.replace(lib.adc, power=lib.adc.power * f)
+        ),
+        "mzm_power": lambda lib, f: dataclasses.replace(
+            lib,
+            mzm=dataclasses.replace(lib.mzm, tuning_power=lib.mzm.tuning_power * f),
+        ),
+        "mzm_loss": lambda lib, f: dataclasses.replace(
+            lib,
+            mzm=dataclasses.replace(
+                lib.mzm, insertion_loss_db=lib.mzm.insertion_loss_db * f
+            ),
+        ),
+        "pd_power": lambda lib, f: dataclasses.replace(
+            lib,
+            photodetector=dataclasses.replace(
+                lib.photodetector, power=lib.photodetector.power * f
+            ),
+        ),
+        "microdisk_locking": lambda lib, f: dataclasses.replace(
+            lib,
+            microdisk=dataclasses.replace(
+                lib.microdisk, locking_power=lib.microdisk.locking_power * f
+            ),
+        ),
+        "wall_plug_efficiency": lambda lib, f: dataclasses.replace(
+            lib,
+            laser=dataclasses.replace(
+                lib.laser,
+                wall_plug_efficiency=min(1.0, lib.laser.wall_plug_efficiency * f),
+            ),
+        ),
+        "coupler_loss": lambda lib, f: dataclasses.replace(
+            lib,
+            directional_coupler=dataclasses.replace(
+                lib.directional_coupler,
+                insertion_loss_db=lib.directional_coupler.insertion_loss_db * f,
+            ),
+        ),
+    }
+    if parameter not in scalers:
+        raise KeyError(
+            f"unknown parameter {parameter!r}; expected one of {sorted(scalers)}"
+        )
+    return scalers[parameter](library, factor)
+
+
+PARAMETERS = (
+    "dac_power",
+    "adc_power",
+    "mzm_power",
+    "mzm_loss",
+    "pd_power",
+    "microdisk_locking",
+    "wall_plug_efficiency",
+    "coupler_loss",
+)
+
+
+def sensitivity(
+    parameter: str,
+    factor: float = 2.0,
+    config: AcceleratorConfig | None = None,
+    workload: list[GEMMOp] | None = None,
+) -> SensitivityResult:
+    """Scale one device parameter and measure the system impact."""
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    base = config if config is not None else lt_base(4)
+    ops = workload if workload is not None else gemm_trace(deit_tiny())
+
+    perturbed = dataclasses.replace(
+        base, library=_scale_device(base.library, parameter, factor)
+    )
+    base_power = power_breakdown(base).total
+    new_power = power_breakdown(perturbed).total
+    base_energy = LTEnergyModel(base).workload_energy(ops).total
+    new_energy = LTEnergyModel(perturbed).workload_energy(ops).total
+    return SensitivityResult(
+        parameter=parameter,
+        factor=factor,
+        power_ratio=new_power / base_power,
+        energy_ratio=new_energy / base_energy,
+    )
+
+
+def sensitivity_sweep(
+    factor: float = 2.0,
+    config: AcceleratorConfig | None = None,
+) -> list[SensitivityResult]:
+    """Sensitivity of every swept parameter, most impactful first."""
+    results = [sensitivity(parameter, factor, config) for parameter in PARAMETERS]
+    return sorted(results, key=lambda r: r.power_ratio, reverse=True)

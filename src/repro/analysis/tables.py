@@ -1,0 +1,69 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def format_value(value) -> str:
+    """Compact human-readable formatting for table cells."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: list[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a list of row-dicts as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(empty)\n" if title else "(empty)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(width) for col, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def render_markdown_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: list[str] | None = None,
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = ["| " + " | ".join(columns) + " |"]
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(format_value(row.get(col, "")) for col in columns) + " |"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,130 @@
+"""Accelerator-level behavioural simulator.
+
+Configurations (Table IV presets), the memory hierarchy, and the area /
+power / latency / energy models that regenerate the paper's
+architecture evaluation, plus a functional output-stationary dataflow.
+"""
+
+from repro.arch.accelerator import LighteningTransformer, RunResult
+from repro.arch.area import (
+    AreaBreakdown,
+    area_breakdown,
+    ddot_cell_area,
+    single_core_area_breakdown,
+)
+from repro.arch.config import (
+    DEFAULT_CLOCK,
+    AcceleratorConfig,
+    ArchOptimizations,
+    lt_base,
+    lt_broadcast_base,
+    lt_crossbar_base,
+    lt_large,
+    single_core,
+)
+from repro.arch.dataflow import (
+    OutputStationarySchedule,
+    TileAssignment,
+    os_dataflow_matmul,
+)
+from repro.arch.energy import (
+    CAT_ADC,
+    CAT_DATA_MOVEMENT,
+    CAT_DETECTION,
+    CAT_LASER,
+    CAT_OP1_DAC,
+    CAT_OP1_MOD,
+    CAT_OP2_DAC,
+    CAT_OP2_MOD,
+    CAT_STATIC,
+    CATEGORIES,
+    EnergyReport,
+    LTEnergyModel,
+)
+from repro.arch.latency import (
+    CoreLatency,
+    core_path_latency,
+    effective_throughput_ops,
+    gemm_cycles,
+    gemm_tile_count,
+    workload_cycles,
+    workload_latency,
+)
+from repro.arch.heterogeneous import (
+    ShapeEvaluation,
+    candidate_shapes,
+    evaluate_shape,
+    mvm_engine,
+    search_core_shape,
+)
+from repro.arch.memory import HBMModel, MemorySystem, SRAMMacro
+from repro.arch.nonlinear import (
+    DIGITAL_CLOCK,
+    DigitalUnitModel,
+    NonGEMMCounts,
+    layer_nongemm_counts,
+)
+from repro.arch.pipeline import PipelineReport, pipeline_report
+from repro.arch.power import (
+    PowerBreakdown,
+    laser_power,
+    power_breakdown,
+    single_core_power_breakdown,
+)
+
+__all__ = [
+    "AcceleratorConfig",
+    "ArchOptimizations",
+    "AreaBreakdown",
+    "CAT_ADC",
+    "CAT_DATA_MOVEMENT",
+    "CAT_DETECTION",
+    "CAT_LASER",
+    "CAT_OP1_DAC",
+    "CAT_OP1_MOD",
+    "CAT_OP2_DAC",
+    "CAT_OP2_MOD",
+    "CAT_STATIC",
+    "CATEGORIES",
+    "CoreLatency",
+    "DEFAULT_CLOCK",
+    "DIGITAL_CLOCK",
+    "DigitalUnitModel",
+    "EnergyReport",
+    "HBMModel",
+    "NonGEMMCounts",
+    "PipelineReport",
+    "LTEnergyModel",
+    "LighteningTransformer",
+    "MemorySystem",
+    "OutputStationarySchedule",
+    "PowerBreakdown",
+    "RunResult",
+    "SRAMMacro",
+    "ShapeEvaluation",
+    "TileAssignment",
+    "area_breakdown",
+    "candidate_shapes",
+    "core_path_latency",
+    "ddot_cell_area",
+    "evaluate_shape",
+    "mvm_engine",
+    "search_core_shape",
+    "effective_throughput_ops",
+    "gemm_cycles",
+    "gemm_tile_count",
+    "laser_power",
+    "layer_nongemm_counts",
+    "lt_base",
+    "pipeline_report",
+    "lt_broadcast_base",
+    "lt_crossbar_base",
+    "lt_large",
+    "os_dataflow_matmul",
+    "power_breakdown",
+    "single_core",
+    "single_core_area_breakdown",
+    "single_core_power_breakdown",
+    "workload_cycles",
+    "workload_latency",
+]

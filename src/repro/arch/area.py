@@ -1,0 +1,132 @@
+"""Chip area model and breakdown (Fig. 7 and the Fig. 9 area scaling).
+
+Areas come from the Table III device footprints, multiplied by the
+component counts that :class:`AcceleratorConfig` derives, with a
+waveguide routing/spacing factor applied to the photonic crossbar
+(device footprints alone under-count the laid-out array).
+
+Breakdown categories follow the paper's figures:
+
+* ``dac`` / ``adc`` — data converters,
+* ``modulation`` — MZMs, WDM microdisks, and source phase shifters,
+* ``photonic_core`` — the DDot crossbars,
+* ``laser`` — on-chip lasers and micro-combs,
+* ``memory`` — the SRAM hierarchy (PCACTI-substitute model),
+* ``digital`` — TIAs, accumulation and non-GEMM processing units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import AcceleratorConfig
+from repro.arch.memory import MemorySystem
+from repro.units import MM2
+
+#: Waveguide routing / device spacing overhead on the laid-out crossbar.
+CROSSBAR_ROUTING_FACTOR = 2.2
+
+#: Non-GEMM digital processing (softmax, LayerNorm, GELU, accumulation,
+#: control) — fixed area per tile plus a chip-level base, calibrated to
+#: the paper's "others" share.
+DIGITAL_AREA_PER_TILE = 0.20 * MM2
+DIGITAL_AREA_BASE = 0.50 * MM2
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-category areas in m^2."""
+
+    by_category: dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.by_category.values())
+
+    def fraction(self, category: str) -> float:
+        return self.by_category[category] / self.total
+
+    def as_mm2(self) -> dict[str, float]:
+        return {key: value / MM2 for key, value in self.by_category.items()}
+
+    @property
+    def total_mm2(self) -> float:
+        return self.total / MM2
+
+
+def ddot_cell_area(config: AcceleratorConfig) -> float:
+    """Footprint of one DDot engine (m^2), before routing overhead.
+
+    Phase shifter + directional coupler + balanced photodiode pair +
+    one waveguide crossing of the bus fabric.
+    """
+    lib = config.library
+    return (
+        lib.phase_shifter.area
+        + lib.directional_coupler.area
+        + 2 * lib.photodetector.area
+        + lib.crossing.area
+    )
+
+
+def area_breakdown(config: AcceleratorConfig) -> AreaBreakdown:
+    """Full-chip area breakdown for an accelerator configuration."""
+    lib = config.library
+    geometry = config.geometry
+
+    dac = config.n_dacs * lib.dac.area
+    adc = config.n_adcs * lib.adc.area
+
+    modulation = (
+        config.n_mzms * lib.mzm.area
+        + config.n_microdisks * lib.microdisk.area
+        # one source phase shifter per modulated waveguide (Fig. 2b)
+        + config.n_modulated_waveguides * lib.phase_shifter.area
+    )
+
+    photonic_core = (
+        config.n_ddots * ddot_cell_area(config) * CROSSBAR_ROUTING_FACTOR
+    )
+
+    laser = (
+        config.n_micro_combs * lib.micro_comb.area
+        + config.n_lasers * lib.laser.area
+    )
+
+    memory = MemorySystem(config).total_area
+
+    digital = (
+        config.n_tias * lib.tia.area
+        + config.n_tiles * DIGITAL_AREA_PER_TILE
+        + DIGITAL_AREA_BASE
+    )
+
+    return AreaBreakdown(
+        {
+            "dac": dac,
+            "adc": adc,
+            "modulation": modulation,
+            "photonic_core": photonic_core,
+            "laser": laser,
+            "memory": memory,
+            "digital": digital,
+        }
+    )
+
+
+def single_core_area_breakdown(config: AcceleratorConfig) -> AreaBreakdown:
+    """Fig. 9 view: the five categories the paper plots for one DPTC.
+
+    Memory and chip-level digital are excluded (the paper's single-core
+    scaling study plots DAC / ADC / Modulation / Crossbar / Laser+Comb).
+    """
+    full = area_breakdown(config).by_category
+    return AreaBreakdown(
+        {
+            "dac": full["dac"],
+            "adc": full["adc"],
+            "modulation": full["modulation"],
+            "photonic_core": full["photonic_core"],
+            "laser": full["laser"],
+        }
+    )

@@ -1,0 +1,282 @@
+"""Accelerator configuration: Table IV presets and derived component counts.
+
+An :class:`AcceleratorConfig` fixes the architecture (tiles, cores per
+tile, DPTC geometry, precision, clock, memory sizes, optimization
+flags) and derives every component count the area/power/energy models
+need: DAC/MZM channels, microdisks, photodiodes, TIAs, ADCs, lasers and
+combs.  The derivations follow Fig. 4 of the paper:
+
+* every modulated waveguide carries ``n_lambda`` wavelengths, each with
+  its own DAC + MZM, and a microdisk pair (DEMUX + MUX) per wavelength;
+* with inter-core operand broadcast the shared-M2 modulation units are
+  provisioned once per core *position* (``Nc`` sets) instead of per
+  core, giving the architecture-level ``Nt x`` modulation saving;
+* every DDot has a balanced photodiode pair; TIAs and ADCs sit after
+  the (optional) intra-tile analog summation point, and the ADC clock
+  is divided by the analog temporal-accumulation depth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.core.dptc import DPTCGeometry
+from repro.devices.library import DeviceLibrary, default_library
+from repro.units import GHZ
+
+KIB = 1024
+MIB = 1024 * 1024
+
+#: Photonic clock of all designs in the paper (conservative 5 GHz).
+DEFAULT_CLOCK = 5 * GHZ
+
+
+@dataclass(frozen=True)
+class ArchOptimizations:
+    """Feature flags for the Sec. IV-C architecture-level optimizations
+    plus the DPTC crossbar sharing itself (for the Fig. 12 ablation)."""
+
+    crossbar_operand_sharing: bool = True  #: DPTC intra-core sharing (Eq. 6)
+    inter_core_broadcast: bool = True  #: share M2 modulation across tiles
+    intra_tile_analog_summation: bool = True  #: photocurrent sum over Nc cores
+    analog_temporal_accumulation: bool = True  #: time-integral before ADC
+    temporal_accumulation_depth: int = 3
+
+    def __post_init__(self) -> None:
+        if self.temporal_accumulation_depth < 1:
+            raise ValueError("temporal accumulation depth must be >= 1")
+
+    @classmethod
+    def all_on(cls) -> "ArchOptimizations":
+        """The full LT design (LT-B / LT-L)."""
+        return cls()
+
+    @classmethod
+    def crossbar_only(cls) -> "ArchOptimizations":
+        """LT-crossbar-B: DPTC sharing on, architecture-level opts off."""
+        return cls(
+            crossbar_operand_sharing=True,
+            inter_core_broadcast=False,
+            intra_tile_analog_summation=False,
+            analog_temporal_accumulation=False,
+        )
+
+    @classmethod
+    def broadcast_only(cls) -> "ArchOptimizations":
+        """LT-broadcast-B: MRR-style topology that only broadcasts the
+        shared input operand; no crossbar sharing, no arch-level opts."""
+        return cls(
+            crossbar_operand_sharing=False,
+            inter_core_broadcast=False,
+            intra_tile_analog_summation=False,
+            analog_temporal_accumulation=False,
+        )
+
+    @property
+    def effective_accumulation_depth(self) -> int:
+        return (
+            self.temporal_accumulation_depth
+            if self.analog_temporal_accumulation
+            else 1
+        )
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """A complete Lightening-Transformer instance."""
+
+    name: str
+    n_tiles: int
+    cores_per_tile: int
+    geometry: DPTCGeometry = field(default_factory=DPTCGeometry)
+    bits: int = 4
+    clock: float = DEFAULT_CLOCK
+    global_sram_bytes: int = 2 * MIB
+    tile_sram_bytes: int = 4 * KIB
+    act_sram_bytes: int = 64 * KIB
+    core_buffer_bytes: int = 4 * KIB
+    optimizations: ArchOptimizations = field(default_factory=ArchOptimizations)
+    library: DeviceLibrary = field(default_factory=default_library)
+
+    def __post_init__(self) -> None:
+        if self.n_tiles < 1 or self.cores_per_tile < 1:
+            raise ValueError("tile and core counts must be >= 1")
+        if self.bits < 1:
+            raise ValueError(f"bits must be >= 1, got {self.bits}")
+        if self.clock <= 0:
+            raise ValueError("clock must be positive")
+
+    # -- compute fabric -------------------------------------------------
+    @property
+    def n_cores(self) -> int:
+        return self.n_tiles * self.cores_per_tile
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.n_cores * self.geometry.macs_per_cycle
+
+    @property
+    def peak_ops(self) -> float:
+        """Peak operations per second (2 ops per MAC)."""
+        return 2.0 * self.macs_per_cycle * self.clock
+
+    @property
+    def n_ddots(self) -> int:
+        return self.n_cores * self.geometry.n_ddots
+
+    @property
+    def cycle_time(self) -> float:
+        return 1.0 / self.clock
+
+    # -- modulation plane ------------------------------------------------
+    @property
+    def m1_waveguides(self) -> int:
+        """Per-core M1 (horizontal operand) modulation waveguides."""
+        return self.n_cores * self.geometry.n_h
+
+    @property
+    def m2_waveguides(self) -> int:
+        """M2 (vertical operand) waveguides; shared across tiles when the
+        inter-core optical broadcast is enabled."""
+        per_tile = self.cores_per_tile * self.geometry.n_v
+        if self.optimizations.inter_core_broadcast:
+            return per_tile
+        return self.n_tiles * per_tile
+
+    @property
+    def n_modulated_waveguides(self) -> int:
+        return self.m1_waveguides + self.m2_waveguides
+
+    @property
+    def n_dacs(self) -> int:
+        return self.n_modulated_waveguides * self.geometry.n_lambda
+
+    @property
+    def n_mzms(self) -> int:
+        return self.n_dacs
+
+    @property
+    def n_microdisks(self) -> int:
+        """DEMUX + MUX disk pair per wavelength per waveguide."""
+        return 2 * self.n_dacs
+
+    @property
+    def n_wdm_channels(self) -> int:
+        """Laser-fed wavelength channels (one per DAC/MZM)."""
+        return self.n_dacs
+
+    # -- detection plane ---------------------------------------------------
+    @property
+    def n_photodiodes(self) -> int:
+        """Balanced pair per DDot."""
+        return 2 * self.n_ddots
+
+    @property
+    def outputs_per_summation_point(self) -> int:
+        """DDot outputs merged into one analog node before the TIA/ADC."""
+        return (
+            self.cores_per_tile
+            if self.optimizations.intra_tile_analog_summation
+            else 1
+        )
+
+    @property
+    def n_tias(self) -> int:
+        return self.n_ddots // self.outputs_per_summation_point
+
+    @property
+    def n_adcs(self) -> int:
+        return self.n_tias
+
+    @property
+    def adc_sample_rate(self) -> float:
+        return self.clock / self.optimizations.effective_accumulation_depth
+
+    # -- light sources ---------------------------------------------------
+    @property
+    def n_micro_combs(self) -> int:
+        return self.n_tiles
+
+    @property
+    def n_lasers(self) -> int:
+        return self.n_cores
+
+    @property
+    def broadcast_fanout(self) -> int:
+        """Worst-case intra-core broadcast fanout for the loss budget."""
+        return max(self.geometry.n_h, self.geometry.n_v)
+
+    @property
+    def mean_crossings(self) -> int:
+        """Average waveguide crossings on a DDot path in the crossbar."""
+        return (max(self.geometry.n_h, self.geometry.n_v) - 1) // 2
+
+    # -- derived configs ---------------------------------------------------
+    def with_bits(self, bits: int) -> "AcceleratorConfig":
+        return replace(self, bits=bits, name=f"{self.name}@{bits}b")
+
+    def with_optimizations(
+        self, optimizations: ArchOptimizations
+    ) -> "AcceleratorConfig":
+        return replace(self, optimizations=optimizations)
+
+    def rename(self, name: str) -> "AcceleratorConfig":
+        return replace(self, name=name)
+
+
+def lt_base(bits: int = 4) -> AcceleratorConfig:
+    """LT-B (Table IV): 4 tiles x 2 DPTC of 12x12x12, 2 MB global SRAM."""
+    return AcceleratorConfig(
+        name="LT-B",
+        n_tiles=4,
+        cores_per_tile=2,
+        geometry=DPTCGeometry(12, 12, 12),
+        bits=bits,
+        global_sram_bytes=2 * MIB,
+    )
+
+
+def lt_large(bits: int = 4) -> AcceleratorConfig:
+    """LT-L (Table IV): 8 tiles x 2 DPTC of 12x12x12, 4 MB global SRAM."""
+    return AcceleratorConfig(
+        name="LT-L",
+        n_tiles=8,
+        cores_per_tile=2,
+        geometry=DPTCGeometry(12, 12, 12),
+        bits=bits,
+        global_sram_bytes=4 * MIB,
+    )
+
+
+def lt_crossbar_base(bits: int = 4) -> AcceleratorConfig:
+    """LT-crossbar-B: LT-B without the architecture-level optimizations."""
+    config = lt_base(bits).with_optimizations(ArchOptimizations.crossbar_only())
+    return config.rename("LT-crossbar-B")
+
+
+def lt_broadcast_base(bits: int = 4) -> AcceleratorConfig:
+    """LT-broadcast-B: input-broadcast-only PTC topology, no arch opts."""
+    config = lt_base(bits).with_optimizations(ArchOptimizations.broadcast_only())
+    return config.rename("LT-broadcast-B")
+
+
+def single_core(core_size: int, bits: int = 4) -> AcceleratorConfig:
+    """One stand-alone DPTC of size ``N`` for the Fig. 9/10 scaling study.
+
+    Matches the paper's setup: no global (inter-core) modulation sharing
+    and no architecture-level optimizations, so scaling effects are
+    observed directly.
+    """
+    return AcceleratorConfig(
+        name=f"DPTC-{core_size}",
+        n_tiles=1,
+        cores_per_tile=1,
+        geometry=DPTCGeometry(core_size, core_size, core_size),
+        bits=bits,
+        global_sram_bytes=0,
+        tile_sram_bytes=0,
+        act_sram_bytes=0,
+        core_buffer_bytes=0,
+        optimizations=ArchOptimizations.crossbar_only(),
+    )

@@ -1,0 +1,120 @@
+"""Heterogeneous DPTC core-shape search (end of Sec. VI-A).
+
+The paper: "we have the flexibility to explore heterogeneous DPTCs by
+having different/searched core sizes ... to better suit workloads with
+specific sparse patterns, avoiding low-utilization scenarios.  For
+example, we can have a specific DPTC engine for vector-matrix
+multiplication by setting Nh to 1."
+
+This module implements that search: enumerate core shapes
+``(Nh, Nlambda, Nv)`` under a MACs-per-cycle budget, score each on a
+GEMM workload by cycles and utilization, and return the best shape.
+The headline result reproduces the paper's example: row-vector-shaped
+workloads (non-block-wise sparsity) prefer ``Nh = 1`` engines, while
+square GEMMs prefer the balanced 12x12x12 core.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.dptc import DPTCGeometry
+from repro.workloads.gemm import GEMMOp
+
+
+@dataclass(frozen=True)
+class ShapeEvaluation:
+    """Score of one core shape on a workload."""
+
+    geometry: DPTCGeometry
+    cycles: int
+    utilization: float  #: useful MACs / provisioned MACs
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.geometry.n_h, self.geometry.n_lambda, self.geometry.n_v)
+
+
+def candidate_shapes(
+    mac_budget: int,
+    min_dim: int = 1,
+    max_dim: int = 64,
+) -> Iterator[DPTCGeometry]:
+    """Enumerate core shapes with ``Nh * Nlambda * Nv <= mac_budget``.
+
+    Dimensions are swept over powers of two plus the paper's 12, bounded
+    by ``max_dim``; shapes that underuse the budget by more than half
+    are skipped (they would waste the area budget).
+    """
+    if mac_budget < 1:
+        raise ValueError(f"mac_budget must be >= 1, got {mac_budget}")
+    dims = sorted(
+        {d for d in (1, 2, 4, 8, 12, 16, 24, 32, 48, 64) if min_dim <= d <= max_dim}
+    )
+    for n_h in dims:
+        for n_lambda in dims:
+            for n_v in dims:
+                macs = n_h * n_lambda * n_v
+                if mac_budget / 2 <= macs <= mac_budget:
+                    yield DPTCGeometry(n_h=n_h, n_v=n_v, n_lambda=n_lambda)
+
+
+def evaluate_shape(
+    geometry: DPTCGeometry, workload: Iterable[GEMMOp]
+) -> ShapeEvaluation:
+    """Cycles and utilization of one core shape on a GEMM workload."""
+    workload = list(workload)
+    if not workload:
+        raise ValueError("workload must contain at least one GEMM op")
+    cycles = 0
+    useful = 0
+    for op in workload:
+        tiles_m, tiles_d, tiles_n = geometry.tile_counts(op.m, op.k, op.n)
+        cycles += tiles_m * tiles_d * tiles_n * op.count
+        useful += op.macs
+    provisioned = cycles * geometry.macs_per_cycle
+    return ShapeEvaluation(
+        geometry=geometry,
+        cycles=cycles,
+        utilization=useful / provisioned,
+    )
+
+
+def search_core_shape(
+    workload: Iterable[GEMMOp],
+    mac_budget: int = 1728,
+    min_dim: int = 1,
+    max_dim: int = 64,
+) -> ShapeEvaluation:
+    """Best core shape for a workload under a MACs-per-cycle budget.
+
+    Primary objective: fewest cycles; utilization breaks ties (a shape
+    that wastes less light/modulation for the same cycle count wins).
+    """
+    workload = list(workload)
+    best: ShapeEvaluation | None = None
+    for geometry in candidate_shapes(mac_budget, min_dim, max_dim):
+        evaluation = evaluate_shape(geometry, workload)
+        if (
+            best is None
+            or evaluation.cycles < best.cycles
+            or (
+                evaluation.cycles == best.cycles
+                and evaluation.utilization > best.utilization
+            )
+        ):
+            best = evaluation
+    if best is None:
+        raise ValueError(
+            f"no candidate shape fits a MAC budget of {mac_budget}"
+        )
+    return best
+
+
+def mvm_engine(mac_budget: int = 1728, contraction: int = 48) -> DPTCGeometry:
+    """The paper's example special-purpose engine: ``Nh = 1`` for
+    vector-matrix workloads (non-block-wise sparsity, LLM decode)."""
+    n_v = max(1, mac_budget // contraction)
+    return DPTCGeometry(n_h=1, n_v=n_v, n_lambda=contraction)

@@ -1,0 +1,93 @@
+"""Latency models: single-core path delay and workload execution time.
+
+Two distinct quantities:
+
+* :func:`core_path_latency` — the physical latency of one DPTC shot
+  (optical propagation through the crossbar + E-O/O-E conversion),
+  which Fig. 9 plots against core size.  It is well below the 200 ps
+  clock period at every size the paper considers.
+* :func:`workload_latency` — wall-clock time of a GEMM trace: one
+  ``[Nh, Nlambda] x [Nlambda, Nv]`` tile-MM per core per 5 GHz cycle,
+  with the tile count distributed over all ``Nt * Nc`` cores.  The
+  paper's HBM bandwidth is provisioned so data transfer is hidden
+  behind compute (Sec. IV-A), and non-GEMM digital work is pipelined,
+  so compute cycles dominate; this cycle-accurate tile counting
+  reproduces Table V's LT-B latencies essentially exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.arch.config import AcceleratorConfig
+from repro.units import PS, SPEED_OF_LIGHT, UM
+from repro.workloads.gemm import GEMMOp
+
+#: Optical group index of the silicon waveguides.
+GROUP_INDEX = 4.2
+
+#: Crossbar pitch per DDot row/column (device footprint + spacing).
+DDOT_PITCH = 175 * UM
+
+#: Fixed optical path through the WDM modulation unit and I/O routing.
+FIXED_PATH_LENGTH = 500 * UM
+
+#: Electrical E-O / O-E conversion latency (driver + PD + TIA + S/H).
+EO_OE_LATENCY = 20 * PS
+
+
+@dataclass(frozen=True)
+class CoreLatency:
+    """Path latency of one DPTC shot."""
+
+    optics: float  #: s, optical propagation
+    eo_oe: float  #: s, conversion overhead
+
+    @property
+    def total(self) -> float:
+        return self.optics + self.eo_oe
+
+    @property
+    def total_ps(self) -> float:
+        return self.total / PS
+
+
+def core_path_latency(core_size: int) -> CoreLatency:
+    """Physical latency of a single shot on an ``N x N x N`` DPTC."""
+    if core_size < 1:
+        raise ValueError(f"core size must be >= 1, got {core_size}")
+    path = FIXED_PATH_LENGTH + core_size * DDOT_PITCH
+    optics = path * GROUP_INDEX / SPEED_OF_LIGHT
+    return CoreLatency(optics=optics, eo_oe=EO_OE_LATENCY)
+
+
+def gemm_tile_count(config: AcceleratorConfig, op: GEMMOp) -> int:
+    """Total tile-MMs an op needs across all its instances."""
+    tiles_m, tiles_d, tiles_n = config.geometry.tile_counts(op.m, op.k, op.n)
+    return tiles_m * tiles_d * tiles_n * op.count
+
+
+def gemm_cycles(config: AcceleratorConfig, op: GEMMOp) -> int:
+    """Clock cycles to run one GEMM op on the whole accelerator."""
+    return math.ceil(gemm_tile_count(config, op) / config.n_cores)
+
+
+def workload_cycles(config: AcceleratorConfig, ops: Iterable[GEMMOp]) -> int:
+    """Clock cycles for a full GEMM trace."""
+    return sum(gemm_cycles(config, op) for op in ops)
+
+
+def workload_latency(config: AcceleratorConfig, ops: Iterable[GEMMOp]) -> float:
+    """Wall-clock seconds for a full GEMM trace."""
+    return workload_cycles(config, ops) * config.cycle_time
+
+
+def effective_throughput_ops(
+    config: AcceleratorConfig, ops: Iterable[GEMMOp]
+) -> float:
+    """Achieved operations/s on a trace (2 ops per useful MAC)."""
+    ops = list(ops)
+    useful = sum(op.flops for op in ops)
+    return useful / workload_latency(config, ops)

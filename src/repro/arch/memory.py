@@ -1,0 +1,175 @@
+"""Analytic SRAM and HBM models (the repository's PCACTI substitute).
+
+The paper models the memory system with PCACTI at 14 nm and decouples
+the large SRAM arrays into 32 KB subarrays to feed the 5 GHz photonic
+domain (Sec. IV-A).  We reproduce the aggregates it needs — area,
+leakage, and per-access energy — with a banked analytic model:
+
+* array area grows linearly with capacity (effective cell area per
+  byte, including array overheads),
+* each bank adds a periphery term growing with the square root of its
+  capacity (decoders, sense amplifiers, and the high-speed interface to
+  the photonic clock domain),
+* per-byte access energy has a constant component plus a term growing
+  with the square root of the bank size (bitline/wordline length).
+
+The coefficients are calibrated so the LT-B memory system lands at the
+paper's reported ~25 % share of the 60.3 mm^2 chip (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.units import MW, PJ, UM2
+
+#: Default subarray granularity (the paper follows [10] with 32 KB).
+DEFAULT_BANK_BYTES = 32 * 1024
+
+#: Effective array area per byte at 14 nm, including array overheads.
+BYTE_AREA = 1.0 * UM2
+
+#: Periphery area coefficient per bank: ``coeff * sqrt(bank_bytes)``.
+PERIPHERY_AREA_COEFF = 900.0 * UM2
+
+#: Leakage per byte (14 nm HD SRAM ballpark).
+LEAKAGE_PER_BYTE = 1e-8  # 10 nW
+
+#: Access energy model: ``BASE + SLOPE * sqrt(bank_kbytes)`` per byte.
+ACCESS_ENERGY_BASE = 0.2 * PJ
+ACCESS_ENERGY_SLOPE = 0.05 * PJ
+
+#: High-bandwidth memory (the paper cites >1 TB/s fine-grained DRAM).
+HBM_BANDWIDTH = 1e12  # bytes/s
+HBM_ENERGY_PER_BYTE = 31.2 * PJ  # ~3.9 pJ/bit
+
+
+@dataclass(frozen=True)
+class SRAMMacro:
+    """A banked on-chip SRAM of ``size_bytes`` capacity."""
+
+    size_bytes: int
+    bank_bytes: int = DEFAULT_BANK_BYTES
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"size must be >= 0, got {self.size_bytes}")
+        if self.bank_bytes < 1:
+            raise ValueError(f"bank size must be >= 1, got {self.bank_bytes}")
+
+    @property
+    def n_banks(self) -> int:
+        if self.size_bytes == 0:
+            return 0
+        return max(1, math.ceil(self.size_bytes / self.bank_bytes))
+
+    @property
+    def effective_bank_bytes(self) -> int:
+        if self.n_banks == 0:
+            return 0
+        return min(self.size_bytes, self.bank_bytes)
+
+    @property
+    def area(self) -> float:
+        """Total macro area (m^2): array + per-bank periphery."""
+        if self.size_bytes == 0:
+            return 0.0
+        periphery = self.n_banks * PERIPHERY_AREA_COEFF * math.sqrt(
+            self.effective_bank_bytes
+        )
+        return self.size_bytes * BYTE_AREA + periphery
+
+    @property
+    def leakage_power(self) -> float:
+        """Static leakage (W)."""
+        return self.size_bytes * LEAKAGE_PER_BYTE
+
+    @property
+    def access_energy_per_byte(self) -> float:
+        """Dynamic read/write energy per byte (J)."""
+        if self.size_bytes == 0:
+            return 0.0
+        bank_kb = self.effective_bank_bytes / 1024.0
+        return ACCESS_ENERGY_BASE + ACCESS_ENERGY_SLOPE * math.sqrt(bank_kb)
+
+    def access_energy(self, n_bytes: float) -> float:
+        """Energy (J) to move ``n_bytes`` through this macro."""
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+        return n_bytes * self.access_energy_per_byte
+
+
+@dataclass(frozen=True)
+class HBMModel:
+    """Off-chip high-bandwidth memory."""
+
+    bandwidth: float = HBM_BANDWIDTH
+    energy_per_byte: float = HBM_ENERGY_PER_BYTE
+
+    def access_energy(self, n_bytes: float) -> float:
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+        return n_bytes * self.energy_per_byte
+
+    def transfer_time(self, n_bytes: float) -> float:
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+        return n_bytes / self.bandwidth
+
+
+class MemorySystem:
+    """The three-level on-chip hierarchy of one accelerator instance.
+
+    Built from an :class:`repro.arch.config.AcceleratorConfig`; exposes
+    total area/leakage and the access-energy rates the energy model
+    charges for data movement.
+    """
+
+    def __init__(self, config) -> None:
+        self.config = config
+        self.global_sram = SRAMMacro(config.global_sram_bytes)
+        self.tile_sram = SRAMMacro(config.tile_sram_bytes)
+        self.act_sram = SRAMMacro(config.act_sram_bytes)
+        self.core_buffer = SRAMMacro(
+            config.core_buffer_bytes, bank_bytes=max(1, config.core_buffer_bytes)
+        )
+        self.hbm = HBMModel()
+
+    @property
+    def total_area(self) -> float:
+        """Total on-chip SRAM area (m^2)."""
+        per_tile = self.tile_sram.area + self.act_sram.area
+        return (
+            self.global_sram.area
+            + self.config.n_tiles * per_tile
+            + self.config.n_cores * self.core_buffer.area
+        )
+
+    @property
+    def total_leakage(self) -> float:
+        """Total SRAM leakage (W)."""
+        per_tile = self.tile_sram.leakage_power + self.act_sram.leakage_power
+        return (
+            self.global_sram.leakage_power
+            + self.config.n_tiles * per_tile
+            + self.config.n_cores * self.core_buffer.leakage_power
+        )
+
+    @property
+    def operand_feed_energy_per_byte(self) -> float:
+        """Energy to feed one operand byte to the DACs (buffer read)."""
+        return self.core_buffer.access_energy_per_byte
+
+    @property
+    def staging_energy_per_byte(self) -> float:
+        """Energy to stage one operand byte global SRAM -> tile SRAM."""
+        return (
+            self.global_sram.access_energy_per_byte
+            + self.tile_sram.access_energy_per_byte
+        )
+
+    @property
+    def output_store_energy_per_byte(self) -> float:
+        """Energy to commit one output byte to the activation SRAM."""
+        return self.act_sram.access_energy_per_byte

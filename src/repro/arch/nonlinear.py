@@ -1,0 +1,86 @@
+"""Digital processing units for the non-GEMM operations.
+
+The paper assumes "all other non-GEMM operations are implemented using
+digital electronics" (Sec. IV-A) clocked in the low-speed (500 MHz)
+domain, and its latency results rely on those units keeping up with the
+photonic cores.  This model makes that assumption checkable: it counts
+the softmax / LayerNorm / GELU element operations per encoder layer and
+converts them to time on a configurable number of SIMD lanes per tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import AcceleratorConfig
+from repro.units import GHZ
+from repro.workloads.transformer import TransformerConfig
+
+#: The paper's low-speed electronics clock domain.
+DIGITAL_CLOCK = 0.5 * GHZ
+
+#: SIMD lanes per tile.  Provisioned so the digital stage keeps up with
+#: the photonic cores on the paper's workloads once pipelined — the
+#: assumption behind Table V reporting GEMM-only latency.
+DEFAULT_LANES_PER_TILE = 256
+
+
+@dataclass(frozen=True)
+class NonGEMMCounts:
+    """Element-operation counts of one encoder layer's non-GEMM work."""
+
+    softmax_elements: int
+    layernorm_elements: int
+    gelu_elements: int
+    residual_elements: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.softmax_elements
+            + self.layernorm_elements
+            + self.gelu_elements
+            + self.residual_elements
+        )
+
+
+def layer_nongemm_counts(config: TransformerConfig) -> NonGEMMCounts:
+    """Non-GEMM element operations of one encoder layer."""
+    seq = config.seq_len
+    dim = config.dim
+    # Softmax over every attention row of every head (exp + norm).
+    softmax = config.heads * seq * seq
+    # Two LayerNorms over [seq, dim].
+    layernorm = 2 * seq * dim
+    # GELU over the FFN hidden activations.
+    gelu = seq * config.ffn_dim
+    # Two residual additions over [seq, dim].
+    residual = 2 * seq * dim
+    return NonGEMMCounts(softmax, layernorm, gelu, residual)
+
+
+@dataclass(frozen=True)
+class DigitalUnitModel:
+    """Throughput model of the per-tile digital processing units."""
+
+    clock: float = DIGITAL_CLOCK
+    lanes_per_tile: int = DEFAULT_LANES_PER_TILE
+
+    def __post_init__(self) -> None:
+        if self.clock <= 0 or self.lanes_per_tile < 1:
+            raise ValueError("clock and lane count must be positive")
+
+    def layer_time(
+        self, model: TransformerConfig, accelerator: AcceleratorConfig
+    ) -> float:
+        """Seconds of digital work per encoder layer on the whole chip."""
+        counts = layer_nongemm_counts(model)
+        lanes = self.lanes_per_tile * accelerator.n_tiles
+        cycles = counts.total / lanes
+        return cycles / self.clock
+
+    def workload_time(
+        self, model: TransformerConfig, accelerator: AcceleratorConfig
+    ) -> float:
+        """Total digital seconds for a full inference."""
+        return model.depth * self.layer_time(model, accelerator)

@@ -1,0 +1,100 @@
+"""Chip power model and breakdown (Fig. 8 and the Fig. 9 power scaling).
+
+Power combines:
+
+* data converters at the photonic clock, rescaled to the configured
+  precision (``repro.devices.scaling``),
+* operand modulation (MZM dynamic tuning + microdisk locking for the
+  WDM MUX/DEMUX),
+* detection (photodiode receivers + TIAs),
+* the laser, derived from the DDot path loss budget, photodetector
+  sensitivity and output precision (``repro.devices.laser``),
+* SRAM leakage and the non-GEMM digital processing units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import AcceleratorConfig
+from repro.arch.memory import MemorySystem
+from repro.devices.laser import ddot_path_loss, required_laser_power
+from repro.devices.scaling import adc_power, dac_power
+
+#: Non-GEMM digital processing power (softmax/LayerNorm/GELU engines,
+#: accumulation, control), calibrated to the paper's Fig. 8 "others".
+DIGITAL_POWER_PER_TILE = 0.86  # W
+DIGITAL_POWER_BASE = 0.11  # W
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-category powers in watts."""
+
+    by_category: dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.by_category.values())
+
+    def fraction(self, category: str) -> float:
+        return self.by_category[category] / self.total
+
+
+def laser_power(config: AcceleratorConfig) -> float:
+    """Electrical laser power (W) for all WDM channels of the chip."""
+    budget = ddot_path_loss(
+        config.library,
+        broadcast_fanout=config.broadcast_fanout,
+        crossings=config.mean_crossings,
+    )
+    return required_laser_power(
+        config.n_wdm_channels, budget.total_db, config.bits, config.library
+    )
+
+
+def power_breakdown(config: AcceleratorConfig) -> PowerBreakdown:
+    """Full-chip power breakdown for an accelerator configuration."""
+    lib = config.library
+
+    dac = config.n_dacs * dac_power(config.bits, config.clock, lib.dac)
+    adc = config.n_adcs * adc_power(config.bits, config.adc_sample_rate, lib.adc)
+
+    modulation = (
+        config.n_mzms * lib.mzm.tuning_power
+        + config.n_microdisks * lib.microdisk.locking_power
+    )
+
+    detection = (
+        config.n_photodiodes * lib.photodetector.power
+        + config.n_tias * lib.tia.power
+    )
+
+    memory = MemorySystem(config).total_leakage
+    digital = DIGITAL_POWER_PER_TILE * config.n_tiles + DIGITAL_POWER_BASE
+
+    return PowerBreakdown(
+        {
+            "dac": dac,
+            "adc": adc,
+            "modulation": modulation,
+            "detection": detection,
+            "laser": laser_power(config),
+            "memory": memory,
+            "digital": digital,
+        }
+    )
+
+
+def single_core_power_breakdown(config: AcceleratorConfig) -> PowerBreakdown:
+    """Fig. 9 view: DAC / ADC / Modulation / Photodetector / Laser only."""
+    full = power_breakdown(config).by_category
+    return PowerBreakdown(
+        {
+            "dac": full["dac"],
+            "adc": full["adc"],
+            "modulation": full["modulation"],
+            "detection": full["detection"],
+            "laser": full["laser"],
+        }
+    )

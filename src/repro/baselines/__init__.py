@@ -1,0 +1,74 @@
+"""Baseline accelerators: prior photonic designs and electronic platforms.
+
+* :class:`MZIAccelerator` — coherent MZI-array (weight-static, SVD
+  mapping, reconfiguration-bound, lossy mesh).
+* :class:`MRRAccelerator` — incoherent MRR weight bank (locking power,
+  full-range decomposition penalty).
+* :mod:`repro.baselines.electronic` — calibrated roofline models of the
+  CPU / GPU / Edge TPU / FPGA platforms of Fig. 13.
+* :data:`TABLE_I` — the qualitative PTC capability comparison.
+"""
+
+from repro.baselines.base import (
+    TABLE_I,
+    BaselineRunResult,
+    PTCCapabilities,
+    WeightStaticAccelerator,
+    WeightStaticConfig,
+)
+from repro.baselines.electronic import (
+    ElectronicPlatform,
+    all_platforms,
+    cpu_i7_9750h,
+    edge_tpu,
+    fpga_transformer_accelerator,
+    gpu_a100,
+)
+from repro.baselines.mrr import (
+    MRR_DECOMPOSITION_RUNS,
+    MRRAccelerator,
+    mrr_core_area,
+    mrr_path_loss_db,
+)
+from repro.baselines.mzi import (
+    MZIAccelerator,
+    mesh_depth,
+    mzi_core_area,
+    mzi_path_loss_db,
+    mzi_unit_area,
+)
+from repro.baselines.pcm import (
+    PCM_DECOMPOSITION_RUNS,
+    PCM_WRITE_TIME,
+    PCMAccelerator,
+    pcm_core_area,
+    pcm_path_loss_db,
+)
+
+__all__ = [
+    "BaselineRunResult",
+    "ElectronicPlatform",
+    "MRRAccelerator",
+    "MRR_DECOMPOSITION_RUNS",
+    "MZIAccelerator",
+    "PCMAccelerator",
+    "PCM_DECOMPOSITION_RUNS",
+    "PCM_WRITE_TIME",
+    "PTCCapabilities",
+    "TABLE_I",
+    "WeightStaticAccelerator",
+    "WeightStaticConfig",
+    "all_platforms",
+    "cpu_i7_9750h",
+    "edge_tpu",
+    "fpga_transformer_accelerator",
+    "gpu_a100",
+    "mesh_depth",
+    "mrr_core_area",
+    "mrr_path_loss_db",
+    "mzi_core_area",
+    "mzi_path_loss_db",
+    "mzi_unit_area",
+    "pcm_core_area",
+    "pcm_path_loss_db",
+]

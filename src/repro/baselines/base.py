@@ -1,0 +1,259 @@
+"""Shared machinery for the weight-static photonic baselines.
+
+The MZI-array and MRR-bank baselines both execute GEMMs as tiled
+matrix-vector products on ``k x k`` weight-static cores: the weight tile
+is mapped into the photonic circuit, input vectors stream through at the
+photonic clock, and switching to the next weight tile costs a
+reconfiguration delay.  This module provides
+
+* :class:`PTCCapabilities` / :data:`TABLE_I` — the qualitative design
+  comparison of the paper's Table I as structured data;
+* :class:`WeightStaticConfig` — the common configuration record;
+* :class:`WeightStaticAccelerator` — cycle/energy accounting shared by
+  the concrete baselines, using the same device library, memory system
+  and digital envelope as the Lightening-Transformer models so the
+  comparisons isolate the PTC design.
+
+Energy conventions (matching the paper's methodology):
+
+* static powers (locking, digital, leakage) integrate over the
+  *compute-active* time — accelerators power-gate during
+  reconfiguration stalls;
+* the full-range decomposition penalty multiplies the streamed cycles
+  (the ``(X+ - X-)(Y+ - Y-)`` multi-pass of incoherent designs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.arch.config import DEFAULT_CLOCK
+from repro.arch.energy import (
+    CAT_ADC,
+    CAT_DATA_MOVEMENT,
+    CAT_DETECTION,
+    CAT_LASER,
+    CAT_OP1_DAC,
+    CAT_OP1_MOD,
+    CAT_OP2_DAC,
+    CAT_OP2_MOD,
+    CAT_STATIC,
+    EnergyReport,
+)
+from repro.arch.memory import SRAMMacro, HBMModel
+from repro.arch.power import DIGITAL_POWER_BASE, DIGITAL_POWER_PER_TILE
+from repro.devices.laser import required_laser_power
+from repro.devices.library import DeviceLibrary, default_library
+from repro.devices.scaling import adc_energy_per_conversion, dac_energy_per_conversion
+from repro.workloads.gemm import GEMMOp
+
+
+@dataclass(frozen=True)
+class PTCCapabilities:
+    """One row of the paper's Table I."""
+
+    name: str
+    operand1: str  #: e.g. "static, full-range"
+    operand2: str
+    mapping_cost: str  #: "low" / "medium" / "high"
+    operation: str  #: "MVM" or "MM"
+    dynamic_mm: bool  #: efficient dynamic matrix multiplication
+    full_range_no_overhead: bool
+
+
+TABLE_I: dict[str, PTCCapabilities] = {
+    "mzi": PTCCapabilities(
+        "MZI array", "static, full-range", "dynamic, full-range",
+        "high", "MVM", dynamic_mm=False, full_range_no_overhead=True,
+    ),
+    "pcm": PTCCapabilities(
+        "PCM crossbar", "static, positive-only", "dynamic, positive-only",
+        "medium", "MM", dynamic_mm=False, full_range_no_overhead=False,
+    ),
+    "mrr1": PTCCapabilities(
+        "MRR bank 1", "dynamic, full-range", "dynamic, positive-only",
+        "low", "MVM", dynamic_mm=True, full_range_no_overhead=False,
+    ),
+    "mrr2": PTCCapabilities(
+        "MRR bank 2", "dynamic, positive-only", "dynamic, positive-only",
+        "low", "MVM", dynamic_mm=True, full_range_no_overhead=False,
+    ),
+    "dptc": PTCCapabilities(
+        "DPTC (ours)", "dynamic, full-range", "dynamic, full-range",
+        "low", "MM", dynamic_mm=True, full_range_no_overhead=True,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class WeightStaticConfig:
+    """Configuration of a weight-static MVM baseline accelerator."""
+
+    name: str
+    n_cores: int
+    k: int  #: weight-tile dimension (k x k)
+    bits: int = 4
+    clock: float = DEFAULT_CLOCK
+    #: cycles stream one input vector each; multiplied for decomposition
+    decomposition_runs: int = 1
+    #: seconds per weight-tile switch (0 = hidden/negligible)
+    reconfig_time: float = 0.0
+    #: per-channel optical path loss (dB) for the laser model
+    path_loss_db: float = 10.0
+    #: WDM channels fed per core
+    channels_per_core: int = 12
+    #: static locking power per core (W) while weights are held
+    locking_power_per_core: float = 0.0
+    #: dynamic modulation energy per streamed input scalar (J)
+    input_mod_energy: float = 0.0
+    library: DeviceLibrary = field(default_factory=default_library)
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1 or self.k < 1:
+            raise ValueError("core count and tile size must be >= 1")
+        if self.decomposition_runs < 1:
+            raise ValueError("decomposition_runs must be >= 1")
+
+    @property
+    def cycle_time(self) -> float:
+        return 1.0 / self.clock
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.n_cores * self.k * self.k
+
+
+@dataclass(frozen=True)
+class BaselineRunResult:
+    """Latency/energy of one workload on a baseline accelerator."""
+
+    workload: str
+    latency: float  #: s, including reconfiguration stalls
+    active_time: float  #: s of actual compute
+    energy: EnergyReport
+
+    @property
+    def energy_joules(self) -> float:
+        return self.energy.total
+
+    @property
+    def edp(self) -> float:
+        return self.energy.total * self.latency
+
+    @property
+    def fps(self) -> float:
+        return 1.0 / self.latency
+
+
+class WeightStaticAccelerator:
+    """Cycle and energy accounting for weight-static MVM baselines."""
+
+    def __init__(self, config: WeightStaticConfig) -> None:
+        self.config = config
+        lib = config.library
+        self._e_dac = dac_energy_per_conversion(config.bits, config.clock, lib.dac)
+        self._e_adc = adc_energy_per_conversion(config.bits, lib.adc)
+        self._e_pd = lib.photodetector.power / config.clock
+        self._e_tia = lib.tia.power / config.clock
+        self._p_laser_per_core = required_laser_power(
+            config.channels_per_core, config.path_loss_db, config.bits, lib
+        )
+        # Same digital/memory envelope as LT-B for a fair system-level
+        # comparison (4-tile digital units + a 2 MB global SRAM).
+        self._p_static = (
+            4 * DIGITAL_POWER_PER_TILE
+            + DIGITAL_POWER_BASE
+            + SRAMMacro(2 * 1024 * 1024).leakage_power
+        )
+        self._hbm = HBMModel()
+        self._sram = SRAMMacro(32 * 1024)
+        self._element_bytes = config.bits / 8.0
+
+    # -- timing ----------------------------------------------------------
+    def op_weight_tiles(self, op: GEMMOp) -> int:
+        """Weight tiles (k x k) a GEMM op maps, across instances."""
+        k = self.config.k
+        return math.ceil(op.k / k) * math.ceil(op.n / k) * op.count
+
+    def op_stream_cycles(self, op: GEMMOp) -> int:
+        """Total streamed MVM cycles (before dividing over cores)."""
+        return self.op_weight_tiles(op) * op.m * self.config.decomposition_runs
+
+    def op_active_time(self, op: GEMMOp) -> float:
+        """Compute-active seconds (cores run in parallel)."""
+        cycles = math.ceil(self.op_stream_cycles(op) / self.config.n_cores)
+        return cycles * self.config.cycle_time
+
+    def op_reconfig_time(self, op: GEMMOp) -> float:
+        """Reconfiguration stall seconds (parallel across cores)."""
+        switches = math.ceil(self.op_weight_tiles(op) / self.config.n_cores)
+        return switches * self.config.reconfig_time
+
+    def op_latency(self, op: GEMMOp) -> float:
+        return self.op_active_time(op) + self.op_reconfig_time(op)
+
+    def latency(self, ops: Iterable[GEMMOp]) -> float:
+        return sum(self.op_latency(op) for op in ops)
+
+    # -- energy -----------------------------------------------------------
+    def op_energy(self, op: GEMMOp) -> EnergyReport:
+        config = self.config
+        report = EnergyReport()
+        k = config.k
+        stream_cycles = self.op_stream_cycles(op)  # total core-cycles
+        active = self.op_active_time(op)
+        tiles = self.op_weight_tiles(op)
+
+        # op1 (static weights): locking power over the active time plus
+        # the (amortised) programming DACs at each tile switch.
+        report.add(
+            CAT_OP1_MOD,
+            config.locking_power_per_core * config.n_cores * active,
+        )
+        report.add(
+            CAT_OP1_DAC,
+            tiles * k * k * self._e_dac * config.decomposition_runs,
+        )
+
+        # op2 (streamed inputs): DAC + modulator per scalar per cycle.
+        input_scalars = stream_cycles * k
+        report.add(CAT_OP2_DAC, input_scalars * self._e_dac)
+        report.add(CAT_OP2_MOD, input_scalars * config.input_mod_energy)
+
+        # Detection and conversion: k outputs per core-cycle.
+        outputs = stream_cycles * k
+        report.add(CAT_DETECTION, outputs * (self._e_pd + self._e_tia))
+        report.add(CAT_ADC, outputs * self._e_adc)
+
+        # Laser only burns while computing (cores power-gate in stalls).
+        report.add(
+            CAT_LASER, self._p_laser_per_core * config.n_cores * active
+        )
+        report.add(CAT_STATIC, self._p_static * active)
+
+        # Data movement: weights from HBM once, inputs/outputs via SRAM.
+        bytes_per = self._element_bytes
+        energy = self._hbm.access_energy(op.static_weight_elements * bytes_per)
+        energy += (input_scalars + outputs) * bytes_per * (
+            self._sram.access_energy_per_byte
+        )
+        energy += tiles * k * k * bytes_per * self._sram.access_energy_per_byte
+        report.add(CAT_DATA_MOVEMENT, energy)
+        return report
+
+    def energy(self, ops: Iterable[GEMMOp]) -> EnergyReport:
+        report = EnergyReport()
+        for op in ops:
+            report = report + self.op_energy(op)
+        return report
+
+    def run(self, ops: Iterable[GEMMOp], workload: str = "trace") -> BaselineRunResult:
+        ops = list(ops)
+        return BaselineRunResult(
+            workload=workload,
+            latency=self.latency(ops),
+            active_time=sum(self.op_active_time(op) for op in ops),
+            energy=self.energy(ops),
+        )

@@ -1,0 +1,114 @@
+"""MRR-bank baseline accelerator (after Tait et al. / CrossLight).
+
+An incoherent microring weight bank computes one ``k``-element MVM per
+core per cycle: weights are held in ring transmissions (paying per-ring
+*locking* power the whole time), inputs stream as intensity-modulated
+WDM signals.  Two structural penalties versus DPTC (Sec. II-C):
+
+* **Full-range decomposition** — intensity encoding is non-negative
+  only; signed activations are split into positive/negative parts and
+  streamed in two passes (``decomposition_runs = 2``; the weight rail
+  is differential).
+* **MVM, not MM** — per cycle a core retires ``k^2`` MACs versus the
+  DPTC's ``k^3``.
+
+The core count is scaled so the accelerator matches the LT-B area
+budget (the paper's comparison methodology).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.area import area_breakdown
+from repro.arch.config import DEFAULT_CLOCK, AcceleratorConfig, lt_base
+from repro.baselines.base import WeightStaticAccelerator, WeightStaticConfig
+from repro.devices.library import DeviceLibrary, default_library
+from repro.units import UM2
+
+#: Area overhead per ring for its locking/monitor circuit (heater driver,
+#: monitor photodiode, control logic).
+RING_LOCKING_CIRCUIT_AREA = 2_500 * UM2
+
+#: Routing/waveguide overhead factor on the ring array.
+RING_ARRAY_ROUTING_FACTOR = 2.0
+
+#: Streamed activations are signed (GELU/LayerNorm outputs), so the
+#: intensity-encoded operand needs a two-pass decomposition.
+MRR_DECOMPOSITION_RUNS = 2
+
+
+def mrr_core_area(k: int, library: DeviceLibrary | None = None) -> float:
+    """Area (m^2) of one k x k MRR weight-bank core with its converters,
+    locking circuitry, WDM MUX/DEMUX and light source."""
+    lib = library if library is not None else default_library()
+    rings = k * k * (lib.microring.area + RING_LOCKING_CIRCUIT_AREA)
+    rings *= RING_ARRAY_ROUTING_FACTOR
+    input_dacs = k * lib.dac.area
+    weight_dacs = k * lib.dac.area  # time-multiplexed weight programming
+    adcs = k * lib.adc.area
+    tias = k * lib.tia.area
+    pds = 2 * k * lib.photodetector.area
+    wdm = 2 * k * lib.microdisk.area
+    source = lib.micro_comb.area + lib.laser.area
+    return rings + input_dacs + weight_dacs + adcs + tias + pds + wdm + source
+
+
+def mrr_path_loss_db(k: int, library: DeviceLibrary | None = None) -> float:
+    """Per-channel loss (dB): MUX/DEMUX, input modulator, and the
+    through-path of the k-ring weight bank plus routing margin."""
+    lib = library if library is not None else default_library()
+    through_loss_per_ring = 0.1
+    routing_margin = 3.0
+    return (
+        2 * lib.microdisk.insertion_loss_db
+        + lib.microring.insertion_loss_db
+        + k * through_loss_per_ring
+        + routing_margin
+    )
+
+
+def area_matched_core_count(
+    reference: AcceleratorConfig | None = None, k: int = 12
+) -> int:
+    """MRR cores that fit the reference design's compute-area budget.
+
+    The budget is the reference chip minus its memory and digital
+    share, which the baseline reuses unchanged (paper Sec. V-C: "we
+    scale the number of PTC in baselines to match area").
+    """
+    ref = reference if reference is not None else lt_base()
+    breakdown = area_breakdown(ref).by_category
+    budget = sum(
+        area for cat, area in breakdown.items() if cat not in ("memory", "digital")
+    )
+    return max(1, math.floor(budget / mrr_core_area(k, ref.library)))
+
+
+class MRRAccelerator(WeightStaticAccelerator):
+    """Area-matched MRR-bank baseline (callable like the LT models)."""
+
+    def __init__(
+        self,
+        n_cores: int | None = None,
+        k: int = 12,
+        bits: int = 4,
+        library: DeviceLibrary | None = None,
+    ) -> None:
+        lib = library if library is not None else default_library()
+        if n_cores is None:
+            n_cores = area_matched_core_count(k=k)
+        config = WeightStaticConfig(
+            name="MRR-bank",
+            n_cores=n_cores,
+            k=k,
+            bits=bits,
+            decomposition_runs=MRR_DECOMPOSITION_RUNS,
+            reconfig_time=0.0,  # thermal retuning is overlapped/hidden
+            path_loss_db=mrr_path_loss_db(k, lib),
+            channels_per_core=k * k,  # k waveguides x k wavelengths
+            locking_power_per_core=k * k * lib.microring.locking_power,
+            input_mod_energy=lib.microring.tuning_power / DEFAULT_CLOCK,
+            library=lib,
+        )
+        super().__init__(config)

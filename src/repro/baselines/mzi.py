@@ -1,0 +1,149 @@
+"""MZI-array baseline accelerator (after Shen et al.).
+
+A coherent ``k x k`` MZI mesh realises an arbitrary weight matrix via
+SVD + phase decomposition and multiplies one input vector per cycle.
+It supports full-range operands natively (no decomposition penalty),
+but suffers the two structural costs the paper quantifies:
+
+* **Reconfiguration-bound latency** — every weight-tile switch
+  reprograms the mesh's phase shifters (the 2 us MEMS response time of
+  Table III); the SVD itself is computed offline for static weights but
+  makes runtime mapping of *dynamic* operands impractical, so attention
+  is delegated to an MRR-bank subsystem (the paper's assumption).
+* **Prohibitive laser power** — light traverses ~``2k + 1`` cascaded
+  MZIs, each contributing its couplers' and phase shifters' insertion
+  loss, so the loss budget grows linearly with the mesh size and the
+  laser dominates total energy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.arch.area import area_breakdown
+from repro.arch.config import AcceleratorConfig, lt_base
+from repro.baselines.base import (
+    BaselineRunResult,
+    EnergyReport,
+    WeightStaticAccelerator,
+    WeightStaticConfig,
+)
+from repro.baselines.mrr import MRRAccelerator
+from repro.devices.library import DeviceLibrary, default_library
+from repro.units import UM2
+from repro.workloads.gemm import GEMMOp
+
+#: Routing/spacing overhead on the laid-out MZI mesh.
+MESH_ROUTING_FACTOR = 1.5
+
+#: Cascade depth of a k x k SVD-capable mesh (U, Sigma, V^T).
+def mesh_depth(k: int) -> int:
+    return 2 * k + 1
+
+
+def mzi_unit_area(library: DeviceLibrary | None = None) -> float:
+    """Footprint of one MZI (2 phase shifters + 2 couplers)."""
+    lib = library if library is not None else default_library()
+    return 2 * lib.phase_shifter.area + 2 * lib.directional_coupler.area
+
+
+def mzi_core_area(k: int, library: DeviceLibrary | None = None) -> float:
+    """Area (m^2) of one k x k MZI-mesh core with converters and source."""
+    lib = library if library is not None else default_library()
+    n_mzis = k * k  # rectangular SVD mesh (U and V triangles + diagonal)
+    mesh = n_mzis * mzi_unit_area(lib) * MESH_ROUTING_FACTOR
+    converters = k * (lib.dac.area + lib.adc.area + lib.tia.area)
+    detectors = 2 * k * lib.photodetector.area
+    modulators = k * lib.mzm.area
+    source = lib.micro_comb.area + lib.laser.area
+    return mesh + converters + detectors + modulators + source
+
+
+def mzi_path_loss_db(k: int, library: DeviceLibrary | None = None) -> float:
+    """Per-channel loss (dB) through the input modulator and the mesh."""
+    lib = library if library is not None else default_library()
+    per_mzi = 2 * lib.directional_coupler.insertion_loss_db + (
+        2 * lib.phase_shifter.insertion_loss_db
+    )
+    return lib.mzm.insertion_loss_db + mesh_depth(k) * per_mzi
+
+
+def area_matched_core_count(
+    reference: AcceleratorConfig | None = None, k: int = 12
+) -> int:
+    """MZI cores that fit the reference design's compute-area budget."""
+    ref = reference if reference is not None else lt_base()
+    breakdown = area_breakdown(ref).by_category
+    budget = sum(
+        area for cat, area in breakdown.items() if cat not in ("memory", "digital")
+    )
+    return max(1, math.floor(budget / mzi_core_area(k, ref.library)))
+
+
+class MZIAccelerator(WeightStaticAccelerator):
+    """Area-matched MZI-array baseline.
+
+    Dynamic attention GEMMs are executed on an internal MRR-bank
+    subsystem, as the paper assumes ("we assume MRR bank implements MHA
+    in the MZI array as it cannot support MHA").
+    """
+
+    def __init__(
+        self,
+        n_cores: int | None = None,
+        k: int = 12,
+        bits: int = 4,
+        library: DeviceLibrary | None = None,
+    ) -> None:
+        lib = library if library is not None else default_library()
+        if n_cores is None:
+            n_cores = area_matched_core_count(k=k)
+        config = WeightStaticConfig(
+            name="MZI-array",
+            n_cores=n_cores,
+            k=k,
+            bits=bits,
+            decomposition_runs=1,  # coherent full-range: single pass
+            reconfig_time=lib.phase_shifter.response_time,
+            path_loss_db=mzi_path_loss_db(k, lib),
+            channels_per_core=k,  # single wavelength, k spatial inputs
+            locking_power_per_core=0.0,  # MEMS shifters hold at zero power
+            input_mod_energy=lib.mzm.tuning_power / 5e9,
+            library=lib,
+        )
+        super().__init__(config)
+        self.attention_subsystem = MRRAccelerator(
+            n_cores=n_cores, k=k, bits=bits, library=lib
+        )
+
+    def supports(self, op: GEMMOp) -> bool:
+        """Whether the MZI mesh itself can execute the op."""
+        return not op.dynamic
+
+    def op_latency(self, op: GEMMOp) -> float:
+        if op.dynamic:
+            return self.attention_subsystem.op_latency(op)
+        return super().op_latency(op)
+
+    def op_active_time(self, op: GEMMOp) -> float:
+        if op.dynamic:
+            return self.attention_subsystem.op_active_time(op)
+        return super().op_active_time(op)
+
+    def op_energy(self, op: GEMMOp) -> EnergyReport:
+        if op.dynamic:
+            return self.attention_subsystem.op_energy(op)
+        return super().op_energy(op)
+
+    def run(self, ops: Iterable[GEMMOp], workload: str = "trace") -> BaselineRunResult:
+        ops = list(ops)
+        energy = EnergyReport()
+        for op in ops:
+            energy = energy + self.op_energy(op)
+        return BaselineRunResult(
+            workload=workload,
+            latency=sum(self.op_latency(op) for op in ops),
+            active_time=sum(self.op_active_time(op) for op in ops),
+            energy=energy,
+        )

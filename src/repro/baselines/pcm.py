@@ -1,0 +1,156 @@
+"""PCM-crossbar baseline accelerator (after Feldmann et al.).
+
+The non-volatile phase-change-material crossbar is the third prior-art
+PTC of the paper's Table I: it performs one-shot matrix-matrix
+multiplication (like DPTC) but with
+
+* a **static, positive-only** weight operand stored in PCM cell
+  transmissions — reprogramming costs the 10 ns–10 us device write
+  the paper quotes, so dynamic attention operands force constant
+  rewriting;
+* a **positive-only** streamed operand (incoherent intensity encoding),
+  so full-range GEMMs decompose into the four-product
+  ``(X+ - X-)(Y+ - Y-)`` form (the paper's >2-4x overhead).
+
+On the plus side the PCM cells hold state at **zero static power** (no
+locking), which is the technology's selling point for weight-static
+CNNs — exactly the trade-off Table I captures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.arch.area import area_breakdown
+from repro.arch.config import DEFAULT_CLOCK, AcceleratorConfig, lt_base
+from repro.baselines.base import (
+    BaselineRunResult,
+    EnergyReport,
+    WeightStaticAccelerator,
+    WeightStaticConfig,
+)
+from repro.devices.library import DeviceLibrary, default_library
+from repro.units import UM2, US
+
+#: Non-volatile PCM cell write time (mid-range of the paper's 10 ns-10 us).
+PCM_WRITE_TIME = 1 * US
+
+#: PCM cell footprint including the access waveguide segment.
+PCM_CELL_AREA = 15 * 15 * UM2
+
+#: Energy per PCM cell write (amorphous/crystalline switching pulse).
+PCM_WRITE_ENERGY = 50e-12  # 50 pJ
+
+#: Four-product decomposition: both operands are positive-only.
+PCM_DECOMPOSITION_RUNS = 4
+
+#: Through-loss per PCM cell on the crossbar bus.
+PCM_THROUGH_LOSS_DB = 0.1
+
+
+def pcm_core_area(k: int, library: DeviceLibrary | None = None) -> float:
+    """Area (m^2) of one k x k PCM crossbar core with its periphery."""
+    lib = library if library is not None else default_library()
+    cells = k * k * PCM_CELL_AREA
+    converters = k * (lib.dac.area + lib.adc.area + lib.tia.area)
+    detectors = k * lib.photodetector.area
+    modulators = k * lib.mzm.area
+    wdm = 2 * k * lib.microdisk.area
+    source = lib.micro_comb.area + lib.laser.area
+    return cells + converters + detectors + modulators + wdm + source
+
+
+def pcm_path_loss_db(k: int, library: DeviceLibrary | None = None) -> float:
+    """Per-channel loss: MUX/DEMUX + modulator + the crossbar through-path."""
+    lib = library if library is not None else default_library()
+    return (
+        2 * lib.microdisk.insertion_loss_db
+        + lib.mzm.insertion_loss_db
+        + k * PCM_THROUGH_LOSS_DB
+        + 3.0  # routing margin
+    )
+
+
+def area_matched_core_count(
+    reference: AcceleratorConfig | None = None, k: int = 12
+) -> int:
+    """PCM cores that fit the reference design's compute-area budget."""
+    ref = reference if reference is not None else lt_base()
+    breakdown = area_breakdown(ref).by_category
+    budget = sum(
+        area for cat, area in breakdown.items() if cat not in ("memory", "digital")
+    )
+    return max(1, math.floor(budget / pcm_core_area(k, ref.library)))
+
+
+class PCMAccelerator(WeightStaticAccelerator):
+    """Area-matched PCM-crossbar baseline.
+
+    Unlike the MVM baselines, a PCM crossbar streams ``k`` input vectors
+    against a held ``k x k`` weight tile *concurrently* (one-shot MM),
+    which we model as the same stream-cycle count with a ``k``-fold
+    throughput factor; reprogramming dominates whenever operands are
+    dynamic.
+    """
+
+    def __init__(
+        self,
+        n_cores: int | None = None,
+        k: int = 12,
+        bits: int = 4,
+        library: DeviceLibrary | None = None,
+    ) -> None:
+        lib = library if library is not None else default_library()
+        if n_cores is None:
+            n_cores = area_matched_core_count(k=k)
+        config = WeightStaticConfig(
+            name="PCM-crossbar",
+            n_cores=n_cores,
+            k=k,
+            bits=bits,
+            decomposition_runs=PCM_DECOMPOSITION_RUNS,
+            reconfig_time=PCM_WRITE_TIME,
+            path_loss_db=pcm_path_loss_db(k, lib),
+            channels_per_core=k,
+            locking_power_per_core=0.0,  # non-volatile: zero hold power
+            input_mod_energy=lib.mzm.tuning_power / DEFAULT_CLOCK,
+            library=lib,
+        )
+        super().__init__(config)
+
+    def op_stream_cycles(self, op) -> int:
+        """PCM crossbars retire k vectors per cycle (MM, not MVM)."""
+        base = super().op_stream_cycles(op)
+        return math.ceil(base / self.config.k)
+
+    def op_energy(self, op) -> EnergyReport:
+        report = super().op_energy(op)
+        # Reprogramming energy: every weight-tile switch rewrites k^2
+        # PCM cells.  For dynamic operands this happens per tile per
+        # decomposition pass — the cost that rules PCM out for attention.
+        tiles = self.op_weight_tiles(op)
+        writes = tiles * self.config.k**2
+        if op.dynamic:
+            writes *= self.config.decomposition_runs
+        report.add("op1-mod", writes * PCM_WRITE_ENERGY)
+        return report
+
+    def op_reconfig_time(self, op) -> float:
+        """Dynamic operands force a PCM rewrite per tile per pass."""
+        stall = super().op_reconfig_time(op)
+        if op.dynamic:
+            stall *= self.config.decomposition_runs
+        return stall
+
+    def run(self, ops: Iterable, workload: str = "trace") -> BaselineRunResult:
+        ops = list(ops)
+        energy = EnergyReport()
+        for op in ops:
+            energy = energy + self.op_energy(op)
+        return BaselineRunResult(
+            workload=workload,
+            latency=sum(self.op_latency(op) for op in ops),
+            active_time=sum(self.op_active_time(op) for op in ops),
+            energy=energy,
+        )

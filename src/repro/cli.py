@@ -1,0 +1,219 @@
+"""Command-line interface to the accelerator models.
+
+Usage::
+
+    python -m repro.cli area   [--config lt-b|lt-l] [--bits N]
+    python -m repro.cli power  [--config lt-b|lt-l] [--bits N]
+    python -m repro.cli run    [--config lt-b|lt-l] [--bits N] [--model NAME]
+    python -m repro.cli compare [--bits N] [--model NAME]
+    python -m repro.cli report [--skip-accuracy]
+
+Models: deit-t, deit-s, deit-b, bert-base, bert-large.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.analysis.tables import render_table
+from repro.arch import (
+    AcceleratorConfig,
+    LighteningTransformer,
+    area_breakdown,
+    lt_base,
+    lt_large,
+    power_breakdown,
+)
+from repro.baselines import MRRAccelerator, MZIAccelerator, all_platforms
+from repro.units import MJ, MM2, MS
+from repro.workloads import (
+    TransformerConfig,
+    bert_base,
+    bert_large,
+    deit_base,
+    deit_small,
+    deit_tiny,
+    gemm_trace,
+)
+
+CONFIGS: dict[str, Callable[[int], AcceleratorConfig]] = {
+    "lt-b": lt_base,
+    "lt-l": lt_large,
+}
+
+MODELS: dict[str, Callable[[], TransformerConfig]] = {
+    "deit-t": deit_tiny,
+    "deit-s": deit_small,
+    "deit-b": deit_base,
+    "bert-base": bert_base,
+    "bert-large": bert_large,
+}
+
+
+def _resolve_config(args: argparse.Namespace) -> AcceleratorConfig:
+    return CONFIGS[args.config](args.bits)
+
+
+def cmd_area(args: argparse.Namespace) -> int:
+    breakdown = area_breakdown(_resolve_config(args))
+    rows = [
+        {"category": cat, "area_mm2": area / MM2, "share_pct": 100 * breakdown.fraction(cat)}
+        for cat, area in breakdown.by_category.items()
+    ]
+    rows.append({"category": "TOTAL", "area_mm2": breakdown.total_mm2, "share_pct": 100.0})
+    print(render_table(rows, title=f"Area breakdown: {args.config} @ {args.bits}-bit"))
+    return 0
+
+
+def cmd_power(args: argparse.Namespace) -> int:
+    breakdown = power_breakdown(_resolve_config(args))
+    rows = [
+        {"category": cat, "power_w": power, "share_pct": 100 * breakdown.fraction(cat)}
+        for cat, power in breakdown.by_category.items()
+    ]
+    rows.append({"category": "TOTAL", "power_w": breakdown.total, "share_pct": 100.0})
+    print(render_table(rows, title=f"Power breakdown: {args.config} @ {args.bits}-bit"))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    accelerator = LighteningTransformer(_resolve_config(args))
+    model = MODELS[args.model]()
+    result = accelerator.run(model)
+    print(
+        render_table(
+            [
+                {
+                    "workload": model.name,
+                    "energy_mJ": result.energy_joules / MJ,
+                    "latency_ms": result.latency / MS,
+                    "fps": result.fps,
+                    "edp_mJ_ms": result.edp / (MJ * MS),
+                    "cycles": result.cycles,
+                }
+            ],
+            title=f"{args.config} @ {args.bits}-bit",
+        )
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    model = MODELS[args.model]()
+    trace = gemm_trace(model)
+    lt = LighteningTransformer(lt_base(args.bits)).run(trace)
+    rows = [
+        {
+            "design": "LT-B",
+            "energy_mJ": lt.energy_joules / MJ,
+            "latency_ms": lt.latency / MS,
+            "vs_lt_energy": 1.0,
+            "vs_lt_latency": 1.0,
+        }
+    ]
+    for name, accelerator in (
+        ("MRR bank", MRRAccelerator(bits=args.bits)),
+        ("MZI array", MZIAccelerator(bits=args.bits)),
+    ):
+        run = accelerator.run(trace)
+        rows.append(
+            {
+                "design": name,
+                "energy_mJ": run.energy_joules / MJ,
+                "latency_ms": run.latency / MS,
+                "vs_lt_energy": run.energy_joules / lt.energy_joules,
+                "vs_lt_latency": run.latency / lt.latency,
+            }
+        )
+    for platform in all_platforms():
+        rows.append(
+            {
+                "design": platform.name,
+                "energy_mJ": platform.energy(trace) / MJ,
+                "latency_ms": platform.latency(trace) / MS,
+                "vs_lt_energy": platform.energy(trace) / lt.energy_joules,
+                "vs_lt_latency": platform.latency(trace) / lt.latency,
+            }
+        )
+    print(render_table(rows, title=f"{model.name} @ {args.bits}-bit"))
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.scorecard import run_scorecard
+
+    results = run_scorecard()
+    print(
+        render_table(
+            [result.as_row() for result in results],
+            title="Reproduction scorecard (paper vs measured)",
+        )
+    )
+    failing = [result for result in results if not result.passed]
+    if failing:
+        print(f"{len(failing)} claim(s) FAILED")
+        return 1
+    print(f"all {len(results)} claims hold")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.report import generate
+
+    generate(Path(args.output), skip_accuracy=args.skip_accuracy)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Lightening-Transformer accelerator models"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--config", choices=sorted(CONFIGS), default="lt-b")
+        p.add_argument("--bits", type=int, default=4, choices=(4, 8))
+
+    p_area = sub.add_parser("area", help="chip area breakdown (Fig. 7)")
+    common(p_area)
+    p_area.set_defaults(func=cmd_area)
+
+    p_power = sub.add_parser("power", help="chip power breakdown (Fig. 8)")
+    common(p_power)
+    p_power.set_defaults(func=cmd_power)
+
+    p_run = sub.add_parser("run", help="energy/latency of a workload (Table V)")
+    common(p_run)
+    p_run.add_argument("--model", choices=sorted(MODELS), default="deit-t")
+    p_run.set_defaults(func=cmd_run)
+
+    p_compare = sub.add_parser(
+        "compare", help="compare against baselines (Table V / Fig. 13)"
+    )
+    p_compare.add_argument("--bits", type=int, default=4, choices=(4, 8))
+    p_compare.add_argument("--model", choices=sorted(MODELS), default="deit-t")
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_verify = sub.add_parser(
+        "verify", help="check every headline claim against the paper"
+    )
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_report.add_argument("--output", default="EXPERIMENTS.md")
+    p_report.add_argument("--skip-accuracy", action="store_true")
+    p_report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The paper's primary contribution: DDot and DPTC photonic compute cores.
+
+* :class:`DDot` — the dynamically-operated, full-range optical vector
+  dot-product engine (analytic model of the interference circuit).
+* :class:`DPTC` / :class:`DPTCGeometry` — the crossbar tensor core that
+  performs one-shot matrix-matrix multiplication with intra-core operand
+  sharing.
+* Noise and dispersion models of Sec. III-C, shared by the accuracy
+  studies and the circuit-level validation.
+"""
+
+from repro.core.calibration import (
+    CalibratedDPTC,
+    additive_correction,
+    channel_gains,
+    dispersion_error_reduction,
+)
+from repro.core.ddot import DDot, analytic_output
+from repro.core.dispersion import DispersionProfile, dispersion_profile
+from repro.core.dptc import DPTC, DPTCGeometry
+from repro.core.noise import (
+    DEFAULT_MAGNITUDE_STD,
+    DEFAULT_PHASE_STD_DEG,
+    DEFAULT_SYSTEMATIC_STD,
+    EncodingNoise,
+    NoiseModel,
+    SystematicNoise,
+)
+
+__all__ = [
+    "CalibratedDPTC",
+    "DDot",
+    "DPTC",
+    "additive_correction",
+    "channel_gains",
+    "dispersion_error_reduction",
+    "DPTCGeometry",
+    "DEFAULT_MAGNITUDE_STD",
+    "DEFAULT_PHASE_STD_DEG",
+    "DEFAULT_SYSTEMATIC_STD",
+    "DispersionProfile",
+    "EncodingNoise",
+    "NoiseModel",
+    "SystematicNoise",
+    "analytic_output",
+    "dispersion_profile",
+]

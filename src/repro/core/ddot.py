@@ -1,0 +1,124 @@
+"""DDot: the dynamically-operated full-range optical dot-product engine.
+
+This module is the *analytic* model of the DDot circuit (the paper's
+Eq. 3-5 for the ideal engine and Eq. 7-9 for the noisy one).  It is the
+model embedded in the software stack for noise-aware training and
+inference; :class:`repro.optics.DDotCircuit` is the field-level
+simulation the analytics are validated against.
+
+The calibrated per-channel output (differential photocurrent divided by
+the design-point scale ``2*R``) is::
+
+    out_i = -2*t_i*k_i*sin(phi_i) * x_i*y_i  -  (2*kappa_i - 1)*(x_i^2 - y_i^2)/2
+
+with ``t = sqrt(1-kappa)``, ``k = sqrt(kappa)`` and ``phi_i`` the realised
+phase (design -pi/2, plus dispersion and stochastic drift).  At the design
+point this reduces to ``x_i * y_i`` exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dispersion import DispersionProfile, dispersion_profile
+from repro.core.noise import NoiseModel
+from repro.optics.wdm import WDMGrid
+
+
+def analytic_output(
+    x: np.ndarray,
+    y: np.ndarray,
+    kappa: np.ndarray,
+    phase: np.ndarray,
+) -> float:
+    """Calibrated DDot output for explicit per-channel circuit parameters.
+
+    Matches :class:`repro.optics.DDotCircuit` exactly (see the property
+    tests): it is the closed form of the same interference circuit.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    kappa = np.asarray(kappa, dtype=float)
+    phase = np.asarray(phase, dtype=float)
+    t = np.sqrt(1.0 - kappa)
+    k = np.sqrt(kappa)
+    product_term = -2.0 * t * k * np.sin(phase) * x * y
+    additive_term = -(2.0 * kappa - 1.0) * (x**2 - y**2) / 2.0
+    return float(np.sum(product_term + additive_term))
+
+
+class DDot:
+    """Analytic dot-product engine over an ``n_wavelengths``-channel grid.
+
+    Args:
+        n_wavelengths: spectral parallelism (vector length per shot).
+        noise: non-ideality bundle; :meth:`NoiseModel.ideal` gives exact
+            arithmetic.
+        grid: DWDM grid; defaults to the paper's 0.4 nm / 1550 nm grid.
+    """
+
+    def __init__(
+        self,
+        n_wavelengths: int,
+        noise: NoiseModel | None = None,
+        grid: WDMGrid | None = None,
+    ) -> None:
+        if n_wavelengths < 1:
+            raise ValueError(f"n_wavelengths must be >= 1, got {n_wavelengths}")
+        self.n_wavelengths = n_wavelengths
+        self.noise = noise if noise is not None else NoiseModel.ideal()
+        self.grid = grid if grid is not None else WDMGrid(n_wavelengths)
+        if self.grid.n_channels != n_wavelengths:
+            raise ValueError(
+                f"grid has {self.grid.n_channels} channels, expected {n_wavelengths}"
+            )
+        if self.noise.include_dispersion:
+            self.profile = dispersion_profile(self.grid)
+        else:
+            self.profile = DispersionProfile.ideal(n_wavelengths)
+
+    def dot(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """Dot-product of two full-range vectors (length <= n_wavelengths).
+
+        Operands are normalised to the MZM encoding range ``[-1, 1]`` by
+        their maximum magnitudes and rescaled after detection, as the
+        hardware does (Sec. III-C).
+        """
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.shape != y.shape or x.ndim != 1:
+            raise ValueError(
+                f"operands must be equal-length vectors, got {x.shape}, {y.shape}"
+            )
+        if x.size > self.n_wavelengths:
+            raise ValueError(
+                f"vector length {x.size} exceeds {self.n_wavelengths} wavelengths"
+            )
+        beta_x = float(np.max(np.abs(x))) if x.size else 0.0
+        beta_y = float(np.max(np.abs(y))) if y.size else 0.0
+        if beta_x == 0.0 or beta_y == 0.0:
+            return 0.0
+
+        x_hat = x / beta_x
+        y_hat = y / beta_y
+        kappa = self.profile.kappa[: x.size]
+        phase = self.profile.phase[: x.size].copy()
+
+        if not self.noise.is_ideal:
+            if rng is None:
+                rng = np.random.default_rng()
+            x_hat = self.noise.encoding.perturb_magnitude(x_hat, rng)
+            y_hat = self.noise.encoding.perturb_magnitude(y_hat, rng)
+            phase = phase + self.noise.encoding.sample_phase((x.size,), rng)
+
+        raw = analytic_output(x_hat, y_hat, kappa, phase)
+        if self.noise.systematic.std > 0.0:
+            if rng is None:
+                rng = np.random.default_rng()
+            raw = float(self.noise.systematic.apply(np.asarray(raw), rng))
+        return raw * beta_x * beta_y

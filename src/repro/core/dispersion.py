@@ -1,0 +1,95 @@
+"""WDM dispersion profile of a DDot engine (Sec. III-C, Fig. 3).
+
+Different wavelength channels sharing one DDot see slightly different
+coupler split ratios ``kappa(lam)`` and phase-shifter phases
+``phi(lam)``.  A :class:`DispersionProfile` captures the realised
+per-channel design point; the analytic DDot/DPTC models consume it as
+the per-channel multiplicative/additive error factors of Eq. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.optics.circuit import DESIGN_PHASE
+from repro.optics.components import (
+    DEFAULT_COUPLING_LENGTH_SLOPE,
+    coupling_factor,
+    phase_response,
+)
+from repro.optics.wdm import WDMGrid
+
+
+@dataclass(frozen=True)
+class DispersionProfile:
+    """Realised per-channel coupler and phase-shifter design points."""
+
+    kappa: np.ndarray  #: power coupling factor per channel
+    phase: np.ndarray  #: realised phase-shifter phase (rad) per channel
+
+    def __post_init__(self) -> None:
+        kappa = np.atleast_1d(np.asarray(self.kappa, dtype=float))
+        phase = np.atleast_1d(np.asarray(self.phase, dtype=float))
+        if kappa.shape != phase.shape:
+            raise ValueError(
+                f"kappa and phase shapes differ: {kappa.shape} vs {phase.shape}"
+            )
+        object.__setattr__(self, "kappa", kappa)
+        object.__setattr__(self, "phase", phase)
+
+    @property
+    def n_channels(self) -> int:
+        return self.kappa.size
+
+    @property
+    def phase_deviation(self) -> np.ndarray:
+        """Per-channel phase error (rad) relative to the -90 deg design."""
+        return self.phase - DESIGN_PHASE
+
+    @property
+    def multiplicative_factor(self) -> np.ndarray:
+        """Per-channel gain of the ``x*y`` term: ``-2*t*k*sin(phase)``.
+
+        Equals 1 at the design point (kappa = 1/2, phase = -pi/2); the
+        design point is a local optimum of both factors, which is the
+        source of the robustness the paper reports.
+        """
+        t = np.sqrt(1.0 - self.kappa)
+        k = np.sqrt(self.kappa)
+        return -2.0 * t * k * np.sin(self.phase)
+
+    @property
+    def additive_factor(self) -> np.ndarray:
+        """Per-channel weight of the additive ``(x^2 - y^2)/2`` error term.
+
+        ``-(2*kappa - 1)``; zero at the 50:50 design point.
+        """
+        return -(2.0 * self.kappa - 1.0)
+
+    def max_kappa_deviation(self) -> float:
+        """Worst-case relative deviation of kappa from 1/2 (paper: ~1.8 %)."""
+        return float(np.max(np.abs(self.kappa - 0.5)) / 0.5)
+
+    def max_phase_deviation_deg(self) -> float:
+        """Worst-case phase error magnitude in degrees (paper: ~0.28 deg)."""
+        return float(np.degrees(np.max(np.abs(self.phase_deviation))))
+
+    @classmethod
+    def ideal(cls, n_channels: int) -> "DispersionProfile":
+        """A dispersion-free profile: every channel at the design point."""
+        return cls(
+            kappa=np.full(n_channels, 0.5),
+            phase=np.full(n_channels, DESIGN_PHASE),
+        )
+
+
+def dispersion_profile(
+    grid: WDMGrid,
+    coupling_length_slope: float = DEFAULT_COUPLING_LENGTH_SLOPE,
+) -> DispersionProfile:
+    """Compute the dispersion profile of a DDot on the given WDM grid."""
+    kappa = coupling_factor(grid.wavelengths, grid.center, coupling_length_slope)
+    phase = phase_response(grid.wavelengths, DESIGN_PHASE, grid.center)
+    return DispersionProfile(kappa=kappa, phase=phase)

@@ -1,0 +1,113 @@
+"""Noise models for the analog photonic computation (Sec. III-C).
+
+Three non-idealities are modelled, matching the paper's artifact:
+
+* **Encoding noise** — stochastic magnitude drift (relative, Gaussian)
+  and relative phase drift between the two optical operands.
+* **WDM dispersion** — deterministic per-channel deviation of the
+  coupler split ratio and phase-shifter phase (see
+  :mod:`repro.core.dispersion`); enabled with a flag here.
+* **Systematic noise** — a catch-all multiplicative error on DPTC
+  outputs (photodetection noise, imperfect coupling ratios, ...),
+  ``I_hat = I * (1 + eps)`` with ``eps ~ N(0, 0.05^2)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Paper defaults (Sec. V-A functionality validation).
+DEFAULT_MAGNITUDE_STD = 0.03
+DEFAULT_PHASE_STD_DEG = 2.0
+DEFAULT_SYSTEMATIC_STD = 0.05
+
+
+@dataclass(frozen=True)
+class EncodingNoise:
+    """Stochastic operand-encoding noise.
+
+    Attributes:
+        magnitude_std: relative magnitude drift; the paper's
+            ``delta_x ~ N(0, (sigma * |x|)^2)``.
+        phase_std_deg: std of the relative phase drift between the two
+            operands, in degrees.
+    """
+
+    magnitude_std: float = DEFAULT_MAGNITUDE_STD
+    phase_std_deg: float = DEFAULT_PHASE_STD_DEG
+
+    def __post_init__(self) -> None:
+        if self.magnitude_std < 0 or self.phase_std_deg < 0:
+            raise ValueError("noise standard deviations must be >= 0")
+
+    @property
+    def phase_std_rad(self) -> float:
+        return math.radians(self.phase_std_deg)
+
+    def perturb_magnitude(
+        self, values: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Apply relative magnitude drift to encoded values."""
+        if self.magnitude_std == 0.0:
+            return np.asarray(values, dtype=float)
+        values = np.asarray(values, dtype=float)
+        return values * (1.0 + rng.normal(0.0, self.magnitude_std, values.shape))
+
+    def sample_phase(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        """Sample per-element phase drifts (rad)."""
+        if self.phase_std_deg == 0.0:
+            return np.zeros(shape)
+        return rng.normal(0.0, self.phase_std_rad, shape)
+
+
+@dataclass(frozen=True)
+class SystematicNoise:
+    """Multiplicative output noise ``I_hat = I * (1 + eps)``."""
+
+    std: float = DEFAULT_SYSTEMATIC_STD
+
+    def __post_init__(self) -> None:
+        if self.std < 0:
+            raise ValueError("systematic noise std must be >= 0")
+
+    def apply(self, outputs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.std == 0.0:
+            return np.asarray(outputs, dtype=float)
+        outputs = np.asarray(outputs, dtype=float)
+        return outputs * (1.0 + rng.normal(0.0, self.std, outputs.shape))
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Bundle of all non-idealities applied during photonic computation."""
+
+    encoding: EncodingNoise = EncodingNoise()
+    systematic: SystematicNoise = SystematicNoise()
+    include_dispersion: bool = True
+
+    @classmethod
+    def ideal(cls) -> "NoiseModel":
+        """A noise-free model: the photonic core computes exactly."""
+        return cls(
+            encoding=EncodingNoise(0.0, 0.0),
+            systematic=SystematicNoise(0.0),
+            include_dispersion=False,
+        )
+
+    @classmethod
+    def paper_default(cls) -> "NoiseModel":
+        """The paper's validation setting: 3 % magnitude, 2 deg phase,
+        5 % systematic, dispersion on."""
+        return cls()
+
+    @property
+    def is_ideal(self) -> bool:
+        return (
+            self.encoding.magnitude_std == 0.0
+            and self.encoding.phase_std_deg == 0.0
+            and self.systematic.std == 0.0
+            and not self.include_dispersion
+        )

@@ -1,0 +1,64 @@
+"""Device parameter library and component-level scaling models.
+
+This package captures the paper's Table III: published operating points
+for every photonic and electronic component in the accelerator, plus the
+scaling laws (converter bit-width/frequency scaling, laser loss budgets)
+used to move from those operating points to the system design point.
+"""
+
+from repro.devices.laser import (
+    LossBudget,
+    ddot_path_loss,
+    required_laser_power,
+    splitter_tree_loss_db,
+)
+from repro.devices.library import DeviceLibrary, default_library
+from repro.devices.params import (
+    ADCParams,
+    DACParams,
+    DirectionalCouplerParams,
+    LaserParams,
+    MicroCombParams,
+    MicrodiskParams,
+    MicroringParams,
+    MZMParams,
+    PhaseShifterParams,
+    PhotodetectorParams,
+    TIAParams,
+    WaveguideCrossingParams,
+    YBranchParams,
+)
+from repro.devices.scaling import (
+    adc_energy_per_conversion,
+    adc_power,
+    adc_walden_fom,
+    dac_energy_per_conversion,
+    dac_power,
+)
+
+__all__ = [
+    "ADCParams",
+    "DACParams",
+    "DeviceLibrary",
+    "DirectionalCouplerParams",
+    "LaserParams",
+    "LossBudget",
+    "MicroCombParams",
+    "MicrodiskParams",
+    "MicroringParams",
+    "MZMParams",
+    "PhaseShifterParams",
+    "PhotodetectorParams",
+    "TIAParams",
+    "WaveguideCrossingParams",
+    "YBranchParams",
+    "adc_energy_per_conversion",
+    "adc_power",
+    "adc_walden_fom",
+    "dac_energy_per_conversion",
+    "dac_power",
+    "ddot_path_loss",
+    "default_library",
+    "required_laser_power",
+    "splitter_tree_loss_db",
+]

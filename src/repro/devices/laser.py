@@ -1,0 +1,110 @@
+"""Laser power from an explicit optical loss budget.
+
+The paper sets the laser power "to meet the minimum power requirement of
+the photodetector considering system loss, scaled based on the precision
+requirement and wall-plug efficiency" (Sec. V-A).  This module makes that
+calculation explicit:
+
+1. build the insertion-loss budget of the worst-case optical path from a
+   modulator input to a DDot photodetector (:func:`ddot_path_loss`),
+2. back-propagate the photodetector sensitivity floor through that loss,
+3. scale by ``2**(bits - 4)`` — each extra output bit halves the
+   tolerable relative noise and therefore doubles the required optical
+   power (the 4-bit point is the paper's default operating point),
+4. divide by the laser wall-plug efficiency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.devices.library import DeviceLibrary
+from repro.units import db_to_linear, dbm_to_watts
+
+#: Output precision at which the sensitivity floor is specified.
+REFERENCE_BITS = 4
+
+
+@dataclass
+class LossBudget:
+    """An itemised optical insertion-loss budget along one path."""
+
+    entries: list[tuple[str, float]] = field(default_factory=list)
+
+    def add(self, name: str, loss_db: float) -> None:
+        """Append one contribution (decibels, non-negative)."""
+        if loss_db < 0:
+            raise ValueError(f"loss for {name!r} must be >= 0 dB, got {loss_db}")
+        self.entries.append((name, loss_db))
+
+    @property
+    def total_db(self) -> float:
+        """Total path loss in decibels."""
+        return sum(loss for _, loss in self.entries)
+
+    @property
+    def transmission(self) -> float:
+        """Linear power transmission of the path (0, 1]."""
+        return 1.0 / db_to_linear(self.total_db)
+
+
+def splitter_tree_loss_db(fanout: int, library: DeviceLibrary) -> float:
+    """Loss of a 1-to-``fanout`` broadcast tree.
+
+    The ideal 1/N power split contributes ``10*log10(N)`` dB; each of the
+    ``ceil(log2(N))`` Y-branch stages adds its excess insertion loss.
+    """
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    if fanout == 1:
+        return 0.0
+    ideal = 10.0 * math.log10(fanout)
+    stages = math.ceil(math.log2(fanout))
+    return ideal + stages * library.y_branch.insertion_loss_db
+
+
+def ddot_path_loss(
+    library: DeviceLibrary,
+    broadcast_fanout: int,
+    crossings: int,
+) -> LossBudget:
+    """Loss budget from the WDM modulation unit to a DDot photodetector.
+
+    Args:
+        library: device operating points.
+        broadcast_fanout: number of DDot rows/columns the modulated WDM
+            signal is broadcast to (``Nv`` or ``Nh``).
+        crossings: waveguide crossings traversed inside the crossbar on
+            the worst-case path.
+    """
+    budget = LossBudget()
+    budget.add("wdm_demux", library.microdisk.insertion_loss_db)
+    budget.add("mzm", library.mzm.insertion_loss_db)
+    budget.add("wdm_mux", library.microdisk.insertion_loss_db)
+    budget.add("broadcast_tree", splitter_tree_loss_db(broadcast_fanout, library))
+    budget.add("crossings", crossings * library.crossing.insertion_loss_db)
+    budget.add("ddot_phase_shifter", library.phase_shifter.insertion_loss_db)
+    budget.add("ddot_coupler", library.directional_coupler.insertion_loss_db)
+    return budget
+
+
+def required_laser_power(
+    n_channels: int,
+    loss_db: float,
+    bits: int,
+    library: DeviceLibrary,
+) -> float:
+    """Electrical laser power (W) to light ``n_channels`` WDM channels.
+
+    Each channel must deliver the photodetector sensitivity floor after
+    ``loss_db`` of path loss, scaled by ``2**(bits - REFERENCE_BITS)``
+    for the output-precision requirement.
+    """
+    if n_channels < 0:
+        raise ValueError(f"n_channels must be >= 0, got {n_channels}")
+    if bits <= 0:
+        raise ValueError(f"bits must be positive, got {bits}")
+    floor = dbm_to_watts(library.photodetector.sensitivity_dbm)
+    per_channel = floor * db_to_linear(loss_db) * 2.0 ** (bits - REFERENCE_BITS)
+    return n_channels * per_channel / library.laser.wall_plug_efficiency

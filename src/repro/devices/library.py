@@ -1,0 +1,108 @@
+"""The default device library: the operating points of the paper's Table III.
+
+:func:`default_library` returns a :class:`DeviceLibrary` loaded with the
+published component parameters.  Library instances are immutable; derived
+studies (e.g. a lower-loss coupler) build a modified copy with
+:func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import GHZ, MW, THZ, UM2, US
+
+from repro.devices.params import (
+    ADCParams,
+    DACParams,
+    DirectionalCouplerParams,
+    LaserParams,
+    MicroCombParams,
+    MicrodiskParams,
+    MicroringParams,
+    MZMParams,
+    PhaseShifterParams,
+    PhotodetectorParams,
+    TIAParams,
+    WaveguideCrossingParams,
+    YBranchParams,
+)
+
+
+@dataclass(frozen=True)
+class DeviceLibrary:
+    """A consistent set of device operating points used by all models."""
+
+    dac: DACParams = field(
+        default_factory=lambda: DACParams(
+            bits=8, power=50 * MW, sample_rate=14 * GHZ, area=11_000 * UM2
+        )
+    )
+    adc: ADCParams = field(
+        default_factory=lambda: ADCParams(
+            bits=8, power=14.8 * MW, sample_rate=10 * GHZ, area=2_850 * UM2
+        )
+    )
+    tia: TIAParams = field(
+        default_factory=lambda: TIAParams(power=3 * MW, area=50 * UM2)
+    )
+    microdisk: MicrodiskParams = field(
+        default_factory=lambda: MicrodiskParams(
+            locking_power=0.275 * MW,
+            insertion_loss_db=0.93,
+            area=4.8 * 4.8 * UM2,
+            fsr=5.6 * THZ,
+        )
+    )
+    microring: MicroringParams = field(
+        default_factory=lambda: MicroringParams(
+            tuning_power=0.21 * MW,
+            locking_power=1.2 * MW,
+            insertion_loss_db=0.95,
+            area=9.66 * 9.66 * UM2,
+        )
+    )
+    mzm: MZMParams = field(
+        default_factory=lambda: MZMParams(
+            tuning_power=2.25 * MW, insertion_loss_db=1.2, area=260 * 20 * UM2
+        )
+    )
+    directional_coupler: DirectionalCouplerParams = field(
+        default_factory=lambda: DirectionalCouplerParams(
+            insertion_loss_db=0.33, area=5.25 * 2.4 * UM2
+        )
+    )
+    phase_shifter: PhaseShifterParams = field(
+        default_factory=lambda: PhaseShifterParams(
+            insertion_loss_db=0.33, area=100 * 45 * UM2, response_time=2 * US
+        )
+    )
+    photodetector: PhotodetectorParams = field(
+        default_factory=lambda: PhotodetectorParams(
+            power=1.1 * MW, sensitivity_dbm=-25.0, area=4 * 10 * UM2
+        )
+    )
+    y_branch: YBranchParams = field(
+        default_factory=lambda: YBranchParams(
+            insertion_loss_db=0.3, area=1.8 * 1.3 * UM2
+        )
+    )
+    crossing: WaveguideCrossingParams = field(
+        # Not tabulated in the paper; a typical low-loss SOI crossing.
+        default_factory=lambda: WaveguideCrossingParams(
+            insertion_loss_db=0.05, area=8 * 8 * UM2
+        )
+    )
+    micro_comb: MicroCombParams = field(
+        default_factory=lambda: MicroCombParams(area=1_184 * 1_184 * UM2)
+    )
+    laser: LaserParams = field(
+        default_factory=lambda: LaserParams(
+            wall_plug_efficiency=0.2, area=400 * 300 * UM2
+        )
+    )
+
+
+def default_library() -> DeviceLibrary:
+    """Return the device library with the paper's Table III parameters."""
+    return DeviceLibrary()

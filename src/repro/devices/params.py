@@ -1,0 +1,143 @@
+"""Parameter records for the photonic and electronic devices of Table III.
+
+Each dataclass captures the published operating point of one component.
+Powers are in watts, areas in square metres, times in seconds, and losses
+in decibels, matching the conventions of :mod:`repro.units`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DACParams:
+    """Digital-to-analog converter operating point (Caragiulo et al.)."""
+
+    bits: int  #: resolution at the published operating point
+    power: float  #: W at the published sample rate
+    sample_rate: float  #: Hz
+    area: float  #: m^2
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError(f"DAC bits must be positive, got {self.bits}")
+        if self.power <= 0 or self.sample_rate <= 0 or self.area <= 0:
+            raise ValueError("DAC power, sample rate, and area must be positive")
+
+
+@dataclass(frozen=True)
+class ADCParams:
+    """Analog-to-digital converter operating point (Liu et al.)."""
+
+    bits: int
+    power: float  #: W at the published sample rate
+    sample_rate: float  #: Hz
+    area: float  #: m^2
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError(f"ADC bits must be positive, got {self.bits}")
+        if self.power <= 0 or self.sample_rate <= 0 or self.area <= 0:
+            raise ValueError("ADC power, sample rate, and area must be positive")
+
+
+@dataclass(frozen=True)
+class TIAParams:
+    """Transimpedance amplifier."""
+
+    power: float  #: W
+    area: float  #: m^2
+
+
+@dataclass(frozen=True)
+class MicrodiskParams:
+    """Microdisk modulator/filter used for the WDM MUX/DEMUX."""
+
+    locking_power: float  #: W per disk to hold resonance
+    insertion_loss_db: float
+    area: float  #: m^2
+    fsr: float  #: free spectral range, Hz
+
+
+@dataclass(frozen=True)
+class MicroringParams:
+    """Microring resonator (used by the MRR-bank baseline)."""
+
+    tuning_power: float  #: W dynamic tuning
+    locking_power: float  #: W static locking per ring (at 0.5 FSR detuning)
+    insertion_loss_db: float
+    area: float  #: m^2
+
+
+@dataclass(frozen=True)
+class MZMParams:
+    """Mach-Zehnder modulator used for high-speed operand encoding."""
+
+    tuning_power: float  #: W dynamic tuning
+    insertion_loss_db: float
+    area: float  #: m^2
+
+
+@dataclass(frozen=True)
+class DirectionalCouplerParams:
+    """Passive 2x2 directional coupler at the heart of each DDot."""
+
+    insertion_loss_db: float
+    area: float  #: m^2
+
+
+@dataclass(frozen=True)
+class PhaseShifterParams:
+    """MEMS phase shifter (passive hold, slow reconfiguration)."""
+
+    insertion_loss_db: float
+    area: float  #: m^2
+    response_time: float  #: s, reconfiguration latency
+
+
+@dataclass(frozen=True)
+class PhotodetectorParams:
+    """Waveguide photodiode with its sensitivity floor."""
+
+    power: float  #: W receiver power
+    sensitivity_dbm: float  #: minimum detectable optical power
+    area: float  #: m^2
+
+
+@dataclass(frozen=True)
+class YBranchParams:
+    """Broadband 50/50 Y-branch splitter used in broadcast trees."""
+
+    insertion_loss_db: float
+    area: float  #: m^2
+
+
+@dataclass(frozen=True)
+class WaveguideCrossingParams:
+    """Low-loss waveguide crossing inside the crossbar."""
+
+    insertion_loss_db: float
+    area: float  #: m^2
+
+
+@dataclass(frozen=True)
+class MicroCombParams:
+    """Kerr micro-comb providing the multi-wavelength source."""
+
+    area: float  #: m^2
+
+
+@dataclass(frozen=True)
+class LaserParams:
+    """On-chip laser with its electrical-to-optical conversion efficiency."""
+
+    wall_plug_efficiency: float  #: optical W out per electrical W in
+    area: float  #: m^2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.wall_plug_efficiency <= 1.0:
+            raise ValueError(
+                "wall-plug efficiency must be in (0, 1], got "
+                f"{self.wall_plug_efficiency}"
+            )

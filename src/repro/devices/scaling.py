@@ -1,0 +1,60 @@
+"""Bit-width and sample-rate scaling of data-converter power.
+
+The paper adopts published 8-bit converter operating points (Table III)
+and, following Kim et al., rescales them to the precision and clock of
+the photonic computing units.  Two standard models are used:
+
+* **ADC** — Walden figure of merit: power is proportional to
+  ``2**bits * sample_rate``.  The figure of merit (J per conversion
+  step) is extracted from the reference design and held constant.
+* **DAC** — switched-capacitor DAC: power is proportional to
+  ``(2**bits + bits) * sample_rate``; the ``2**bits`` term models the
+  capacitor-array charging and the linear term the digital buffering.
+"""
+
+from __future__ import annotations
+
+from repro.devices.params import ADCParams, DACParams
+
+
+def adc_walden_fom(ref: ADCParams) -> float:
+    """Energy per conversion step (J) of the reference ADC design."""
+    return ref.power / (2.0**ref.bits * ref.sample_rate)
+
+
+def adc_power(bits: int, sample_rate: float, ref: ADCParams) -> float:
+    """Power (W) of an ADC at ``bits`` resolution and ``sample_rate``.
+
+    Scales the reference design with a constant Walden figure of merit.
+    """
+    _check(bits, sample_rate)
+    return adc_walden_fom(ref) * 2.0**bits * sample_rate
+
+
+def adc_energy_per_conversion(bits: int, ref: ADCParams) -> float:
+    """Energy (J) of a single analog-to-digital conversion."""
+    _check(bits, 1.0)
+    return adc_walden_fom(ref) * 2.0**bits
+
+
+def dac_power(bits: int, sample_rate: float, ref: DACParams) -> float:
+    """Power (W) of a DAC at ``bits`` resolution and ``sample_rate``."""
+    _check(bits, sample_rate)
+    scale = _dac_complexity(bits) / _dac_complexity(ref.bits)
+    return ref.power * scale * (sample_rate / ref.sample_rate)
+
+
+def dac_energy_per_conversion(bits: int, sample_rate: float, ref: DACParams) -> float:
+    """Energy (J) of a single digital-to-analog conversion."""
+    return dac_power(bits, sample_rate, ref) / sample_rate
+
+
+def _dac_complexity(bits: int) -> float:
+    return 2.0**bits + bits
+
+
+def _check(bits: int, sample_rate: float) -> None:
+    if bits <= 0:
+        raise ValueError(f"bits must be positive, got {bits}")
+    if sample_rate <= 0:
+        raise ValueError(f"sample rate must be positive, got {sample_rate}")

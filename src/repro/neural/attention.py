@@ -1,0 +1,57 @@
+"""Multi-head self-attention with photonic dynamic matrix products.
+
+The two attention products — ``Q K^T`` and ``A V`` — are the paper's
+*dynamic* MMs: both operands are runtime activations.  Here they run
+through the same :class:`PhotonicExecutor` as the linear projections,
+which is exactly what the DPTC design enables (and what weight-static
+photonic cores cannot do efficiently).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.neural.autograd import Tensor
+from repro.neural.functional import softmax
+from repro.neural.modules import Linear, Module
+from repro.neural.photonic import PhotonicExecutor
+
+
+class MultiHeadAttention(Module):
+    """Self-attention over ``[tokens, dim]`` inputs (single sequence)."""
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        executor: PhotonicExecutor | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if dim % heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {heads}")
+        self.dim = dim
+        self.heads = heads
+        self.head_dim = dim // heads
+        self.executor = executor if executor is not None else PhotonicExecutor.ideal()
+        self.qkv = Linear(dim, 3 * dim, executor=self.executor, rng=rng)
+        self.proj = Linear(dim, dim, executor=self.executor, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        tokens = x.shape[0]
+        qkv = self.qkv(x)  # [tokens, 3*dim]
+        qkv = qkv.reshape(tokens, 3, self.heads, self.head_dim)
+        qkv = qkv.transpose(1, 2, 0, 3)  # [3, heads, tokens, head_dim]
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        # Dynamic MM #1: Q K^T, both operands runtime activations.
+        scores = self.executor.matmul(q, k.swapaxes(-1, -2))
+        scores = scores * (1.0 / math.sqrt(self.head_dim))
+        weights = softmax(scores, axis=-1)
+
+        # Dynamic MM #2: A V.
+        context = self.executor.matmul(weights, v)  # [heads, tokens, head_dim]
+        context = context.swapaxes(0, 1).reshape(tokens, self.dim)
+        return self.proj(context)

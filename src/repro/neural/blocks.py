@@ -1,0 +1,56 @@
+"""Transformer encoder blocks (pre-norm, as in DeiT/BERT variants)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neural.attention import MultiHeadAttention
+from repro.neural.autograd import Tensor
+from repro.neural.modules import GELU, Dropout, LayerNorm, Linear, Module
+from repro.neural.photonic import PhotonicExecutor
+
+
+class FeedForward(Module):
+    """Two linear layers with GELU in between (the paper's FFN)."""
+
+    def __init__(
+        self,
+        dim: int,
+        hidden_dim: int,
+        executor: PhotonicExecutor | None = None,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.fc1 = Linear(dim, hidden_dim, executor=executor, rng=rng)
+        self.act = GELU()
+        self.fc2 = Linear(hidden_dim, dim, executor=executor, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.drop(self.fc2(self.act(self.fc1(x))))
+
+
+class EncoderBlock(Module):
+    """Pre-norm encoder block: ``x + MHA(LN(x))``, ``x + FFN(LN(x))``."""
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        mlp_ratio: float = 4.0,
+        executor: PhotonicExecutor | None = None,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.attention = MultiHeadAttention(dim, heads, executor=executor, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.ffn = FeedForward(
+            dim, int(dim * mlp_ratio), executor=executor, dropout=dropout, rng=rng
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attention(self.norm1(x))
+        return x + self.ffn(self.norm2(x))

@@ -1,0 +1,43 @@
+"""Checkpoint persistence for trained models.
+
+The paper's artifact ships a trained DeiT-T checkpoint so evaluators can
+skip the multi-day training run; this module provides the same
+capability for the numpy stack: model state dicts serialise to ``.npz``
+archives and restore into freshly-constructed models.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.neural.modules import Module
+
+
+def save_checkpoint(model: Module, path: str | Path) -> Path:
+    """Serialise a model's parameters to an ``.npz`` archive.
+
+    Returns the path written (with the ``.npz`` suffix numpy enforces).
+    """
+    path = Path(path)
+    state = model.state_dict()
+    if not state:
+        raise ValueError("model has no parameters to save")
+    np.savez(path, **state)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(model: Module, path: str | Path) -> Module:
+    """Restore parameters from an ``.npz`` archive into ``model``.
+
+    The model must have been constructed with the same architecture;
+    mismatched names or shapes raise, they are never silently ignored.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,120 @@
+"""Synthetic datasets standing in for ImageNet-1K and SST-2.
+
+The paper's accuracy studies (Fig. 14/15) measure the *relative*
+accuracy drop of a quantized Transformer under analog noise versus the
+same checkpoint running noise-free.  That delta is a property of the
+noise transform, not of the dataset scale, so we substitute procedurally
+generated tasks that the tiny models can learn to high accuracy in
+seconds:
+
+* :func:`striped_image_dataset` — oriented-grating classification for
+  the DeiT-style vision model (class = grating orientation);
+* :func:`token_order_dataset` — long-range marker-order classification
+  for the BERT-style model (class = which of two marker tokens appears
+  first; unsolvable without attention across the sequence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.neural.text import CLS_TOKEN_ID
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Inputs (images or token sequences) with integer labels."""
+
+    inputs: np.ndarray
+    labels: np.ndarray
+    n_classes: int
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != len(self.labels):
+            raise ValueError(
+                f"{len(self.inputs)} inputs but {len(self.labels)} labels"
+            )
+        if self.labels.size and (
+            self.labels.min() < 0 or self.labels.max() >= self.n_classes
+        ):
+            raise ValueError("label out of range")
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def split(self, train_fraction: float = 0.8) -> tuple["Dataset", "Dataset"]:
+        """Deterministic train/test split (data is already shuffled)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError(f"train fraction must be in (0, 1), got {train_fraction}")
+        cut = int(len(self) * train_fraction)
+        if cut == 0 or cut == len(self):
+            raise ValueError("split would leave an empty partition")
+        return (
+            Dataset(self.inputs[:cut], self.labels[:cut], self.n_classes),
+            Dataset(self.inputs[cut:], self.labels[cut:], self.n_classes),
+        )
+
+
+def striped_image_dataset(
+    n_samples: int = 400,
+    image_size: int = 16,
+    n_classes: int = 4,
+    noise: float = 0.25,
+    seed: int = 0,
+) -> Dataset:
+    """Oriented sinusoidal gratings with additive Gaussian noise.
+
+    Class ``c`` fixes the grating orientation; the phase and the noise
+    vary per sample, so the classifier must learn orientation-selective
+    features (which the ViT's patch attention does naturally).
+    """
+    if n_samples < 1 or n_classes < 2:
+        raise ValueError("need at least 1 sample and 2 classes")
+    rng = np.random.default_rng(seed)
+    angles = np.linspace(0.0, np.pi * (n_classes - 1) / n_classes, n_classes)
+    ys, xs = np.mgrid[0:image_size, 0:image_size] / image_size
+
+    images = np.empty((n_samples, image_size, image_size))
+    labels = rng.integers(0, n_classes, n_samples)
+    frequency = 3.0
+    for i, label in enumerate(labels):
+        theta = angles[label]
+        phase = rng.uniform(0, 2 * np.pi)
+        wave = np.sin(
+            2 * np.pi * frequency * (xs * np.cos(theta) + ys * np.sin(theta)) + phase
+        )
+        images[i] = wave + rng.normal(0.0, noise, wave.shape)
+    # Normalise into the MZM-friendly [-1, 1] range.
+    images /= np.max(np.abs(images))
+    return Dataset(images, labels, n_classes)
+
+
+def token_order_dataset(
+    n_samples: int = 400,
+    seq_len: int = 17,
+    vocab_size: int = 32,
+    seed: int = 0,
+) -> Dataset:
+    """Binary marker-order task over random token sequences.
+
+    Position 0 is the CLS token.  Two marker tokens (ids 1 and 2) are
+    planted at random distinct positions; the label says which comes
+    first.  Solving it requires relating distant positions — exactly
+    the global-context capability attention provides.
+    """
+    if seq_len < 3:
+        raise ValueError(f"seq_len must be >= 3, got {seq_len}")
+    if vocab_size < 4:
+        raise ValueError(f"vocab_size must be >= 4, got {vocab_size}")
+    rng = np.random.default_rng(seed)
+    sequences = rng.integers(3, vocab_size, (n_samples, seq_len))
+    sequences[:, 0] = CLS_TOKEN_ID
+    labels = np.empty(n_samples, dtype=int)
+    for i in range(n_samples):
+        a, b = rng.choice(np.arange(1, seq_len), size=2, replace=False)
+        sequences[i, a] = 1
+        sequences[i, b] = 2
+        labels[i] = int(a < b)
+    return Dataset(sequences, labels, 2)

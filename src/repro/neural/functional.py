@@ -1,0 +1,63 @@
+"""Differentiable neural-network functions on :class:`Tensor`."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.neural.autograd import Tensor, gather_rows
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.maximum(Tensor(np.zeros(1)))
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (exact erf form, as in the paper):
+    ``GELU(x) = 0.5 * x * (1 + erf(x / sqrt(2)))``."""
+    return x * 0.5 * ((x * (1.0 / math.sqrt(2.0))).erf() + 1.0)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along an axis."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along an axis."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    normalized = centered / ((variance + eps) ** 0.5)
+    return normalized * weight + bias
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``[batch, classes]`` logits and labels."""
+    labels = np.asarray(labels, dtype=int)
+    if logits.ndim != 2:
+        raise ValueError(f"expected [batch, classes] logits, got {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError(
+            f"labels shape {labels.shape} does not match batch {logits.shape[0]}"
+        )
+    log_probs = log_softmax(logits, axis=-1)
+    picked = gather_rows(log_probs, labels)
+    return -picked.mean()
+
+
+def accuracy(logits: Tensor | np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    predictions = data.argmax(axis=-1)
+    return float(np.mean(predictions == np.asarray(labels)))

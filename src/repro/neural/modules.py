@@ -1,0 +1,182 @@
+"""Neural-network modules on the autograd engine."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.neural.autograd import Tensor, embedding_lookup
+from repro.neural.functional import gelu, layer_norm
+from repro.neural.photonic import PhotonicExecutor
+
+
+class Module:
+    """Base class: parameter discovery, mode switching, state dicts."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> Iterator[Tensor]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, value in vars(self).items():
+            path = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield path, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(f"{path}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{path}.{index}.")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for _, value in vars(self).items():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=float)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {value.shape} vs {param.shape}"
+                )
+            param.data = value.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer whose product runs on the photonic executor."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        executor: PhotonicExecutor | None = None,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        scale = math.sqrt(2.0 / (in_features + out_features))
+        self.weight = Tensor(
+            rng.normal(0.0, scale, (in_features, out_features)), requires_grad=True
+        )
+        self.bias = (
+            Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+        )
+        self.executor = executor if executor is not None else PhotonicExecutor.ideal()
+
+    def forward(self, x: Tensor) -> Tensor:
+        flat = x if x.ndim == 2 else x.reshape(-1, x.shape[-1])
+        out = self.executor.matmul(flat, self.weight, weight_operand=1)
+        if x.ndim != 2:
+            out = out.reshape(*x.shape[:-1], self.weight.shape[1])
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalization over the trailing feature dimension."""
+
+    def __init__(self, features: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.weight = Tensor(np.ones(features), requires_grad=True)
+        self.bias = Tensor(np.zeros(features), requires_grad=True)
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        return layer_norm(x, self.weight, self.bias, self.eps)
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return gelu(x)
+
+
+class Dropout(Module):
+    """Inverted dropout (active in training mode only)."""
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self.rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+class Embedding(Module):
+    """Token-id to vector lookup table."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.weight = Tensor(
+            rng.normal(0.0, 0.02, (vocab_size, dim)), requires_grad=True
+        )
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        return embedding_lookup(self.weight, token_ids)
+
+
+class Sequential(Module):
+    """Run sub-modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers = list(modules)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x

@@ -1,0 +1,118 @@
+"""Photonic execution of matrix products inside the neural network.
+
+:class:`PhotonicExecutor` is the bridge between the software model and
+the DPTC analytics: every matrix multiplication of the network is
+(optionally) quantized and routed through the noisy analytic transform
+of Eq. 9 in the forward pass, while gradients flow through the ideal
+product (a straight-through estimator — the standard approach for
+noise-aware training, as in the paper's artifact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dptc import DPTC, DPTCGeometry
+from repro.core.noise import NoiseModel
+from repro.neural.autograd import Tensor
+from repro.neural.quantization import QuantConfig, fake_quantize
+
+
+@dataclass
+class PhotonicExecutor:
+    """Executes neural matmuls on a (noisy) DPTC model.
+
+    Attributes:
+        geometry: tensor-core dimensions (wavelength count drives the
+            dispersion profile used in Fig. 14's wavelength sweep).
+        noise: non-ideality bundle; ideal -> pure quantized execution.
+        quant: weight/activation precision; ``None`` disables
+            quantization (full-precision floats on an ideal core).
+        rng: noise sampling stream (seed for reproducibility).
+    """
+
+    geometry: DPTCGeometry = field(default_factory=DPTCGeometry)
+    noise: NoiseModel = field(default_factory=NoiseModel.ideal)
+    quant: QuantConfig | None = field(default_factory=QuantConfig.int4)
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def __post_init__(self) -> None:
+        self._dptc = DPTC(self.geometry, self.noise)
+
+    @classmethod
+    def ideal(cls) -> "PhotonicExecutor":
+        """Exact digital arithmetic (no quantization, no noise)."""
+        return cls(noise=NoiseModel.ideal(), quant=None)
+
+    @classmethod
+    def digital_reference(cls, quant: QuantConfig | None = None) -> "PhotonicExecutor":
+        """The paper's 'GPU' reference: quantized but noise-free."""
+        return cls(noise=NoiseModel.ideal(), quant=quant or QuantConfig.int4())
+
+    @classmethod
+    def paper_default(
+        cls,
+        quant: QuantConfig | None = None,
+        seed: int | None = None,
+    ) -> "PhotonicExecutor":
+        """Quantized execution with the paper's full noise model."""
+        return cls(
+            noise=NoiseModel.paper_default(),
+            quant=quant or QuantConfig.int4(),
+            rng=np.random.default_rng(seed),
+        )
+
+    def matmul(self, a: Tensor, b: Tensor, weight_operand: int | None = None) -> Tensor:
+        """Differentiable ``a @ b`` executed photonically.
+
+        Args:
+            a, b: 2-D or 3-D (leading batch/head axis) tensors.
+            weight_operand: 0 or 1 if one operand is a weight matrix
+                (quantized at ``quant.weight_bits``); activations use
+                ``quant.activation_bits``.
+        """
+        if self.quant is not None:
+            bits_a = (
+                self.quant.weight_bits
+                if weight_operand == 0
+                else self.quant.activation_bits
+            )
+            bits_b = (
+                self.quant.weight_bits
+                if weight_operand == 1
+                else self.quant.activation_bits
+            )
+            a = fake_quantize(a, bits_a)
+            b = fake_quantize(b, bits_b)
+
+        out_data = self._execute(a.data, b.data)
+
+        def backward(grad: np.ndarray) -> None:
+            # Straight-through: gradients of the ideal matrix product.
+            if a.requires_grad:
+                a.accumulate_grad(grad @ np.swapaxes(b.data, -1, -2))
+            if b.requires_grad:
+                b.accumulate_grad(np.swapaxes(a.data, -1, -2) @ grad)
+
+        return Tensor.make(out_data, (a, b), backward)
+
+    def _execute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if a.ndim == 2 and b.ndim == 2:
+            return self._dptc.matmul(a, b, rng=self.rng)
+        if a.ndim == 3 and b.ndim == 3:
+            if a.shape[0] != b.shape[0]:
+                raise ValueError(
+                    f"batch dims differ: {a.shape[0]} vs {b.shape[0]}"
+                )
+            return np.stack(
+                [
+                    self._dptc.matmul(a[i], b[i], rng=self.rng)
+                    for i in range(a.shape[0])
+                ]
+            )
+        raise ValueError(
+            f"unsupported operand ranks for photonic matmul: "
+            f"{a.ndim} and {b.ndim}"
+        )

@@ -1,0 +1,79 @@
+"""Low-bit quantization for weights and activations.
+
+The paper deploys 4-bit (default) and 8-bit Transformers trained with
+learned-step quantization.  We implement symmetric uniform fake
+quantization with a straight-through gradient estimator: the forward
+pass snaps values to the quantization grid, the backward pass passes
+gradients through unchanged (clipped values included, which is the
+standard STE simplification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.neural.autograd import Tensor
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """Precision configuration for photonic execution."""
+
+    weight_bits: int = 4
+    activation_bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.weight_bits < 2 or self.activation_bits < 2:
+            raise ValueError("quantization needs at least 2 bits (sign + level)")
+
+    @classmethod
+    def int4(cls) -> "QuantConfig":
+        return cls(4, 4)
+
+    @classmethod
+    def int8(cls) -> "QuantConfig":
+        return cls(8, 8)
+
+
+def quantization_levels(bits: int) -> int:
+    """Positive quantization levels of a symmetric b-bit grid."""
+    if bits < 2:
+        raise ValueError(f"bits must be >= 2, got {bits}")
+    return 2 ** (bits - 1) - 1
+
+
+def quantize_array(values: np.ndarray, bits: int) -> np.ndarray:
+    """Symmetric uniform quantization with a per-tensor max-abs scale.
+
+    Values are snapped to ``scale * {-(2^(b-1)-1), ..., 2^(b-1)-1}``.
+    A zero tensor is returned unchanged.
+    """
+    values = np.asarray(values, dtype=float)
+    levels = quantization_levels(bits)
+    max_abs = np.max(np.abs(values)) if values.size else 0.0
+    if max_abs == 0.0:
+        return values.copy()
+    scale = max_abs / levels
+    return np.clip(np.round(values / scale), -levels, levels) * scale
+
+
+def fake_quantize(tensor: Tensor, bits: int) -> Tensor:
+    """Quantize in the forward pass, straight-through in the backward."""
+    quantized = quantize_array(tensor.data, bits)
+
+    def backward(grad: np.ndarray) -> None:
+        if tensor.requires_grad:
+            tensor.accumulate_grad(grad)
+
+    return Tensor.make(quantized, (tensor,), backward)
+
+
+def quantization_error(values: np.ndarray, bits: int) -> float:
+    """RMS relative quantization error of a tensor at ``bits``."""
+    values = np.asarray(values, dtype=float)
+    reference = float(np.linalg.norm(values))
+    if reference == 0.0:
+        return 0.0
+    return float(np.linalg.norm(values - quantize_array(values, bits)) / reference)

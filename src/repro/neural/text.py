@@ -1,0 +1,86 @@
+"""A BERT-style text classifier sized for the synthetic benchmark.
+
+Token embeddings + learned positions, pre-norm encoder blocks, and a
+classifier on the leading ``[CLS]`` token — the same structure the
+paper's BERT-base/SST-2 experiments exercise, scaled to train in
+seconds on a CPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neural.autograd import Tensor
+from repro.neural.blocks import EncoderBlock
+from repro.neural.modules import Embedding, LayerNorm, Linear, Module
+from repro.neural.photonic import PhotonicExecutor
+
+#: Token id reserved for the classification token.
+CLS_TOKEN_ID = 0
+
+
+class TinyBERT(Module):
+    """BERT-style sequence classifier.
+
+    Args:
+        vocab_size: token vocabulary (including the CLS id 0).
+        seq_len: fixed sequence length (CLS + tokens).
+        dim / depth / heads: encoder dimensions.
+        n_classes: output classes.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int = 32,
+        seq_len: int = 17,
+        dim: int = 32,
+        depth: int = 2,
+        heads: int = 2,
+        n_classes: int = 2,
+        mlp_ratio: float = 2.0,
+        executor: PhotonicExecutor | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.vocab_size = vocab_size
+        self.seq_len = seq_len
+        self.dim = dim
+        self.executor = executor if executor is not None else PhotonicExecutor.ideal()
+
+        self.token_embed = Embedding(vocab_size, dim, rng=rng)
+        self.pos_embed = Tensor(
+            rng.normal(0, 0.02, (seq_len, dim)), requires_grad=True
+        )
+        self.blocks = [
+            EncoderBlock(dim, heads, mlp_ratio, executor=self.executor, rng=rng)
+            for _ in range(depth)
+        ]
+        self.norm = LayerNorm(dim)
+        self.head = Linear(dim, n_classes, executor=self.executor, rng=rng)
+
+    def set_executor(self, executor: PhotonicExecutor) -> None:
+        """Swap the photonic executor everywhere (for noise sweeps)."""
+        self.executor = executor
+        self.head.executor = executor
+        for block in self.blocks:
+            block.attention.executor = executor
+            block.attention.qkv.executor = executor
+            block.attention.proj.executor = executor
+            block.ffn.fc1.executor = executor
+            block.ffn.fc2.executor = executor
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        """Logits for one token sequence (``[n_classes]``)."""
+        token_ids = np.asarray(token_ids, dtype=int)
+        if token_ids.shape != (self.seq_len,):
+            raise ValueError(
+                f"expected sequence of length {self.seq_len}, got {token_ids.shape}"
+            )
+        if token_ids.min() < 0 or token_ids.max() >= self.vocab_size:
+            raise ValueError("token id out of vocabulary range")
+        tokens = self.token_embed(token_ids) + self.pos_embed
+        for block in self.blocks:
+            tokens = block(tokens)
+        cls = self.norm(tokens)[0]
+        return self.head(cls.reshape(1, self.dim)).reshape(-1)

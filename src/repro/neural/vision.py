@@ -1,0 +1,106 @@
+"""A DeiT-style vision transformer sized for the synthetic benchmark.
+
+Architecturally identical to DeiT (patch embedding, class token,
+learned position embeddings, pre-norm encoder blocks, classification
+head on the class token), scaled down so noise-aware training completes
+in seconds on a CPU while exercising every photonic code path the
+full-size model would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neural.autograd import Tensor, concatenate
+from repro.neural.blocks import EncoderBlock
+from repro.neural.modules import LayerNorm, Linear, Module
+from repro.neural.photonic import PhotonicExecutor
+
+
+class TinyViT(Module):
+    """DeiT-style classifier over square single-channel images.
+
+    Args:
+        image_size: input side length (pixels).
+        patch_size: square patch side; must divide ``image_size``.
+        dim: embedding dimension.
+        depth: number of encoder blocks.
+        heads: attention heads.
+        n_classes: output classes.
+        executor: photonic executor shared by every matmul.
+    """
+
+    def __init__(
+        self,
+        image_size: int = 16,
+        patch_size: int = 4,
+        dim: int = 32,
+        depth: int = 2,
+        heads: int = 2,
+        n_classes: int = 4,
+        mlp_ratio: float = 2.0,
+        executor: PhotonicExecutor | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if image_size % patch_size != 0:
+            raise ValueError(
+                f"patch size {patch_size} must divide image size {image_size}"
+            )
+        rng = np.random.default_rng(seed)
+        self.image_size = image_size
+        self.patch_size = patch_size
+        self.n_patches = (image_size // patch_size) ** 2
+        self.dim = dim
+        self.executor = executor if executor is not None else PhotonicExecutor.ideal()
+
+        self.patch_embed = Linear(
+            patch_size * patch_size, dim, executor=self.executor, rng=rng
+        )
+        self.cls_token = Tensor(rng.normal(0, 0.02, (1, dim)), requires_grad=True)
+        self.pos_embed = Tensor(
+            rng.normal(0, 0.02, (self.n_patches + 1, dim)), requires_grad=True
+        )
+        self.blocks = [
+            EncoderBlock(
+                dim, heads, mlp_ratio, executor=self.executor, rng=rng
+            )
+            for _ in range(depth)
+        ]
+        self.norm = LayerNorm(dim)
+        self.head = Linear(dim, n_classes, executor=self.executor, rng=rng)
+
+    def set_executor(self, executor: PhotonicExecutor) -> None:
+        """Swap the photonic executor everywhere (for noise sweeps)."""
+        self.executor = executor
+        self.patch_embed.executor = executor
+        self.head.executor = executor
+        for block in self.blocks:
+            block.attention.executor = executor
+            block.attention.qkv.executor = executor
+            block.attention.proj.executor = executor
+            block.ffn.fc1.executor = executor
+            block.ffn.fc2.executor = executor
+
+    def patchify(self, image: np.ndarray) -> np.ndarray:
+        """Split a ``[H, W]`` image into flattened ``p*p`` patches."""
+        image = np.asarray(image, dtype=float)
+        if image.shape != (self.image_size, self.image_size):
+            raise ValueError(
+                f"expected {(self.image_size, self.image_size)} image, "
+                f"got {image.shape}"
+            )
+        p = self.patch_size
+        side = self.image_size // p
+        patches = image.reshape(side, p, side, p).transpose(0, 2, 1, 3)
+        return patches.reshape(self.n_patches, p * p)
+
+    def forward(self, image: np.ndarray) -> Tensor:
+        """Logits for one image (``[n_classes]``)."""
+        tokens = self.patch_embed(Tensor(self.patchify(image)))
+        tokens = concatenate([self.cls_token, tokens])
+        tokens = tokens + self.pos_embed
+        for block in self.blocks:
+            tokens = block(tokens)
+        cls = self.norm(tokens)[0]
+        return self.head(cls.reshape(1, self.dim)).reshape(-1)

@@ -1,0 +1,54 @@
+"""Field-level photonic circuit simulation substrate.
+
+Provides the wavelength-resolved transfer-matrix models (directional
+couplers, phase shifters, MZM encoding, photodetection), the DWDM grid
+arithmetic of Eq. 10, and the circuit-level DDot simulator used to
+validate functionality (the repository's Lumerical INTERCONNECT
+substitute).
+"""
+
+from repro.optics.circuit import DESIGN_PHASE, BalancedDetectorOutput, DDotCircuit
+from repro.optics.components import (
+    DEFAULT_COUPLING_LENGTH_SLOPE,
+    coupler_matrix,
+    coupling_factor,
+    mzm_encode,
+    phase_response,
+    phase_shifter_matrix,
+    photocurrent,
+)
+from repro.optics.field import OpticalField
+from repro.optics.interconnect import (
+    BroadcastTree,
+    PathReport,
+    broadcast_loss_budget,
+)
+from repro.optics.wdm import (
+    DEFAULT_CENTER_WAVELENGTH,
+    DEFAULT_CHANNEL_SPACING,
+    WDMGrid,
+    fsr_wavelength_window,
+    max_channels,
+)
+
+__all__ = [
+    "DESIGN_PHASE",
+    "DEFAULT_CENTER_WAVELENGTH",
+    "DEFAULT_CHANNEL_SPACING",
+    "DEFAULT_COUPLING_LENGTH_SLOPE",
+    "BalancedDetectorOutput",
+    "BroadcastTree",
+    "DDotCircuit",
+    "OpticalField",
+    "PathReport",
+    "WDMGrid",
+    "broadcast_loss_budget",
+    "coupler_matrix",
+    "coupling_factor",
+    "fsr_wavelength_window",
+    "max_channels",
+    "mzm_encode",
+    "phase_response",
+    "phase_shifter_matrix",
+    "photocurrent",
+]

@@ -1,0 +1,170 @@
+"""Circuit-level simulation of the DDot interference engine.
+
+This is the repository's substitute for the Lumerical INTERCONNECT
+validation of the paper's Sec. V-A: a steady-state, wavelength-resolved
+transfer-matrix solve of the DDot circuit (phase shifter + 50:50
+directional coupler + balanced photodetection), including
+
+* wavelength-dependent coupling and phase responses (WDM dispersion),
+* stochastic encoding noise on operand magnitudes and relative phases,
+* optional photodetector responsivity mismatch.
+
+The simulator computes physical photocurrents; :meth:`DDotCircuit.dot_product`
+then applies the fixed design-point calibration (divide by ``2 * R``) to
+recover the dot-product estimate, exactly as the hardware would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.optics.components import (
+    DEFAULT_COUPLING_LENGTH_SLOPE,
+    coupling_factor,
+    phase_response,
+)
+from repro.optics.wdm import WDMGrid
+
+#: The DDot phase shifter's design point (Sec. III-A): -90 degrees.
+DESIGN_PHASE = -np.pi / 2.0
+
+
+@dataclass(frozen=True)
+class BalancedDetectorOutput:
+    """Photocurrents of the two balanced photodiodes and their difference."""
+
+    current_sum_port: float  #: PD on the (x + y) interference port
+    current_diff_port: float  #: PD on the j(x - y) interference port
+
+    @property
+    def differential(self) -> float:
+        return self.current_sum_port - self.current_diff_port
+
+
+class DDotCircuit:
+    """Transfer-matrix model of one DDot dot-product engine.
+
+    Args:
+        grid: the DWDM channel grid carrying the operands.
+        include_dispersion: model the wavelength dependence of the
+            coupler and phase shifter (on by default, as in the paper's
+            INTERCONNECT runs).
+        coupling_length_slope: coupler dispersion strength (1/m).
+        responsivities: ``(R0, R1)`` of the balanced photodiode pair;
+            mismatched values model imperfect balancing.
+    """
+
+    def __init__(
+        self,
+        grid: WDMGrid,
+        include_dispersion: bool = True,
+        coupling_length_slope: float = DEFAULT_COUPLING_LENGTH_SLOPE,
+        responsivities: tuple[float, float] = (1.0, 1.0),
+    ) -> None:
+        self.grid = grid
+        self.include_dispersion = include_dispersion
+        self.responsivities = responsivities
+        if include_dispersion:
+            self._kappa = coupling_factor(
+                grid.wavelengths, grid.center, coupling_length_slope
+            )
+            self._ps_phase = phase_response(
+                grid.wavelengths, DESIGN_PHASE, grid.center
+            )
+        else:
+            self._kappa = np.full(grid.n_channels, 0.5)
+            self._ps_phase = np.full(grid.n_channels, DESIGN_PHASE)
+
+    @property
+    def kappa(self) -> np.ndarray:
+        """Per-channel power coupling factor of the output coupler."""
+        return self._kappa
+
+    @property
+    def phase_shifter_phase(self) -> np.ndarray:
+        """Per-channel realised phase (rad) of the -90 degree shifter."""
+        return self._ps_phase
+
+    def detect(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        relative_phase_error: np.ndarray | None = None,
+    ) -> BalancedDetectorOutput:
+        """Propagate encoded operands through the circuit to photocurrents.
+
+        Args:
+            x, y: real field amplitudes per channel (length <= grid size;
+                shorter vectors are zero-padded, i.e. unused wavelengths
+                carry no light).
+            relative_phase_error: per-channel phase drift (rad) of operand
+                ``y`` relative to ``x`` (the only phase that matters for
+                the interference; see Sec. III-C).
+        """
+        x = self._pad(np.asarray(x, dtype=float))
+        y = self._pad(np.asarray(y, dtype=float))
+        if relative_phase_error is None:
+            relative_phase_error = np.zeros(self.grid.n_channels)
+        else:
+            relative_phase_error = self._pad(
+                np.asarray(relative_phase_error, dtype=float)
+            )
+
+        t = np.sqrt(1.0 - self._kappa)
+        k = np.sqrt(self._kappa)
+        y_field = y * np.exp(1j * (self._ps_phase + relative_phase_error))
+
+        z_sum = t * x + 1j * k * y_field
+        z_diff = 1j * k * x + t * y_field
+
+        r0, r1 = self.responsivities
+        current0 = r0 * float(np.sum(np.abs(z_sum) ** 2))
+        current1 = r1 * float(np.sum(np.abs(z_diff) ** 2))
+        return BalancedDetectorOutput(current0, current1)
+
+    def dot_product(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        magnitude_std: float = 0.0,
+        phase_std: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """Dot-product estimate with stochastic encoding noise.
+
+        Magnitude noise is relative (``x_hat = x * (1 + N(0, sigma^2))``,
+        matching the paper's ``delta_x ~ N(0, (sigma*|x|)^2)``); phase
+        noise is the relative drift between the two operands (rad).
+        Returns the calibrated differential photocurrent: the hardware
+        divides by the design-point scale ``2 * R0``.
+        """
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.shape != y.shape:
+            raise ValueError(f"operand shapes differ: {x.shape} vs {y.shape}")
+        if magnitude_std or phase_std:
+            if rng is None:
+                rng = np.random.default_rng()
+            x = x * (1.0 + rng.normal(0.0, magnitude_std, x.shape))
+            y = y * (1.0 + rng.normal(0.0, magnitude_std, y.shape))
+            phase_error = rng.normal(0.0, phase_std, x.shape)
+        else:
+            phase_error = np.zeros_like(x)
+        output = self.detect(x, y, phase_error)
+        return output.differential / (2.0 * self.responsivities[0])
+
+    def _pad(self, values: np.ndarray) -> np.ndarray:
+        if values.ndim != 1:
+            raise ValueError(f"expected a vector, got shape {values.shape}")
+        if values.size > self.grid.n_channels:
+            raise ValueError(
+                f"vector of length {values.size} exceeds the "
+                f"{self.grid.n_channels}-channel WDM grid"
+            )
+        if values.size == self.grid.n_channels:
+            return values
+        padded = np.zeros(self.grid.n_channels, dtype=values.dtype)
+        padded[: values.size] = values
+        return padded

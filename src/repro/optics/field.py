@@ -1,0 +1,65 @@
+"""WDM optical field container.
+
+An :class:`OpticalField` is the complex field amplitude of every DWDM
+channel travelling on one waveguide.  It provides the small amount of
+arithmetic the circuit simulator needs (scaling, phase rotation,
+intensity) while keeping the channel/wavelength bookkeeping explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.optics.wdm import WDMGrid
+
+
+@dataclass(frozen=True)
+class OpticalField:
+    """Complex field amplitudes on one waveguide, one entry per channel."""
+
+    grid: WDMGrid
+    amplitudes: np.ndarray
+
+    def __post_init__(self) -> None:
+        amplitudes = np.asarray(self.amplitudes, dtype=complex)
+        if amplitudes.shape != (self.grid.n_channels,):
+            raise ValueError(
+                f"expected {self.grid.n_channels} channel amplitudes, "
+                f"got shape {amplitudes.shape}"
+            )
+        object.__setattr__(self, "amplitudes", amplitudes)
+
+    @classmethod
+    def from_values(cls, grid: WDMGrid, values: np.ndarray) -> "OpticalField":
+        """Encode real operand values (one per channel) as field amplitudes."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (grid.n_channels,):
+            raise ValueError(
+                f"expected {grid.n_channels} values, got shape {values.shape}"
+            )
+        return cls(grid, values.astype(complex))
+
+    def scaled(self, factor: complex) -> "OpticalField":
+        """Return a copy with every channel multiplied by ``factor``."""
+        return OpticalField(self.grid, self.amplitudes * factor)
+
+    def with_phase(self, phases: np.ndarray) -> "OpticalField":
+        """Return a copy with per-channel phase rotations (rad) applied."""
+        phases = np.asarray(phases, dtype=float)
+        if phases.shape != (self.grid.n_channels,):
+            raise ValueError(
+                f"expected {self.grid.n_channels} phases, got shape {phases.shape}"
+            )
+        return OpticalField(self.grid, self.amplitudes * np.exp(1j * phases))
+
+    @property
+    def intensities(self) -> np.ndarray:
+        """Per-channel optical intensity ``|E|^2``."""
+        return np.abs(self.amplitudes) ** 2
+
+    @property
+    def total_intensity(self) -> float:
+        """Total intensity summed over channels (what a PD detects)."""
+        return float(np.sum(self.intensities))

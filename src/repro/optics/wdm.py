@@ -1,0 +1,81 @@
+"""Dense-WDM grid arithmetic and the microdisk FSR channel-count limit.
+
+Implements the paper's Eq. 10: the microdisk filters impose a free
+spectral range (FSR) that bounds the usable wavelength window around the
+design wavelength, and the DWDM channel spacing then bounds the number
+of wavelengths the accelerator can multiplex.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import NM, SPEED_OF_LIGHT
+
+#: Paper's DWDM design point: 1550 nm centre, 0.4 nm channel spacing.
+DEFAULT_CENTER_WAVELENGTH = 1550 * NM
+DEFAULT_CHANNEL_SPACING = 0.4 * NM
+
+
+@dataclass(frozen=True)
+class WDMGrid:
+    """A symmetric DWDM channel grid around a centre wavelength."""
+
+    n_channels: int
+    spacing: float = DEFAULT_CHANNEL_SPACING  #: m between adjacent channels
+    center: float = DEFAULT_CENTER_WAVELENGTH  #: m
+
+    def __post_init__(self) -> None:
+        if self.n_channels < 1:
+            raise ValueError(f"n_channels must be >= 1, got {self.n_channels}")
+        if self.spacing <= 0 or self.center <= 0:
+            raise ValueError("spacing and center wavelength must be positive")
+
+    @property
+    def wavelengths(self) -> np.ndarray:
+        """Channel wavelengths (m), centred on :attr:`center`."""
+        offsets = np.arange(self.n_channels) - (self.n_channels - 1) / 2.0
+        return self.center + offsets * self.spacing
+
+    @property
+    def detunings(self) -> np.ndarray:
+        """Signed wavelength offsets from the centre (m)."""
+        return self.wavelengths - self.center
+
+    @property
+    def span(self) -> float:
+        """Wavelength extent between the outermost channels (m)."""
+        return (self.n_channels - 1) * self.spacing
+
+
+def fsr_wavelength_window(
+    fsr: float, center: float = DEFAULT_CENTER_WAVELENGTH
+) -> tuple[float, float]:
+    """Usable wavelength window (m) for a filter with the given FSR (Hz).
+
+    Following Eq. 10 of the paper: the window spans the optical
+    frequencies ``f0 +/- FSR/2`` around the design frequency.
+    """
+    if fsr <= 0 or center <= 0:
+        raise ValueError("FSR and center wavelength must be positive")
+    f0 = SPEED_OF_LIGHT / center
+    lower = SPEED_OF_LIGHT / (f0 + fsr / 2.0)
+    upper = SPEED_OF_LIGHT / (f0 - fsr / 2.0)
+    return lower, upper
+
+
+def max_channels(
+    fsr: float,
+    spacing: float = DEFAULT_CHANNEL_SPACING,
+    center: float = DEFAULT_CENTER_WAVELENGTH,
+) -> int:
+    """Maximum DWDM channel count within the FSR-limited window.
+
+    With the paper's microdisk (FSR = 5.6 THz) and 0.4 nm spacing the
+    answer is 112 wavelengths.
+    """
+    lower, upper = fsr_wavelength_window(fsr, center)
+    return int(math.floor((upper - lower) / spacing))

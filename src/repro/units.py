@@ -1,0 +1,73 @@
+"""Physical unit constants and conversion helpers.
+
+All quantities inside :mod:`repro` are stored in SI base units (watts,
+joules, seconds, metres squared).  The constants below convert the
+engineering units used in the paper (mW, µm², ps, GHz, dB, ...) to and
+from SI so that module code reads like the paper's tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+# -- power ------------------------------------------------------------------
+MW = 1e-3  #: one milliwatt in watts
+UW = 1e-6  #: one microwatt in watts
+
+# -- energy -----------------------------------------------------------------
+PJ = 1e-12  #: one picojoule in joules
+FJ = 1e-15  #: one femtojoule in joules
+MJ = 1e-3  #: one millijoule in joules
+
+# -- time -------------------------------------------------------------------
+PS = 1e-12  #: one picosecond in seconds
+NS = 1e-9  #: one nanosecond in seconds
+US = 1e-6  #: one microsecond in seconds
+MS = 1e-3  #: one millisecond in seconds
+
+# -- frequency --------------------------------------------------------------
+GHZ = 1e9  #: one gigahertz in hertz
+THZ = 1e12  #: one terahertz in hertz
+
+# -- area -------------------------------------------------------------------
+UM2 = 1e-12  #: one square micrometre in square metres
+MM2 = 1e-6  #: one square millimetre in square metres
+
+# -- length -----------------------------------------------------------------
+NM = 1e-9  #: one nanometre in metres
+UM = 1e-6  #: one micrometre in metres
+
+# -- physical constants -----------------------------------------------------
+SPEED_OF_LIGHT = 299_792_458.0  #: vacuum speed of light, m/s
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a power ratio expressed in decibels to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to decibels.
+
+    Raises:
+        ValueError: if ``ratio`` is not strictly positive.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"power ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power level in dBm to watts."""
+    return 1e-3 * db_to_linear(dbm)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power level in watts to dBm.
+
+    Raises:
+        ValueError: if ``watts`` is not strictly positive.
+    """
+    if watts <= 0.0:
+        raise ValueError(f"power must be positive, got {watts}")
+    return linear_to_db(watts / 1e-3)

@@ -1,0 +1,103 @@
+"""Transformer workload models: GEMM traces and sparse-attention support.
+
+The accelerator simulator consumes workloads as traces of
+:class:`GEMMOp` operations.  This package provides the paper's model
+zoo (DeiT-T/S/B, BERT-base/large), the trace extraction, and the
+block-sparse attention reformulation of Sec. VI-A.
+"""
+
+from repro.workloads.gemm import (
+    ALL_MODULES,
+    MODULE_ATTENTION,
+    MODULE_EMBEDDING,
+    MODULE_FFN,
+    MODULE_HEAD,
+    MODULE_PROJECTION,
+    GEMMOp,
+    dynamic_ops,
+    filter_module,
+    static_ops,
+    total_flops,
+    total_macs,
+)
+from repro.workloads.global_sparse import (
+    GlobalWindowPattern,
+    sparse_attention_with_globals,
+)
+from repro.workloads.llm import (
+    DecoderConfig,
+    decode_trace,
+    gpt2_large,
+    gpt2_medium,
+    gpt2_small,
+    kv_cache_bytes,
+    kv_recompute_trace,
+    prefill_trace,
+)
+from repro.workloads.sparse import (
+    WindowAttentionPattern,
+    blockified_av_ops,
+    blockified_qk_ops,
+    cycle_savings,
+    dense_attention,
+    dense_cycles,
+    sparse_attention,
+    sparse_cycles,
+)
+from repro.workloads.transformer import (
+    KIND_TEXT,
+    KIND_VISION,
+    PAPER_WORKLOADS,
+    TransformerConfig,
+    bert_base,
+    bert_large,
+    deit_base,
+    deit_small,
+    deit_tiny,
+    gemm_trace,
+    model_parameters,
+)
+
+__all__ = [
+    "ALL_MODULES",
+    "DecoderConfig",
+    "GEMMOp",
+    "GlobalWindowPattern",
+    "decode_trace",
+    "sparse_attention_with_globals",
+    "gpt2_large",
+    "gpt2_medium",
+    "gpt2_small",
+    "kv_cache_bytes",
+    "kv_recompute_trace",
+    "prefill_trace",
+    "KIND_TEXT",
+    "KIND_VISION",
+    "MODULE_ATTENTION",
+    "MODULE_EMBEDDING",
+    "MODULE_FFN",
+    "MODULE_HEAD",
+    "MODULE_PROJECTION",
+    "PAPER_WORKLOADS",
+    "TransformerConfig",
+    "WindowAttentionPattern",
+    "bert_base",
+    "bert_large",
+    "blockified_av_ops",
+    "blockified_qk_ops",
+    "cycle_savings",
+    "deit_base",
+    "deit_small",
+    "deit_tiny",
+    "dense_attention",
+    "dense_cycles",
+    "dynamic_ops",
+    "filter_module",
+    "gemm_trace",
+    "model_parameters",
+    "sparse_attention",
+    "sparse_cycles",
+    "static_ops",
+    "total_flops",
+    "total_macs",
+]

@@ -1,0 +1,128 @@
+"""GEMM operation descriptors: the workload currency of the simulator.
+
+Every Transformer inference decomposes into a trace of general
+matrix-multiplication operations.  A :class:`GEMMOp` records one
+``[m, k] x [k, n]`` product together with which module of the model it
+belongs to and whether both operands are runtime activations (the
+paper's *dynamic MM*, the case weight-static photonic designs cannot
+serve efficiently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+#: Module taxonomy used across the evaluation.  ``MHA`` in the paper's
+#: Table V covers the two dynamic attention products (QK^T and AV).
+MODULE_ATTENTION = "attention"  #: QK^T and AV (dynamic both sides)
+MODULE_PROJECTION = "projection"  #: QKV / output projections (weight-static)
+MODULE_FFN = "ffn"  #: feed-forward linear layers (weight-static)
+MODULE_EMBEDDING = "embedding"  #: patch / token embedding
+MODULE_HEAD = "head"  #: classifier / pooler
+
+ALL_MODULES = (
+    MODULE_ATTENTION,
+    MODULE_PROJECTION,
+    MODULE_FFN,
+    MODULE_EMBEDDING,
+    MODULE_HEAD,
+)
+
+
+@dataclass(frozen=True)
+class GEMMOp:
+    """One ``[m, k] x [k, n]`` matrix multiplication, possibly repeated.
+
+    Attributes:
+        name: human-readable identifier (e.g. ``"layer.qkt"``).
+        m, k, n: GEMM dimensions (output is ``m x n``).
+        module: one of the module constants above.
+        dynamic: True when *both* operands are runtime activations
+            (attention); False when one operand is a static weight.
+        count: number of identical instances (e.g. heads x layers).
+    """
+
+    name: str
+    m: int
+    k: int
+    n: int
+    module: str = MODULE_PROJECTION
+    dynamic: bool = False
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) < 1:
+            raise ValueError(f"GEMM dims must be >= 1, got {(self.m, self.k, self.n)}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.module not in ALL_MODULES:
+            raise ValueError(
+                f"unknown module {self.module!r}; expected one of {ALL_MODULES}"
+            )
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations across all instances."""
+        return self.m * self.k * self.n * self.count
+
+    @property
+    def flops(self) -> int:
+        """Floating-point operations (2 per MAC)."""
+        return 2 * self.macs
+
+    @property
+    def output_elements(self) -> int:
+        return self.m * self.n * self.count
+
+    @property
+    def operand_a_elements(self) -> int:
+        return self.m * self.k * self.count
+
+    @property
+    def operand_b_elements(self) -> int:
+        return self.k * self.n * self.count
+
+    @property
+    def static_weight_elements(self) -> int:
+        """Weight parameters touched (zero for dynamic attention ops).
+
+        Weights are shared across the ``count`` instances only when the
+        instances come from different tokens of the same layer; here each
+        counted instance is a distinct layer/head, so weights scale with
+        ``count``.
+        """
+        return 0 if self.dynamic else self.k * self.n * self.count
+
+    def single(self) -> "GEMMOp":
+        """This op with ``count`` collapsed to one instance."""
+        return replace(self, count=1)
+
+
+def total_macs(ops: Iterable[GEMMOp]) -> int:
+    """Total MACs of a GEMM trace."""
+    return sum(op.macs for op in ops)
+
+
+def total_flops(ops: Iterable[GEMMOp]) -> int:
+    """Total FLOPs of a GEMM trace."""
+    return sum(op.flops for op in ops)
+
+
+def filter_module(ops: Iterable[GEMMOp], *modules: str) -> list[GEMMOp]:
+    """Ops belonging to any of the given modules."""
+    wanted = set(modules)
+    unknown = wanted - set(ALL_MODULES)
+    if unknown:
+        raise ValueError(f"unknown modules: {sorted(unknown)}")
+    return [op for op in ops if op.module in wanted]
+
+
+def dynamic_ops(ops: Iterable[GEMMOp]) -> list[GEMMOp]:
+    """Ops where both operands are runtime activations (attention)."""
+    return [op for op in ops if op.dynamic]
+
+
+def static_ops(ops: Iterable[GEMMOp]) -> list[GEMMOp]:
+    """Ops with one static weight operand."""
+    return [op for op in ops if not op.dynamic]

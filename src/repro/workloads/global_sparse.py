@@ -1,0 +1,150 @@
+"""BigBird-style global + window sparse attention (Sec. VI-A, extended).
+
+The paper names BigBird's structured patterns — window attention plus a
+handful of *global* tokens that attend to (and are attended by)
+everything — as the sparsity DPTC can serve after blockification.  This
+module extends :class:`repro.workloads.sparse.WindowAttentionPattern`
+with global tokens and the corresponding dense-chunk decomposition:
+
+* the window band is blockified exactly as before;
+* global rows form one dense ``[g, n]`` chunk (they attend everywhere);
+* global columns add a dense ``[n, g]`` chunk (everyone attends to them).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dptc import DPTCGeometry
+from repro.workloads.gemm import MODULE_ATTENTION, GEMMOp
+from repro.workloads.sparse import WindowAttentionPattern, dense_cycles
+
+
+@dataclass(frozen=True)
+class GlobalWindowPattern:
+    """Window-local attention plus ``global_tokens`` leading globals.
+
+    The first ``g`` positions (e.g. CLS and a few sentinel tokens) are
+    global: row-global (attend to every key) and column-global (every
+    query attends to them).
+    """
+
+    n_tokens: int
+    window: int
+    block: int
+    global_tokens: int = 1
+
+    def __post_init__(self) -> None:
+        if self.global_tokens < 0 or self.global_tokens >= self.n_tokens:
+            raise ValueError(
+                f"global_tokens must be in [0, n_tokens), got {self.global_tokens}"
+            )
+        # Delegate the window validation.
+        object.__setattr__(
+            self,
+            "_window_pattern",
+            WindowAttentionPattern(self.n_tokens, self.window, self.block),
+        )
+
+    @property
+    def window_pattern(self) -> WindowAttentionPattern:
+        return self._window_pattern
+
+    def mask(self) -> np.ndarray:
+        """Boolean ``[n, n]`` mask: window band + global rows/columns."""
+        mask = self.window_pattern.mask()
+        g = self.global_tokens
+        if g:
+            mask[:g, :] = True
+            mask[:, :g] = True
+        return mask
+
+    def density(self) -> float:
+        return float(np.mean(self.mask()))
+
+
+def blockified_ops(
+    pattern: GlobalWindowPattern, head_dim: int
+) -> list[GEMMOp]:
+    """Dense GEMM chunks for the QK^T of one head under the pattern."""
+    ops = list(
+        _window_ops(pattern.window_pattern, head_dim)
+    )
+    g = pattern.global_tokens
+    n = pattern.n_tokens
+    if g:
+        ops.append(
+            GEMMOp(
+                "global_rows",
+                m=g,
+                k=head_dim,
+                n=n,
+                module=MODULE_ATTENTION,
+                dynamic=True,
+            )
+        )
+        ops.append(
+            GEMMOp(
+                "global_cols",
+                m=n - g,
+                k=head_dim,
+                n=g,
+                module=MODULE_ATTENTION,
+                dynamic=True,
+            )
+        )
+    return ops
+
+
+def _window_ops(window: WindowAttentionPattern, head_dim: int) -> list[GEMMOp]:
+    from repro.workloads.sparse import blockified_qk_ops
+
+    return blockified_qk_ops(window, head_dim, name="window")
+
+
+def sparse_cycles(
+    pattern: GlobalWindowPattern, head_dim: int, geometry: DPTCGeometry
+) -> int:
+    """DPTC cycles for the blockified QK^T (and its AV mirror) chunks."""
+    qk = blockified_ops(pattern, head_dim)
+    total = 0
+    for op in qk:
+        total += geometry.cycles(op.m, op.k, op.n)  # QK^T chunk
+        total += geometry.cycles(op.m, op.n, op.k)  # matching AV chunk
+    return total
+
+
+def cycle_savings(
+    pattern: GlobalWindowPattern, head_dim: int, geometry: DPTCGeometry
+) -> float:
+    """Dense-over-sparse cycle ratio for one attention head."""
+    return dense_cycles(pattern.n_tokens, head_dim, geometry) / sparse_cycles(
+        pattern, head_dim, geometry
+    )
+
+
+def sparse_attention_with_globals(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    pattern: GlobalWindowPattern,
+) -> np.ndarray:
+    """Reference execution of global+window attention (masked dense).
+
+    Provided for correctness checking of the blockified mapping; the
+    masked-dense form *is* the semantics the chunks must reproduce.
+    """
+    n, d = q.shape
+    if pattern.n_tokens != n:
+        raise ValueError(
+            f"pattern covers {pattern.n_tokens} tokens but q has {n} rows"
+        )
+    scores = (q @ k.T) / math.sqrt(d)
+    scores = np.where(pattern.mask(), scores, -np.inf)
+    scores -= scores.max(axis=1, keepdims=True)
+    weights = np.exp(scores)
+    weights /= weights.sum(axis=1, keepdims=True)
+    return weights @ v

@@ -1,0 +1,152 @@
+"""Autoregressive LLM workloads and memory-bound analysis (Sec. VI-B).
+
+The paper's discussion section examines extending the accelerator to
+decoder-only LLMs: token-by-token generation produces small-dimension
+GEMMs with low arithmetic intensity, making the workload memory-bound
+and under-utilising the photonic compute.  This module implements that
+analysis concretely:
+
+* decoder model configs (GPT-2-style) and their **prefill** (prompt
+  processing, large GEMMs) and **decode** (one token, GEMV-shaped)
+  traces;
+* KV-cache sizing and the **recompute-vs-cache** trade the paper cites
+  (recalculating K/V trades memory for cheap optical compute);
+* arithmetic-intensity / roofline classification against the
+  accelerator's HBM bandwidth;
+* the batching strategy: how many concurrent requests are needed before
+  decode becomes compute-bound on a given LT configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.workloads.gemm import (
+    MODULE_ATTENTION,
+    MODULE_FFN,
+    MODULE_PROJECTION,
+    GEMMOp,
+)
+
+
+@dataclass(frozen=True)
+class DecoderConfig:
+    """A decoder-only (causal) Transformer for autoregressive generation."""
+
+    name: str
+    depth: int
+    dim: int
+    heads: int
+    mlp_ratio: float = 4.0
+    vocab_size: int = 50_257
+
+    def __post_init__(self) -> None:
+        if self.depth < 1 or self.dim < 1 or self.heads < 1:
+            raise ValueError(f"invalid decoder config: {self}")
+        if self.dim % self.heads != 0:
+            raise ValueError(f"dim {self.dim} not divisible by heads {self.heads}")
+
+    @property
+    def head_dim(self) -> int:
+        return self.dim // self.heads
+
+    @property
+    def ffn_dim(self) -> int:
+        return int(self.dim * self.mlp_ratio)
+
+
+def gpt2_small() -> DecoderConfig:
+    return DecoderConfig("gpt2-small", depth=12, dim=768, heads=12)
+
+
+def gpt2_medium() -> DecoderConfig:
+    return DecoderConfig("gpt2-medium", depth=24, dim=1024, heads=16)
+
+
+def gpt2_large() -> DecoderConfig:
+    return DecoderConfig("gpt2-large", depth=36, dim=1280, heads=20)
+
+
+def prefill_trace(config: DecoderConfig, prompt_len: int) -> list[GEMMOp]:
+    """GEMMs of the prompt-processing phase (large, compute-friendly)."""
+    if prompt_len < 1:
+        raise ValueError(f"prompt_len must be >= 1, got {prompt_len}")
+    seq, dim = prompt_len, config.dim
+    return [
+        GEMMOp("qkv_proj", seq, dim, 3 * dim, module=MODULE_PROJECTION,
+               count=config.depth),
+        GEMMOp("attn_qkt", seq, config.head_dim, seq, module=MODULE_ATTENTION,
+               dynamic=True, count=config.depth * config.heads),
+        GEMMOp("attn_av", seq, seq, config.head_dim, module=MODULE_ATTENTION,
+               dynamic=True, count=config.depth * config.heads),
+        GEMMOp("out_proj", seq, dim, dim, module=MODULE_PROJECTION,
+               count=config.depth),
+        GEMMOp("ffn1", seq, dim, config.ffn_dim, module=MODULE_FFN,
+               count=config.depth),
+        GEMMOp("ffn2", seq, config.ffn_dim, dim, module=MODULE_FFN,
+               count=config.depth),
+    ]
+
+
+def decode_trace(
+    config: DecoderConfig, context_len: int, batch: int = 1
+) -> list[GEMMOp]:
+    """GEMMs of generating one token at the given context length.
+
+    With batch ``b``, the linear layers batch the token vectors of all
+    requests into ``[b, dim]`` activations; the attention products stay
+    per-request (each request attends over its own KV cache).
+    """
+    if context_len < 1:
+        raise ValueError(f"context_len must be >= 1, got {context_len}")
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    dim = config.dim
+    return [
+        GEMMOp("qkv_proj", batch, dim, 3 * dim, module=MODULE_PROJECTION,
+               count=config.depth),
+        GEMMOp("attn_qkt", 1, config.head_dim, context_len,
+               module=MODULE_ATTENTION, dynamic=True,
+               count=batch * config.depth * config.heads),
+        GEMMOp("attn_av", 1, context_len, config.head_dim,
+               module=MODULE_ATTENTION, dynamic=True,
+               count=batch * config.depth * config.heads),
+        GEMMOp("out_proj", batch, dim, dim, module=MODULE_PROJECTION,
+               count=config.depth),
+        GEMMOp("ffn1", batch, dim, config.ffn_dim, module=MODULE_FFN,
+               count=config.depth),
+        GEMMOp("ffn2", batch, config.ffn_dim, dim, module=MODULE_FFN,
+               count=config.depth),
+    ]
+
+
+def kv_cache_bytes(
+    config: DecoderConfig, context_len: int, bits: int = 8, batch: int = 1
+) -> int:
+    """Bytes of K/V tensors cached for generation at ``context_len``."""
+    if context_len < 0:
+        raise ValueError(f"context_len must be >= 0, got {context_len}")
+    per_token = 2 * config.depth * config.dim  # K and V per layer
+    return math.ceil(per_token * context_len * batch * bits / 8)
+
+
+def kv_recompute_trace(config: DecoderConfig, context_len: int) -> list[GEMMOp]:
+    """Extra GEMMs when K/V are recomputed instead of cached.
+
+    The paper's Sec. VI-B cites trading memory for 'cost-effective and
+    rapid optical computation': every decode step re-projects K and V
+    for the whole context.
+    """
+    if context_len < 1:
+        raise ValueError(f"context_len must be >= 1, got {context_len}")
+    return [
+        GEMMOp(
+            "kv_reproject",
+            context_len,
+            config.dim,
+            2 * config.dim,
+            module=MODULE_PROJECTION,
+            count=config.depth,
+        )
+    ]

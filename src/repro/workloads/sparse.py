@@ -1,0 +1,218 @@
+"""Structured sparse attention support (Sec. VI-A, Fig. 16).
+
+The paper shows how block-wise sparse attention patterns (window/local
+attention in the style of BigBird/BlockBERT) map onto DPTC: blockify Q
+and K by the pattern, run the surviving blocks as small *dense* matrix
+products, compress the sparse attention map row-wise, and run AV the
+same way.  This module implements that reformulation end to end:
+
+* :class:`WindowAttentionPattern` — the pattern algebra (masks, block
+  coverage);
+* :func:`blockified_qk_ops` / :func:`blockified_av_ops` — the dense
+  GEMM chunks the pattern induces, as :class:`GEMMOp` descriptors;
+* :func:`sparse_attention` — a functional execution path that computes
+  attention through the blockified chunks (verifiably equal to masked
+  dense attention);
+* cycle-count helpers to quantify the savings on a given DPTC geometry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dptc import DPTCGeometry
+from repro.workloads.gemm import MODULE_ATTENTION, GEMMOp
+
+
+@dataclass(frozen=True)
+class WindowAttentionPattern:
+    """Window-local attention: token ``i`` attends to ``|i - j| <= r``.
+
+    Attributes:
+        n_tokens: sequence length.
+        window: odd window size ``w``; the one-sided reach is
+            ``r = (w - 1) / 2``.
+        block: blockification granularity ``b`` (rows per Q chunk).
+    """
+
+    n_tokens: int
+    window: int
+    block: int
+
+    def __post_init__(self) -> None:
+        if self.n_tokens < 1:
+            raise ValueError(f"n_tokens must be >= 1, got {self.n_tokens}")
+        if self.window < 1 or self.window % 2 == 0:
+            raise ValueError(f"window must be odd and >= 1, got {self.window}")
+        if self.block < 1:
+            raise ValueError(f"block must be >= 1, got {self.block}")
+
+    @property
+    def reach(self) -> int:
+        """One-sided attention reach ``(w - 1) / 2``."""
+        return (self.window - 1) // 2
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of Q row blocks."""
+        return math.ceil(self.n_tokens / self.block)
+
+    def mask(self) -> np.ndarray:
+        """Boolean ``[n, n]`` mask of allowed attention entries."""
+        idx = np.arange(self.n_tokens)
+        return np.abs(idx[:, None] - idx[None, :]) <= self.reach
+
+    def density(self) -> float:
+        """Fraction of the attention map inside the window."""
+        return float(np.mean(self.mask()))
+
+    def q_block_rows(self, block_index: int) -> tuple[int, int]:
+        """Row range ``[start, stop)`` of one Q block."""
+        if not 0 <= block_index < self.n_blocks:
+            raise IndexError(f"block index {block_index} out of range")
+        start = block_index * self.block
+        return start, min(start + self.block, self.n_tokens)
+
+    def key_span(self, block_index: int) -> tuple[int, int]:
+        """Key-row range ``[start, stop)`` covering the whole Q block.
+
+        The union of the windows of every row in the block: blockified
+        execution computes this slightly-larger dense chunk and masks
+        the corners in the softmax.
+        """
+        q_start, q_stop = self.q_block_rows(block_index)
+        start = max(0, q_start - self.reach)
+        stop = min(self.n_tokens, (q_stop - 1) + self.reach + 1)
+        return start, stop
+
+
+def blockified_qk_ops(
+    pattern: WindowAttentionPattern, head_dim: int, name: str = "sparse_qkt"
+) -> list[GEMMOp]:
+    """Dense GEMM chunks implementing the blockified ``Q K^T``."""
+    ops = []
+    for index in range(pattern.n_blocks):
+        q_start, q_stop = pattern.q_block_rows(index)
+        k_start, k_stop = pattern.key_span(index)
+        ops.append(
+            GEMMOp(
+                f"{name}[{index}]",
+                m=q_stop - q_start,
+                k=head_dim,
+                n=k_stop - k_start,
+                module=MODULE_ATTENTION,
+                dynamic=True,
+            )
+        )
+    return ops
+
+
+def blockified_av_ops(
+    pattern: WindowAttentionPattern, head_dim: int, name: str = "sparse_av"
+) -> list[GEMMOp]:
+    """Dense GEMM chunks implementing the row-compressed ``A V``."""
+    ops = []
+    for index in range(pattern.n_blocks):
+        q_start, q_stop = pattern.q_block_rows(index)
+        k_start, k_stop = pattern.key_span(index)
+        ops.append(
+            GEMMOp(
+                f"{name}[{index}]",
+                m=q_stop - q_start,
+                k=k_stop - k_start,
+                n=head_dim,
+                module=MODULE_ATTENTION,
+                dynamic=True,
+            )
+        )
+    return ops
+
+
+def sparse_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    pattern: WindowAttentionPattern,
+    matmul=np.matmul,
+) -> np.ndarray:
+    """Window attention computed through the blockified dense chunks.
+
+    Args:
+        q, k, v: ``[n, d]`` activations of one head.
+        pattern: the window pattern (``pattern.n_tokens`` must equal n).
+        matmul: the matrix-product executor; pass
+            ``DPTC(...).matmul`` to run the chunks on a (noisy)
+            photonic core.
+
+    Returns:
+        ``[n, d]`` attention output, identical (up to executor noise) to
+        dense attention under the window mask.
+    """
+    n, d = q.shape
+    if k.shape != (n, d) or v.shape != (n, d):
+        raise ValueError("q, k, v must share the same [n, d] shape")
+    if pattern.n_tokens != n:
+        raise ValueError(
+            f"pattern covers {pattern.n_tokens} tokens but q has {n} rows"
+        )
+    scale = 1.0 / math.sqrt(d)
+    output = np.empty_like(q, dtype=float)
+    idx = np.arange(n)
+    for index in range(pattern.n_blocks):
+        q_start, q_stop = pattern.q_block_rows(index)
+        k_start, k_stop = pattern.key_span(index)
+        scores = matmul(q[q_start:q_stop], k[k_start:k_stop].T) * scale
+        # Mask the chunk corners that fall outside the exact window.
+        rows = idx[q_start:q_stop, None]
+        cols = idx[None, k_start:k_stop]
+        allowed = np.abs(rows - cols) <= pattern.reach
+        scores = np.where(allowed, scores, -np.inf)
+        scores -= scores.max(axis=1, keepdims=True)
+        weights = np.exp(scores)
+        weights /= weights.sum(axis=1, keepdims=True)
+        output[q_start:q_stop] = matmul(weights, v[k_start:k_stop])
+    return output
+
+
+def dense_attention(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                    mask: np.ndarray | None = None) -> np.ndarray:
+    """Reference dense attention (optionally masked) for correctness checks."""
+    n, d = q.shape
+    scores = (q @ k.T) / math.sqrt(d)
+    if mask is not None:
+        scores = np.where(mask, scores, -np.inf)
+    scores -= scores.max(axis=1, keepdims=True)
+    weights = np.exp(scores)
+    weights /= weights.sum(axis=1, keepdims=True)
+    return weights @ v
+
+
+def sparse_cycles(
+    pattern: WindowAttentionPattern, head_dim: int, geometry: DPTCGeometry
+) -> int:
+    """DPTC cycles for blockified QK^T + AV of one head."""
+    ops = blockified_qk_ops(pattern, head_dim) + blockified_av_ops(
+        pattern, head_dim
+    )
+    return sum(geometry.cycles(op.m, op.k, op.n) for op in ops)
+
+
+def dense_cycles(
+    n_tokens: int, head_dim: int, geometry: DPTCGeometry
+) -> int:
+    """DPTC cycles for dense QK^T + AV of one head."""
+    return geometry.cycles(n_tokens, head_dim, n_tokens) + geometry.cycles(
+        n_tokens, n_tokens, head_dim
+    )
+
+
+def cycle_savings(
+    pattern: WindowAttentionPattern, head_dim: int, geometry: DPTCGeometry
+) -> float:
+    """Dense-over-sparse cycle ratio (>1 when blockification wins)."""
+    return dense_cycles(pattern.n_tokens, head_dim, geometry) / sparse_cycles(
+        pattern, head_dim, geometry
+    )

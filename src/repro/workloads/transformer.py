@@ -1,0 +1,235 @@
+"""Transformer model configurations and their GEMM traces.
+
+The model zoo covers the paper's evaluation workloads: DeiT-T/S/B on
+224x224 images (sequence length 197 with the class token) and BERT-base
+/ BERT-large at configurable sequence lengths (the paper uses 128 and
+320).  :func:`gemm_trace` expands a configuration into the exact list of
+GEMM operations one single-batch inference performs, labelled by module
+so the Table V rows (MHA / FFN / All) can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.gemm import (
+    MODULE_ATTENTION,
+    MODULE_EMBEDDING,
+    MODULE_FFN,
+    MODULE_HEAD,
+    MODULE_PROJECTION,
+    GEMMOp,
+)
+
+KIND_VISION = "vision"
+KIND_TEXT = "text"
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture hyperparameters of an encoder-style Transformer."""
+
+    name: str
+    depth: int  #: number of encoder blocks
+    dim: int  #: embedding dimension
+    heads: int  #: attention heads
+    seq_len: int  #: tokens per inference (includes CLS for vision)
+    mlp_ratio: float = 4.0
+    kind: str = KIND_VISION
+    n_classes: int = 1000
+    patch_size: int = 16  #: vision only
+    image_size: int = 224  #: vision only
+    in_channels: int = 3  #: vision only
+
+    def __post_init__(self) -> None:
+        if self.depth < 1 or self.dim < 1 or self.heads < 1 or self.seq_len < 1:
+            raise ValueError(f"invalid transformer config: {self}")
+        if self.dim % self.heads != 0:
+            raise ValueError(
+                f"dim {self.dim} not divisible by heads {self.heads}"
+            )
+        if self.kind not in (KIND_VISION, KIND_TEXT):
+            raise ValueError(f"unknown kind {self.kind!r}")
+
+    @property
+    def head_dim(self) -> int:
+        return self.dim // self.heads
+
+    @property
+    def ffn_dim(self) -> int:
+        return int(self.dim * self.mlp_ratio)
+
+    @property
+    def n_patches(self) -> int:
+        """Patches per image (vision models)."""
+        return (self.image_size // self.patch_size) ** 2
+
+    @property
+    def patch_dim(self) -> int:
+        """Flattened patch vector length (the patch-embedding GEMM's k)."""
+        return self.patch_size * self.patch_size * self.in_channels
+
+
+def deit_tiny(image_size: int = 224) -> TransformerConfig:
+    """DeiT-T: 12 layers, dim 192, 3 heads (paper's primary workload)."""
+    seq = (image_size // 16) ** 2 + 1
+    return TransformerConfig(
+        "deit-tiny", depth=12, dim=192, heads=3, seq_len=seq, image_size=image_size
+    )
+
+
+def deit_small(image_size: int = 224) -> TransformerConfig:
+    """DeiT-S: 12 layers, dim 384, 6 heads."""
+    seq = (image_size // 16) ** 2 + 1
+    return TransformerConfig(
+        "deit-small", depth=12, dim=384, heads=6, seq_len=seq, image_size=image_size
+    )
+
+
+def deit_base(image_size: int = 224) -> TransformerConfig:
+    """DeiT-B: 12 layers, dim 768, 12 heads."""
+    seq = (image_size // 16) ** 2 + 1
+    return TransformerConfig(
+        "deit-base", depth=12, dim=768, heads=12, seq_len=seq, image_size=image_size
+    )
+
+
+def bert_base(seq_len: int = 128) -> TransformerConfig:
+    """BERT-base: 12 layers, dim 768, 12 heads."""
+    return TransformerConfig(
+        "bert-base",
+        depth=12,
+        dim=768,
+        heads=12,
+        seq_len=seq_len,
+        kind=KIND_TEXT,
+        n_classes=2,
+    )
+
+
+def bert_large(seq_len: int = 320) -> TransformerConfig:
+    """BERT-large: 24 layers, dim 1024, 16 heads."""
+    return TransformerConfig(
+        "bert-large",
+        depth=24,
+        dim=1024,
+        heads=16,
+        seq_len=seq_len,
+        kind=KIND_TEXT,
+        n_classes=2,
+    )
+
+
+#: The five evaluation workloads of the paper's Fig. 13.
+PAPER_WORKLOADS = {
+    "DeiT-T-224": deit_tiny,
+    "DeiT-S-224": deit_small,
+    "DeiT-B-224": deit_base,
+    "BERT-base-128": bert_base,
+    "BERT-large-320": bert_large,
+}
+
+
+def gemm_trace(config: TransformerConfig, include_head: bool = True) -> list[GEMMOp]:
+    """GEMM operations of one single-batch inference, in execution order.
+
+    Attention products (QK^T and AV) are labelled dynamic — both
+    operands are runtime activations; everything else multiplies an
+    activation by a static weight matrix.
+    """
+    seq = config.seq_len
+    dim = config.dim
+    ops: list[GEMMOp] = []
+
+    if config.kind == KIND_VISION:
+        ops.append(
+            GEMMOp(
+                "patch_embed",
+                m=config.n_patches,
+                k=config.patch_dim,
+                n=dim,
+                module=MODULE_EMBEDDING,
+            )
+        )
+    # Text models embed tokens via table lookup: no GEMM.
+
+    ops.append(
+        GEMMOp(
+            "qkv_proj",
+            m=seq,
+            k=dim,
+            n=3 * dim,
+            module=MODULE_PROJECTION,
+            count=config.depth,
+        )
+    )
+    ops.append(
+        GEMMOp(
+            "attn_qkt",
+            m=seq,
+            k=config.head_dim,
+            n=seq,
+            module=MODULE_ATTENTION,
+            dynamic=True,
+            count=config.depth * config.heads,
+        )
+    )
+    ops.append(
+        GEMMOp(
+            "attn_av",
+            m=seq,
+            k=seq,
+            n=config.head_dim,
+            module=MODULE_ATTENTION,
+            dynamic=True,
+            count=config.depth * config.heads,
+        )
+    )
+    ops.append(
+        GEMMOp(
+            "out_proj",
+            m=seq,
+            k=dim,
+            n=dim,
+            module=MODULE_PROJECTION,
+            count=config.depth,
+        )
+    )
+    ops.append(
+        GEMMOp(
+            "ffn1",
+            m=seq,
+            k=dim,
+            n=config.ffn_dim,
+            module=MODULE_FFN,
+            count=config.depth,
+        )
+    )
+    ops.append(
+        GEMMOp(
+            "ffn2",
+            m=seq,
+            k=config.ffn_dim,
+            n=dim,
+            module=MODULE_FFN,
+            count=config.depth,
+        )
+    )
+
+    if include_head:
+        if config.kind == KIND_VISION:
+            ops.append(
+                GEMMOp("head", m=1, k=dim, n=config.n_classes, module=MODULE_HEAD)
+            )
+        else:
+            # BERT-style pooler on the CLS token, then the classifier.
+            ops.append(GEMMOp("pooler", m=1, k=dim, n=dim, module=MODULE_HEAD))
+            ops.append(
+                GEMMOp("classifier", m=1, k=dim, n=config.n_classes, module=MODULE_HEAD)
+            )
+    return ops
+
+
+def model_parameters(config: TransformerConfig) -> int:
+    """Approximate parameter count (weights of all GEMM layers)."""
+    return sum(op.static_weight_elements for op in gemm_trace(config))

@@ -1,0 +1,62 @@
+"""Tests for the reproduction scorecard."""
+
+import pytest
+
+from repro.analysis.scorecard import (
+    Claim,
+    all_pass,
+    default_claims,
+    run_scorecard,
+)
+
+
+class TestClaim:
+    def test_exact_pass(self):
+        claim = Claim("x", 5.0, lambda: 5.0, "exact")
+        assert claim.evaluate().passed
+
+    def test_exact_fail(self):
+        claim = Claim("x", 5.0, lambda: 5.0001, "exact")
+        assert not claim.evaluate().passed
+
+    def test_relative_within_tolerance(self):
+        claim = Claim("x", 100.0, lambda: 104.0, "relative", tolerance=0.05)
+        assert claim.evaluate().passed
+
+    def test_relative_outside_tolerance(self):
+        claim = Claim("x", 100.0, lambda: 110.0, "relative", tolerance=0.05)
+        assert not claim.evaluate().passed
+
+    def test_lower_bound(self):
+        assert Claim("x", 10.0, lambda: 50.0, "lower-bound").evaluate().passed
+        assert not Claim("x", 10.0, lambda: 5.0, "lower-bound").evaluate().passed
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Claim("x", 1.0, lambda: 1.0, "vibes").evaluate()
+
+    def test_as_row(self):
+        row = Claim("my claim", 2.0, lambda: 2.0, "exact").evaluate().as_row()
+        assert row["claim"] == "my claim"
+        assert row["pass"] is True
+
+
+class TestDefaultScorecard:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_scorecard()
+
+    def test_covers_headline_results(self, results):
+        names = "\n".join(result.claim.name for result in results)
+        for token in ("Eq.10", "Fig.3", "Table IV", "Fig.8", "Table V", "Fig.13"):
+            assert token in names
+
+    def test_every_claim_passes(self, results):
+        failing = [r.claim.name for r in results if not r.passed]
+        assert failing == [], f"reproduction regressions: {failing}"
+
+    def test_all_pass_helper(self, results):
+        assert all_pass(results)
+
+    def test_at_least_a_dozen_claims(self):
+        assert len(default_claims()) >= 12

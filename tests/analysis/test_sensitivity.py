@@ -1,0 +1,73 @@
+"""Tests for the device-parameter sensitivity study."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    PARAMETERS,
+    sensitivity,
+    sensitivity_sweep,
+)
+from repro.arch import lt_base
+
+
+class TestSensitivity:
+    def test_dac_power_dominates_at_8bit(self):
+        """At 8-bit the DAC share exceeds 50 %, so doubling DAC power
+        must raise chip power by more than a third."""
+        result = sensitivity("dac_power", factor=2.0, config=lt_base(8))
+        assert result.power_ratio > 1.35
+
+    def test_dac_less_dominant_at_4bit(self):
+        at4 = sensitivity("dac_power", 2.0, config=lt_base(4)).power_ratio
+        at8 = sensitivity("dac_power", 2.0, config=lt_base(8)).power_ratio
+        assert at4 < at8
+
+    def test_passive_coupler_loss_is_minor(self):
+        """Doubling the DC insertion loss only touches the laser budget."""
+        result = sensitivity("coupler_loss", factor=2.0)
+        assert result.power_ratio < 1.05
+
+    def test_wall_plug_efficiency_helps(self):
+        """A better laser (2x wall-plug) lowers power, never raises it."""
+        result = sensitivity("wall_plug_efficiency", factor=2.0)
+        assert result.power_ratio < 1.0
+
+    def test_mzm_loss_feeds_laser_power(self):
+        result = sensitivity("mzm_loss", factor=2.0)
+        assert result.power_ratio > 1.0
+
+    def test_energy_tracks_power_for_static_knobs(self):
+        result = sensitivity("pd_power", factor=2.0)
+        assert result.energy_ratio > 1.0
+
+    def test_identity_factor_is_neutral(self):
+        result = sensitivity("dac_power", factor=1.0000001)
+        assert result.power_ratio == pytest.approx(1.0, abs=1e-5)
+
+    def test_elasticity_bounded_by_share(self):
+        """Elasticity of a component can never exceed 1 (its share)."""
+        for parameter in ("dac_power", "adc_power", "mzm_power"):
+            result = sensitivity(parameter, factor=2.0)
+            assert 0.0 <= result.power_elasticity <= 1.0
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(KeyError):
+            sensitivity("flux_capacitor", 2.0)
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ValueError):
+            sensitivity("dac_power", 0.0)
+
+
+class TestSweep:
+    def test_covers_all_parameters(self):
+        results = sensitivity_sweep(factor=2.0)
+        assert {r.parameter for r in results} == set(PARAMETERS)
+
+    def test_sorted_by_impact(self):
+        ratios = [r.power_ratio for r in sensitivity_sweep(factor=2.0)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_most_impactful_is_a_converter_or_modulator(self):
+        top = sensitivity_sweep(factor=2.0, config=lt_base(8))[0]
+        assert top.parameter in ("dac_power", "mzm_power", "wall_plug_efficiency")

@@ -1,0 +1,66 @@
+"""Tests for table rendering."""
+
+from repro.analysis import format_value, render_markdown_table, render_table
+
+
+class TestFormatValue:
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_int(self):
+        assert format_value(42) == "42"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_small_float_scientific(self):
+        assert "e" in format_value(1.94e-5)
+
+    def test_midrange_float(self):
+        assert format_value(3.14159) == "3.14"
+
+    def test_string_passthrough(self):
+        assert format_value("LT-B") == "LT-B"
+
+
+class TestRenderTable:
+    def test_contains_headers_and_values(self):
+        text = render_table([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert "a" in text and "b" in text
+        assert "1" in text and "y" in text
+
+    def test_title(self):
+        text = render_table([{"a": 1}], title="My table")
+        assert text.startswith("My table")
+
+    def test_empty(self):
+        assert "(empty)" in render_table([])
+
+    def test_column_selection(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b"])
+        lines = text.splitlines()
+        assert "a" not in lines[0]
+
+    def test_alignment(self):
+        text = render_table([{"name": "x", "v": 1}, {"name": "longer", "v": 22}])
+        lines = text.splitlines()
+        assert len(lines[2]) <= len(lines[1]) + 2  # rows align under header
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = render_markdown_table([{"a": 1, "b": 2.5}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2].startswith("| 1 |")
+
+    def test_empty(self):
+        assert render_markdown_table([]) == "(empty)\n"
+
+    def test_missing_cell_blank(self):
+        text = render_markdown_table(
+            [{"a": 1, "b": 2}, {"a": 3}], columns=["a", "b"]
+        )
+        assert "| 3 |  |" in text

@@ -1,0 +1,84 @@
+"""Tests for the top-level accelerator facade."""
+
+import numpy as np
+import pytest
+
+from repro.arch import LighteningTransformer, lt_base, lt_large
+from repro.core import NoiseModel
+from repro.units import MJ, MS
+from repro.workloads import GEMMOp, deit_tiny, gemm_trace
+
+
+class TestFacade:
+    @pytest.fixture
+    def accelerator(self):
+        return LighteningTransformer(lt_base(4))
+
+    def test_defaults_to_lt_base(self):
+        assert LighteningTransformer().config.name == "LT-B"
+
+    def test_peak_tops(self, accelerator):
+        assert accelerator.peak_tops == pytest.approx(138.24)
+
+    def test_area_and_power_accessible(self, accelerator):
+        assert accelerator.area().total_mm2 == pytest.approx(60.3, rel=0.05)
+        assert accelerator.power().total == pytest.approx(14.75, rel=0.05)
+
+    def test_run_transformer_config(self, accelerator):
+        result = accelerator.run(deit_tiny())
+        assert result.workload == "deit-tiny"
+        assert result.latency / MS == pytest.approx(1.94e-2, rel=0.03)
+        assert result.energy_joules / MJ == pytest.approx(0.38, rel=0.3)
+
+    def test_run_gemm_trace(self, accelerator):
+        result = accelerator.run(gemm_trace(deit_tiny()))
+        assert result.cycles > 0
+        assert result.fps == pytest.approx(1.0 / result.latency)
+
+    def test_run_single_op(self, accelerator):
+        result = accelerator.run([GEMMOp("probe", 12, 12, 12)])
+        assert result.workload == "probe"
+        assert result.cycles == 1
+
+    def test_edp_consistency(self, accelerator):
+        result = accelerator.run(deit_tiny())
+        assert result.edp == pytest.approx(result.energy_joules * result.latency)
+
+    def test_lt_large_faster(self):
+        base = LighteningTransformer(lt_base()).run(deit_tiny())
+        large = LighteningTransformer(lt_large()).run(deit_tiny())
+        assert large.latency < base.latency
+
+
+class TestFunctionalExecution:
+    def test_ideal_matmul_exact(self):
+        acc = LighteningTransformer(lt_base(), noise=NoiseModel.ideal())
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(20, 30))
+        b = rng.normal(size=(30, 10))
+        assert np.allclose(acc.matmul(a, b), a @ b)
+
+    def test_noisy_matmul_close(self):
+        acc = LighteningTransformer(lt_base(), noise=NoiseModel.paper_default())
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(24, 36))
+        b = rng.normal(size=(36, 24))
+        out = acc.matmul(a, b, rng=rng)
+        rel = np.linalg.norm(out - a @ b) / np.linalg.norm(a @ b)
+        assert 0.0 < rel < 0.2
+
+    def test_dataflow_path_ideal(self):
+        acc = LighteningTransformer(lt_base())
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(13, 25))
+        b = rng.normal(size=(25, 17))
+        assert np.allclose(acc.matmul_through_dataflow(a, b), a @ b)
+
+    def test_dataflow_path_noisy(self):
+        acc = LighteningTransformer(lt_base(), noise=NoiseModel.paper_default())
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(24, 24))
+        b = rng.normal(size=(24, 24))
+        out = acc.matmul_through_dataflow(a, b, rng=rng)
+        rel = np.linalg.norm(out - a @ b) / np.linalg.norm(a @ b)
+        assert 0.0 < rel < 0.4

@@ -1,0 +1,107 @@
+"""Tests for the area model: Table IV totals and Fig. 7 breakdowns."""
+
+import pytest
+
+from repro.arch import (
+    area_breakdown,
+    ddot_cell_area,
+    lt_base,
+    lt_large,
+    single_core,
+    single_core_area_breakdown,
+)
+from repro.units import MM2, UM2
+
+
+class TestTableIVTotals:
+    def test_lt_base_total(self):
+        """Paper: 60.3 mm^2 for LT-B."""
+        total = area_breakdown(lt_base()).total_mm2
+        assert total == pytest.approx(60.3, rel=0.05)
+
+    def test_lt_large_total(self):
+        """Paper: 112.82 mm^2 for LT-L."""
+        total = area_breakdown(lt_large()).total_mm2
+        assert total == pytest.approx(112.82, rel=0.05)
+
+    def test_lt_large_about_twice_base(self):
+        ratio = area_breakdown(lt_large()).total / area_breakdown(lt_base()).total
+        assert 1.7 < ratio < 2.1
+
+
+class TestFig7Breakdown:
+    @pytest.fixture
+    def breakdown(self):
+        return area_breakdown(lt_base())
+
+    def test_dac_share_about_quarter(self, breakdown):
+        assert breakdown.fraction("dac") == pytest.approx(0.25, abs=0.05)
+
+    def test_memory_share_about_quarter(self, breakdown):
+        assert breakdown.fraction("memory") == pytest.approx(0.25, abs=0.05)
+
+    def test_photonic_core_share_about_fifth(self, breakdown):
+        assert breakdown.fraction("photonic_core") == pytest.approx(0.20, abs=0.05)
+
+    def test_remaining_components_under_30_percent(self, breakdown):
+        rest = (
+            breakdown.fraction("laser")
+            + breakdown.fraction("adc")
+            + breakdown.fraction("modulation")
+            + breakdown.fraction("digital")
+        )
+        assert rest < 0.35
+
+    def test_all_categories_positive(self, breakdown):
+        assert all(v > 0 for v in breakdown.by_category.values())
+
+    def test_as_mm2_consistent(self, breakdown):
+        assert sum(breakdown.as_mm2().values()) == pytest.approx(
+            breakdown.total_mm2
+        )
+
+
+class TestDDotCell:
+    def test_cell_area_dominated_by_phase_shifter(self):
+        cell = ddot_cell_area(lt_base())
+        ps = lt_base().library.phase_shifter.area
+        assert ps / cell > 0.9
+
+    def test_cell_area_value(self):
+        # PS 4500 + DC 12.6 + 2 PD 80 + crossing 64 ~ 4657 um^2
+        assert ddot_cell_area(lt_base()) == pytest.approx(4656.6 * UM2, rel=0.01)
+
+
+class TestFig9AreaScaling:
+    """Single 4-bit DPTC core area vs core size (paper: 5.9 -> 49.3 mm^2)."""
+
+    def test_core_size_32_matches_paper(self):
+        total = single_core_area_breakdown(single_core(32)).total_mm2
+        assert total == pytest.approx(49.3, rel=0.08)
+
+    def test_core_size_8_in_band(self):
+        total = single_core_area_breakdown(single_core(8)).total_mm2
+        assert total == pytest.approx(5.9, rel=0.30)
+
+    def test_monotone_in_core_size(self):
+        sizes = [8, 12, 16, 24, 32]
+        areas = [
+            single_core_area_breakdown(single_core(n)).total for n in sizes
+        ]
+        assert areas == sorted(areas)
+
+    def test_growth_is_superlinear(self):
+        a8 = single_core_area_breakdown(single_core(8)).total
+        a32 = single_core_area_breakdown(single_core(32)).total
+        assert a32 / a8 > 8  # quadratic-dominated growth
+
+    def test_excludes_memory(self):
+        categories = single_core_area_breakdown(single_core(8)).by_category
+        assert "memory" not in categories
+        assert set(categories) == {
+            "dac",
+            "adc",
+            "modulation",
+            "photonic_core",
+            "laser",
+        }

@@ -1,0 +1,148 @@
+"""Tests for accelerator configuration and derived component counts."""
+
+import pytest
+
+from repro.arch import (
+    AcceleratorConfig,
+    ArchOptimizations,
+    lt_base,
+    lt_broadcast_base,
+    lt_crossbar_base,
+    lt_large,
+    single_core,
+)
+from repro.core import DPTCGeometry
+from repro.units import GHZ
+
+
+class TestPresets:
+    def test_lt_base_matches_table_iv(self):
+        cfg = lt_base()
+        assert cfg.n_tiles == 4
+        assert cfg.cores_per_tile == 2
+        assert (cfg.geometry.n_h, cfg.geometry.n_v, cfg.geometry.n_lambda) == (
+            12,
+            12,
+            12,
+        )
+        assert cfg.global_sram_bytes == 2 * 1024 * 1024
+
+    def test_lt_large_matches_table_iv(self):
+        cfg = lt_large()
+        assert cfg.n_tiles == 8
+        assert cfg.global_sram_bytes == 4 * 1024 * 1024
+
+    def test_default_clock_is_5ghz(self):
+        assert lt_base().clock == pytest.approx(5 * GHZ)
+        assert lt_base().cycle_time == pytest.approx(200e-12)
+
+    def test_default_precision_is_4bit(self):
+        assert lt_base().bits == 4
+
+    def test_with_bits(self):
+        cfg = lt_base().with_bits(8)
+        assert cfg.bits == 8
+        assert "8b" in cfg.name
+
+    def test_variants(self):
+        assert lt_crossbar_base().optimizations == ArchOptimizations.crossbar_only()
+        assert lt_broadcast_base().optimizations == ArchOptimizations.broadcast_only()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig("bad", n_tiles=0, cores_per_tile=1)
+        with pytest.raises(ValueError):
+            AcceleratorConfig("bad", n_tiles=1, cores_per_tile=1, bits=0)
+
+
+class TestDerivedCounts:
+    @pytest.fixture
+    def cfg(self):
+        return lt_base()
+
+    def test_core_count(self, cfg):
+        assert cfg.n_cores == 8
+        assert cfg.n_ddots == 8 * 144
+
+    def test_peak_throughput(self, cfg):
+        # 8 cores x 1728 MACs x 5 GHz x 2 ops = 138.2 TOPS
+        assert cfg.peak_ops == pytest.approx(138.24e12)
+
+    def test_m1_waveguides(self, cfg):
+        assert cfg.m1_waveguides == 8 * 12
+
+    def test_m2_waveguides_shared(self, cfg):
+        """Inter-core broadcast: one M2 modulation set per core position."""
+        assert cfg.m2_waveguides == 2 * 12
+
+    def test_m2_waveguides_unshared(self):
+        cfg = lt_crossbar_base()
+        assert cfg.m2_waveguides == 4 * 2 * 12
+
+    def test_dac_count(self, cfg):
+        assert cfg.n_dacs == (96 + 24) * 12 == 1440
+        assert cfg.n_mzms == cfg.n_dacs
+        assert cfg.n_microdisks == 2 * cfg.n_dacs
+
+    def test_photodiode_count(self, cfg):
+        assert cfg.n_photodiodes == 2 * 8 * 144
+
+    def test_adc_count_with_summation(self, cfg):
+        # Intra-tile analog summation merges the 2 cores of each tile.
+        assert cfg.n_adcs == 8 * 144 // 2 == 576
+        assert cfg.n_tias == cfg.n_adcs
+
+    def test_adc_count_without_summation(self):
+        cfg = lt_crossbar_base()
+        assert cfg.n_adcs == 8 * 144
+
+    def test_adc_rate_with_temporal_accumulation(self, cfg):
+        assert cfg.adc_sample_rate == pytest.approx(cfg.clock / 3)
+
+    def test_adc_rate_without_temporal_accumulation(self):
+        cfg = lt_crossbar_base()
+        assert cfg.adc_sample_rate == pytest.approx(cfg.clock)
+
+    def test_light_sources(self, cfg):
+        assert cfg.n_micro_combs == 4
+        assert cfg.n_lasers == 8
+
+
+class TestOptimizationFlags:
+    def test_all_on_default(self):
+        opts = ArchOptimizations.all_on()
+        assert opts.crossbar_operand_sharing
+        assert opts.inter_core_broadcast
+        assert opts.intra_tile_analog_summation
+        assert opts.analog_temporal_accumulation
+        assert opts.effective_accumulation_depth == 3
+
+    def test_crossbar_only(self):
+        opts = ArchOptimizations.crossbar_only()
+        assert opts.crossbar_operand_sharing
+        assert not opts.inter_core_broadcast
+        assert opts.effective_accumulation_depth == 1
+
+    def test_broadcast_only(self):
+        opts = ArchOptimizations.broadcast_only()
+        assert not opts.crossbar_operand_sharing
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            ArchOptimizations(temporal_accumulation_depth=0)
+
+
+class TestSingleCore:
+    def test_geometry(self):
+        cfg = single_core(16)
+        assert cfg.n_cores == 1
+        assert cfg.geometry == DPTCGeometry(16, 16, 16)
+
+    def test_no_memory(self):
+        cfg = single_core(8)
+        assert cfg.global_sram_bytes == 0
+
+    def test_no_arch_level_optimizations(self):
+        cfg = single_core(8)
+        assert not cfg.optimizations.inter_core_broadcast
+        assert cfg.adc_sample_rate == pytest.approx(cfg.clock)

@@ -1,0 +1,119 @@
+"""Tests for the heterogeneous DPTC core-shape search (Sec. VI-A)."""
+
+import pytest
+
+from repro.arch.heterogeneous import (
+    ShapeEvaluation,
+    candidate_shapes,
+    evaluate_shape,
+    mvm_engine,
+    search_core_shape,
+)
+from repro.core import DPTCGeometry
+from repro.workloads import MODULE_ATTENTION, MODULE_FFN, GEMMOp
+
+
+class TestCandidateShapes:
+    def test_within_budget(self):
+        for geometry in candidate_shapes(1728):
+            assert geometry.macs_per_cycle <= 1728
+
+    def test_not_wastefully_small(self):
+        for geometry in candidate_shapes(1728):
+            assert geometry.macs_per_cycle >= 864
+
+    def test_default_core_is_a_candidate(self):
+        shapes = {
+            (g.n_h, g.n_lambda, g.n_v) for g in candidate_shapes(1728)
+        }
+        assert (12, 12, 12) in shapes
+
+    def test_mvm_shapes_included(self):
+        shapes = {
+            (g.n_h, g.n_lambda, g.n_v) for g in candidate_shapes(1728)
+        }
+        assert any(shape[0] == 1 for shape in shapes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(candidate_shapes(0))
+
+
+class TestEvaluateShape:
+    def test_perfect_fit(self):
+        geometry = DPTCGeometry(12, 12, 12)
+        op = GEMMOp("fit", 12, 12, 12, module=MODULE_FFN)
+        evaluation = evaluate_shape(geometry, [op])
+        assert evaluation.cycles == 1
+        assert evaluation.utilization == pytest.approx(1.0)
+
+    def test_row_vector_on_square_core_wastes(self):
+        """A 1 x k x n workload on a 12-row core uses 1/12 of the MACs."""
+        geometry = DPTCGeometry(12, 12, 12)
+        op = GEMMOp("row", 1, 12, 12, module=MODULE_ATTENTION, dynamic=True)
+        evaluation = evaluate_shape(geometry, [op])
+        assert evaluation.utilization == pytest.approx(1 / 12)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_shape(DPTCGeometry(), [])
+
+    def test_shape_property(self):
+        evaluation = evaluate_shape(
+            DPTCGeometry(n_h=4, n_v=8, n_lambda=6),
+            [GEMMOp("x", 4, 6, 8, module=MODULE_FFN)],
+        )
+        assert evaluation.shape == (4, 6, 8)  # (Nh, Nlambda, Nv)
+
+
+class TestSearch:
+    def test_square_workload_prefers_balanced_core(self):
+        ops = [GEMMOp("sq", 96, 96, 96, module=MODULE_FFN)]
+        best = search_core_shape(ops, mac_budget=1728)
+        n_h, n_lambda, n_v = best.shape
+        # No dimension collapses to a vector engine for square GEMMs.
+        assert min(n_h, n_lambda, n_v) >= 8
+
+    def test_vector_workload_prefers_flat_core(self):
+        """The paper's example: non-block-wise sparse AV rows are
+        vector-matrix products, best served by an Nh = 1 engine."""
+        ops = [
+            GEMMOp(
+                "vm", 1, 48, 192, module=MODULE_ATTENTION, dynamic=True, count=64
+            )
+        ]
+        best = search_core_shape(ops, mac_budget=1728)
+        assert best.shape[0] <= 2
+        balanced = evaluate_shape(DPTCGeometry(12, 12, 12), ops)
+        assert best.cycles < balanced.cycles
+
+    def test_search_beats_or_matches_default_everywhere(self):
+        workloads = [
+            [GEMMOp("a", 197, 64, 197, module=MODULE_ATTENTION, dynamic=True)],
+            [GEMMOp("b", 197, 192, 768, module=MODULE_FFN)],
+            [GEMMOp("c", 1, 768, 768, module=MODULE_FFN)],
+        ]
+        for ops in workloads:
+            best = search_core_shape(ops, mac_budget=1728)
+            default = evaluate_shape(DPTCGeometry(12, 12, 12), ops)
+            assert best.cycles <= default.cycles
+
+    def test_budget_too_small_raises(self):
+        with pytest.raises(ValueError):
+            search_core_shape(
+                [GEMMOp("x", 4, 4, 4, module=MODULE_FFN)], mac_budget=1728,
+                min_dim=63, max_dim=64,
+            )
+
+
+class TestMVMEngine:
+    def test_single_row(self):
+        engine = mvm_engine(mac_budget=1728, contraction=48)
+        assert engine.n_h == 1
+        assert engine.macs_per_cycle <= 1728
+
+    def test_serves_decode_shaped_ops_well(self):
+        engine = mvm_engine(mac_budget=1728, contraction=48)
+        op = GEMMOp("dec", 1, 48, engine.n_v, module=MODULE_ATTENTION, dynamic=True)
+        evaluation = evaluate_shape(engine, [op])
+        assert evaluation.utilization == pytest.approx(1.0)

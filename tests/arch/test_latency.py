@@ -1,0 +1,121 @@
+"""Tests for the latency models: Fig. 9 path latency and Table V timing."""
+
+import pytest
+
+from repro.arch import (
+    core_path_latency,
+    effective_throughput_ops,
+    gemm_cycles,
+    gemm_tile_count,
+    lt_base,
+    workload_cycles,
+    workload_latency,
+)
+from repro.units import MS
+from repro.workloads import (
+    MODULE_ATTENTION,
+    MODULE_FFN,
+    GEMMOp,
+    deit_base,
+    deit_tiny,
+    filter_module,
+    gemm_trace,
+)
+
+
+class TestCorePathLatency:
+    """Fig. 9 right panel: 47 ps at N=8 up to 106.4 ps at N=32."""
+
+    def test_n8(self):
+        assert core_path_latency(8).total_ps == pytest.approx(47.0, rel=0.05)
+
+    def test_n32(self):
+        assert core_path_latency(32).total_ps == pytest.approx(106.4, rel=0.05)
+
+    def test_optics_grows_linearly(self):
+        """Paper: 'the optics latency increases approximately linearly'."""
+        step1 = core_path_latency(16).optics - core_path_latency(8).optics
+        step2 = core_path_latency(24).optics - core_path_latency(16).optics
+        assert step1 == pytest.approx(step2, rel=1e-9)
+
+    def test_eo_oe_constant(self):
+        """Paper: 'the EO/OE latency remains almost the same'."""
+        assert core_path_latency(8).eo_oe == core_path_latency(32).eo_oe
+
+    def test_below_clock_period(self):
+        """Path latency never exceeds the 200 ps cycle at paper sizes."""
+        for n in (8, 12, 16, 24, 32):
+            assert core_path_latency(n).total < 200e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            core_path_latency(0)
+
+
+class TestGEMMCycleCounting:
+    @pytest.fixture
+    def cfg(self):
+        return lt_base()
+
+    def test_tile_count(self, cfg):
+        op = GEMMOp("x", m=197, k=64, n=197, count=36)
+        assert gemm_tile_count(cfg, op) == 17 * 6 * 17 * 36
+
+    def test_cycles_divide_over_cores(self, cfg):
+        op = GEMMOp("x", m=24, k=12, n=48)  # 2*1*4 = 8 tiles, 8 cores
+        assert gemm_cycles(cfg, op) == 1
+
+    def test_cycles_round_up(self, cfg):
+        op = GEMMOp("x", m=24, k=12, n=54)  # 2*1*5 = 10 tiles
+        assert gemm_cycles(cfg, op) == 2
+
+    def test_workload_cycles_sum(self, cfg):
+        ops = [GEMMOp("a", 12, 12, 12), GEMMOp("b", 12, 12, 12)]
+        assert workload_cycles(cfg, ops) == 2
+
+
+class TestTableVLatency:
+    """LT-B latency on DeiT-T/B reproduces Table V essentially exactly."""
+
+    @pytest.fixture
+    def cfg(self):
+        return lt_base(4)
+
+    def test_deit_tiny_mha(self, cfg):
+        mha = filter_module(gemm_trace(deit_tiny()), MODULE_ATTENTION)
+        assert workload_latency(cfg, mha) / MS == pytest.approx(3.12e-3, rel=0.02)
+
+    def test_deit_tiny_ffn(self, cfg):
+        ffn = filter_module(gemm_trace(deit_tiny()), MODULE_FFN)
+        assert workload_latency(cfg, ffn) / MS == pytest.approx(1.04e-2, rel=0.02)
+
+    def test_deit_tiny_all(self, cfg):
+        trace = gemm_trace(deit_tiny())
+        assert workload_latency(cfg, trace) / MS == pytest.approx(1.94e-2, rel=0.03)
+
+    def test_deit_base_mha(self, cfg):
+        mha = filter_module(gemm_trace(deit_base()), MODULE_ATTENTION)
+        assert workload_latency(cfg, mha) / MS == pytest.approx(1.25e-2, rel=0.02)
+
+    def test_deit_base_all(self, cfg):
+        trace = gemm_trace(deit_base())
+        assert workload_latency(cfg, trace) / MS == pytest.approx(2.65e-1, rel=0.03)
+
+    def test_latency_precision_independent(self):
+        """Table V: LT-B latency identical at 4-bit and 8-bit."""
+        trace = gemm_trace(deit_tiny())
+        assert workload_latency(lt_base(4), trace) == workload_latency(
+            lt_base(8), trace
+        )
+
+
+class TestThroughput:
+    def test_effective_below_peak(self):
+        cfg = lt_base()
+        trace = gemm_trace(deit_tiny())
+        assert effective_throughput_ops(cfg, trace) < cfg.peak_ops
+
+    def test_perfectly_tiled_hits_peak(self):
+        cfg = lt_base()
+        op = GEMMOp("fit", m=12 * 8, k=12, n=12)  # exactly 8 tiles
+        assert effective_throughput_ops(cfg, [op]) == pytest.approx(cfg.peak_ops)

@@ -1,0 +1,111 @@
+"""Tests for the SRAM/HBM memory models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch import MemorySystem, SRAMMacro, HBMModel, lt_base, lt_large
+from repro.units import MM2, PJ
+
+
+class TestSRAMMacro:
+    def test_bank_count(self):
+        assert SRAMMacro(2 * 1024 * 1024).n_banks == 64
+        assert SRAMMacro(32 * 1024).n_banks == 1
+        assert SRAMMacro(33 * 1024).n_banks == 2
+
+    def test_zero_size(self):
+        macro = SRAMMacro(0)
+        assert macro.area == 0.0
+        assert macro.leakage_power == 0.0
+        assert macro.access_energy(0) == 0.0
+
+    def test_area_grows_with_size(self):
+        assert SRAMMacro(64 * 1024).area > SRAMMacro(32 * 1024).area
+
+    def test_2mb_area_plausible(self):
+        """The banked 2 MB global SRAM lands near the paper's memory share."""
+        area = SRAMMacro(2 * 1024 * 1024).area
+        assert 8 * MM2 < area < 16 * MM2
+
+    def test_leakage_scales_linearly(self):
+        assert SRAMMacro(2048).leakage_power == pytest.approx(
+            2 * SRAMMacro(1024).leakage_power
+        )
+
+    def test_access_energy_per_byte_band(self):
+        """32 KB subarray access energy is a few hundred fJ/byte at 14 nm."""
+        energy = SRAMMacro(32 * 1024).access_energy_per_byte
+        assert 0.1 * PJ < energy < 1.0 * PJ
+
+    def test_larger_banks_cost_more_per_byte(self):
+        small = SRAMMacro(4 * 1024, bank_bytes=4 * 1024)
+        large = SRAMMacro(64 * 1024, bank_bytes=64 * 1024)
+        assert large.access_energy_per_byte > small.access_energy_per_byte
+
+    def test_access_energy_linear_in_bytes(self):
+        macro = SRAMMacro(32 * 1024)
+        assert macro.access_energy(100) == pytest.approx(
+            100 * macro.access_energy_per_byte
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SRAMMacro(-1)
+        with pytest.raises(ValueError):
+            SRAMMacro(1024).access_energy(-5)
+
+    @given(size=st.integers(min_value=1, max_value=int(1e8)))
+    def test_area_positive_and_monotone_floor(self, size):
+        macro = SRAMMacro(size)
+        assert macro.area > 0
+        assert macro.n_banks >= 1
+
+
+class TestHBM:
+    def test_defaults(self):
+        hbm = HBMModel()
+        assert hbm.bandwidth == pytest.approx(1e12)
+
+    def test_transfer_time(self):
+        hbm = HBMModel()
+        assert hbm.transfer_time(1e12) == pytest.approx(1.0)
+
+    def test_access_energy(self):
+        hbm = HBMModel()
+        # ~3.9 pJ/bit -> ~31 pJ/byte
+        assert hbm.access_energy(1) == pytest.approx(31.2 * PJ)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HBMModel().access_energy(-1)
+        with pytest.raises(ValueError):
+            HBMModel().transfer_time(-1)
+
+
+class TestMemorySystem:
+    def test_lt_base_total_area_band(self):
+        """Fig. 7: memory is ~25 % of the 60.3 mm^2 LT-B chip."""
+        system = MemorySystem(lt_base())
+        assert 12 * MM2 < system.total_area < 18 * MM2
+
+    def test_lt_large_roughly_doubles(self):
+        base = MemorySystem(lt_base()).total_area
+        large = MemorySystem(lt_large()).total_area
+        assert 1.7 < large / base < 2.3
+
+    def test_leakage_small_vs_chip_power(self):
+        """Memory static power is in the 'others' sliver of Fig. 8."""
+        assert MemorySystem(lt_base()).total_leakage < 0.2
+
+    def test_energy_rate_accessors_positive(self):
+        system = MemorySystem(lt_base())
+        assert system.operand_feed_energy_per_byte > 0
+        assert system.staging_energy_per_byte > 0
+        assert system.output_store_energy_per_byte > 0
+
+    def test_staging_costs_more_than_feeding(self):
+        """Global+tile staging moves through bigger arrays than the
+        core-local DAC feed buffers."""
+        system = MemorySystem(lt_base())
+        assert system.staging_energy_per_byte > system.operand_feed_energy_per_byte

@@ -1,0 +1,147 @@
+"""Property-based invariants of the performance models.
+
+These pin down structural properties that must hold for *any* workload,
+not just the paper's: energy additivity, monotonicity in problem size,
+and that every optimization knob only ever helps.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    ArchOptimizations,
+    LTEnergyModel,
+    gemm_cycles,
+    gemm_tile_count,
+    lt_base,
+    lt_crossbar_base,
+    workload_latency,
+)
+from repro.workloads import MODULE_ATTENTION, MODULE_FFN, GEMMOp
+
+dims = st.integers(min_value=1, max_value=512)
+counts = st.integers(min_value=1, max_value=24)
+
+
+def make_op(m, k, n, count=1, dynamic=False):
+    module = MODULE_ATTENTION if dynamic else MODULE_FFN
+    return GEMMOp("op", m, k, n, module=module, dynamic=dynamic, count=count)
+
+
+class TestCycleInvariants:
+    @settings(max_examples=60)
+    @given(m=dims, k=dims, n=dims, count=counts)
+    def test_tiles_scale_linearly_with_count(self, m, k, n, count):
+        config = lt_base()
+        single = gemm_tile_count(config, make_op(m, k, n, 1))
+        repeated = gemm_tile_count(config, make_op(m, k, n, count))
+        assert repeated == count * single
+
+    @settings(max_examples=60)
+    @given(m=dims, k=dims, n=dims)
+    def test_cycles_cover_all_macs(self, m, k, n):
+        """Provisioned MACs can never be fewer than useful MACs."""
+        config = lt_base()
+        op = make_op(m, k, n)
+        provisioned = (
+            gemm_cycles(config, op)
+            * config.n_cores
+            * config.geometry.macs_per_cycle
+        )
+        assert provisioned >= op.macs
+
+    @settings(max_examples=60)
+    @given(m=dims, k=dims, n=dims)
+    def test_latency_monotone_in_each_dim(self, m, k, n):
+        config = lt_base()
+        base = workload_latency(config, [make_op(m, k, n)])
+        assert workload_latency(config, [make_op(m + 13, k, n)]) >= base
+        assert workload_latency(config, [make_op(m, k + 13, n)]) >= base
+        assert workload_latency(config, [make_op(m, k, n + 13)]) >= base
+
+
+class TestEnergyInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(m=dims, k=dims, n=dims, dynamic=st.booleans())
+    def test_energy_additive_over_trace(self, m, k, n, dynamic):
+        model = LTEnergyModel(lt_base())
+        op = make_op(m, k, n, dynamic=dynamic)
+        single = model.gemm_energy(op).total
+        double = model.workload_energy([op, op]).total
+        assert double == pytest.approx(2 * single, rel=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(m=dims, k=dims, n=dims, dynamic=st.booleans())
+    def test_all_categories_nonnegative(self, m, k, n, dynamic):
+        model = LTEnergyModel(lt_base())
+        report = model.gemm_energy(make_op(m, k, n, dynamic=dynamic))
+        assert all(v >= 0 for v in report.by_category.values())
+        assert report.total > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(m=dims, k=dims, n=dims, dynamic=st.booleans())
+    def test_arch_optimizations_never_hurt(self, m, k, n, dynamic):
+        """The full LT-B feature set is at most as expensive as the
+        crossbar-only variant on every GEMM shape."""
+        op = make_op(m, k, n, dynamic=dynamic)
+        full = LTEnergyModel(lt_base()).gemm_energy(op).total
+        stripped = LTEnergyModel(lt_crossbar_base()).gemm_energy(op).total
+        assert full <= stripped * (1 + 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(m=dims, k=dims, n=dims)
+    def test_8bit_costs_more_than_4bit(self, m, k, n):
+        op = make_op(m, k, n)
+        e4 = LTEnergyModel(lt_base(4)).gemm_energy(op).total
+        e8 = LTEnergyModel(lt_base(8)).gemm_energy(op).total
+        assert e8 > e4
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        m=dims,
+        k=dims,
+        n=dims,
+        depth=st.integers(min_value=1, max_value=8),
+    )
+    def test_deeper_accumulation_never_raises_adc_energy(self, m, k, n, depth):
+        op = make_op(m, k, n)
+        shallow = ArchOptimizations(temporal_accumulation_depth=depth)
+        deep = ArchOptimizations(temporal_accumulation_depth=depth + 1)
+        e_shallow = (
+            LTEnergyModel(lt_base().with_optimizations(shallow))
+            .gemm_energy(op)
+            .by_category["adc"]
+        )
+        e_deep = (
+            LTEnergyModel(lt_base().with_optimizations(deep))
+            .gemm_energy(op)
+            .by_category["adc"]
+        )
+        assert e_deep <= e_shallow * (1 + 1e-9)
+
+
+class TestEncodingInvariants:
+    @settings(max_examples=60)
+    @given(m=dims, k=dims, n=dims, dynamic=st.booleans())
+    def test_encodings_cover_operand_tiles(self, m, k, n, dynamic):
+        """Every tile-MM encodes at least Nh*Nl + Nl*Nv/Nt scalars."""
+        model = LTEnergyModel(lt_base())
+        op = make_op(m, k, n, dynamic=dynamic)
+        op1, op2 = model.encoding_counts(op)
+        tiles = gemm_tile_count(lt_base(), op)
+        geometry = lt_base().geometry
+        per_tile_floor = geometry.n_h * geometry.n_lambda / lt_base().n_tiles
+        assert op1 + op2 >= tiles * per_tile_floor
+
+    @settings(max_examples=60)
+    @given(m=dims, k=dims, n=dims)
+    def test_broadcast_sharing_bounded_by_tiles(self, m, k, n):
+        """Inter-core sharing can cut op2 by at most Nt."""
+        op = make_op(m, k, n)
+        _, op2_shared = LTEnergyModel(lt_base()).encoding_counts(op)
+        _, op2_plain = LTEnergyModel(lt_crossbar_base()).encoding_counts(op)
+        ratio = op2_plain / op2_shared
+        assert 1.0 - 1e-9 <= ratio <= lt_base().n_tiles + 1e-9

@@ -1,0 +1,100 @@
+"""Tests for the power model: Fig. 8 breakdowns and Fig. 9 scaling."""
+
+import pytest
+
+from repro.arch import (
+    laser_power,
+    lt_base,
+    lt_large,
+    power_breakdown,
+    single_core,
+    single_core_power_breakdown,
+)
+
+
+class TestFig8Totals:
+    def test_lt_base_4bit(self):
+        """Paper: 14.75 W."""
+        assert power_breakdown(lt_base(4)).total == pytest.approx(14.75, rel=0.05)
+
+    def test_lt_base_8bit(self):
+        """Paper: 50.94 W."""
+        assert power_breakdown(lt_base(8)).total == pytest.approx(50.94, rel=0.08)
+
+    def test_lt_large_4bit(self):
+        """Paper: 28.06 W."""
+        assert power_breakdown(lt_large(4)).total == pytest.approx(28.06, rel=0.05)
+
+    def test_lt_large_8bit(self):
+        """Paper: 95.92 W."""
+        assert power_breakdown(lt_large(8)).total == pytest.approx(95.92, rel=0.08)
+
+    def test_8bit_more_than_3x_4bit(self):
+        """Paper: 'the 8-bit LT-B consumes more than three times the
+        power of the 4-bit one'."""
+        ratio = power_breakdown(lt_base(8)).total / power_breakdown(lt_base(4)).total
+        assert ratio > 3.0
+
+
+class TestFig8Breakdown:
+    def test_8bit_dac_over_half(self):
+        """Paper: high-bit DACs account for over 50 % of 8-bit power."""
+        breakdown = power_breakdown(lt_base(8))
+        assert breakdown.fraction("dac") > 0.45
+
+    def test_4bit_encoding_dominates(self):
+        """Operand encoding (DAC + modulation) is the dominant 4-bit cost."""
+        breakdown = power_breakdown(lt_base(4))
+        encoding = breakdown.by_category["dac"] + breakdown.by_category["modulation"]
+        assert encoding / breakdown.total > 0.35
+
+    def test_laser_power_4bit(self):
+        """Paper: 0.77 W laser at 4-bit."""
+        assert laser_power(lt_base(4)) == pytest.approx(0.77, rel=0.25)
+
+    def test_laser_power_8bit(self):
+        """Paper: 12.3 W laser at 8-bit (16x the 4-bit value)."""
+        assert laser_power(lt_base(8)) == pytest.approx(12.3, rel=0.25)
+        assert laser_power(lt_base(8)) == pytest.approx(
+            16 * laser_power(lt_base(4)), rel=1e-9
+        )
+
+    def test_all_categories_positive(self):
+        assert all(v > 0 for v in power_breakdown(lt_base()).by_category.values())
+
+
+class TestFig9PowerScaling:
+    """Single 4-bit core power vs size (paper: 1.1 W at 8 -> 17 W at 32)."""
+
+    def test_core_size_8(self):
+        total = single_core_power_breakdown(single_core(8)).total
+        assert total == pytest.approx(1.1, rel=0.20)
+
+    def test_core_size_12(self):
+        total = single_core_power_breakdown(single_core(12)).total
+        assert total == pytest.approx(2.4, rel=0.15)
+
+    def test_core_size_32(self):
+        total = single_core_power_breakdown(single_core(32)).total
+        assert total == pytest.approx(17.0, rel=0.12)
+
+    def test_monotone(self):
+        powers = [
+            single_core_power_breakdown(single_core(n)).total
+            for n in (8, 12, 16, 24, 32)
+        ]
+        assert powers == sorted(powers)
+
+    def test_modulation_and_converters_take_lions_share(self):
+        """Paper: 'modulation, ADC, and DAC take the lion's share'."""
+        breakdown = single_core_power_breakdown(single_core(16))
+        share = (
+            breakdown.by_category["modulation"]
+            + breakdown.by_category["dac"]
+            + breakdown.by_category["adc"]
+        ) / breakdown.total
+        assert share > 0.4
+
+    def test_excludes_memory_and_digital(self):
+        categories = single_core_power_breakdown(single_core(8)).by_category
+        assert set(categories) == {"dac", "adc", "modulation", "detection", "laser"}

@@ -1,0 +1,137 @@
+"""Tests for the weight-static baseline machinery and Table I data."""
+
+import pytest
+
+from repro.baselines import (
+    TABLE_I,
+    WeightStaticAccelerator,
+    WeightStaticConfig,
+)
+from repro.workloads import MODULE_FFN, GEMMOp
+
+
+class TestTableI:
+    def test_all_designs_present(self):
+        assert set(TABLE_I) == {"mzi", "pcm", "mrr1", "mrr2", "dptc"}
+
+    def test_only_dptc_has_both_capabilities(self):
+        """Table I's punchline: only DPTC supports dynamic MM *and*
+        overhead-free full-range MM."""
+        both = [
+            key
+            for key, caps in TABLE_I.items()
+            if caps.dynamic_mm and caps.full_range_no_overhead
+        ]
+        assert both == ["dptc"]
+
+    def test_mzi_full_range_but_static(self):
+        caps = TABLE_I["mzi"]
+        assert caps.full_range_no_overhead and not caps.dynamic_mm
+        assert caps.mapping_cost == "high"
+
+    def test_mrr_dynamic_but_restricted(self):
+        caps = TABLE_I["mrr1"]
+        assert caps.dynamic_mm and not caps.full_range_no_overhead
+
+    def test_dptc_is_mm_class(self):
+        assert TABLE_I["dptc"].operation == "MM"
+        assert TABLE_I["mrr1"].operation == "MVM"
+
+
+@pytest.fixture
+def simple_config():
+    return WeightStaticConfig(
+        name="test",
+        n_cores=4,
+        k=8,
+        bits=4,
+        decomposition_runs=2,
+        reconfig_time=1e-6,
+        path_loss_db=10.0,
+        channels_per_core=8,
+        locking_power_per_core=0.1,
+        input_mod_energy=1e-13,
+    )
+
+
+class TestTiming:
+    def test_weight_tiles(self, simple_config):
+        acc = WeightStaticAccelerator(simple_config)
+        op = GEMMOp("fc", m=100, k=16, n=24, module=MODULE_FFN)
+        assert acc.op_weight_tiles(op) == 2 * 3  # ceil(16/8) * ceil(24/8)
+
+    def test_stream_cycles_include_decomposition(self, simple_config):
+        acc = WeightStaticAccelerator(simple_config)
+        op = GEMMOp("fc", m=100, k=16, n=24, module=MODULE_FFN)
+        assert acc.op_stream_cycles(op) == 6 * 100 * 2
+
+    def test_active_time_parallel_over_cores(self, simple_config):
+        acc = WeightStaticAccelerator(simple_config)
+        op = GEMMOp("fc", m=100, k=16, n=24, module=MODULE_FFN)
+        expected_cycles = -(-acc.op_stream_cycles(op) // 4)
+        assert acc.op_active_time(op) == pytest.approx(
+            expected_cycles * simple_config.cycle_time
+        )
+
+    def test_reconfig_time_added_to_latency(self, simple_config):
+        acc = WeightStaticAccelerator(simple_config)
+        op = GEMMOp("fc", m=10, k=8, n=8, module=MODULE_FFN)
+        assert acc.op_latency(op) > acc.op_active_time(op)
+        assert acc.op_reconfig_time(op) == pytest.approx(1e-6)
+
+    def test_count_scales_tiles(self, simple_config):
+        acc = WeightStaticAccelerator(simple_config)
+        single = GEMMOp("fc", m=10, k=8, n=8, module=MODULE_FFN)
+        repeated = GEMMOp("fc", m=10, k=8, n=8, module=MODULE_FFN, count=5)
+        assert acc.op_weight_tiles(repeated) == 5 * acc.op_weight_tiles(single)
+
+
+class TestEnergy:
+    def test_locking_charged_over_active_time(self, simple_config):
+        acc = WeightStaticAccelerator(simple_config)
+        op = GEMMOp("fc", m=1000, k=8, n=8, module=MODULE_FFN)
+        report = acc.op_energy(op)
+        expected = 0.1 * 4 * acc.op_active_time(op)
+        assert report.by_category["op1-mod"] == pytest.approx(expected)
+
+    def test_energy_positive_all_core_categories(self, simple_config):
+        acc = WeightStaticAccelerator(simple_config)
+        op = GEMMOp("fc", m=100, k=16, n=16, module=MODULE_FFN)
+        report = acc.op_energy(op)
+        for category in ("op1-dac", "op2-dac", "det", "adc", "laser", "static"):
+            assert report.by_category[category] > 0
+
+    def test_decomposition_doubles_streaming_energy(self):
+        def make(runs):
+            return WeightStaticAccelerator(
+                WeightStaticConfig(
+                    name="t", n_cores=1, k=8, decomposition_runs=runs,
+                    path_loss_db=10.0, channels_per_core=8,
+                )
+            )
+
+        op = GEMMOp("fc", m=64, k=8, n=8, module=MODULE_FFN)
+        single = make(1).op_energy(op)
+        double = make(2).op_energy(op)
+        assert double.by_category["op2-dac"] == pytest.approx(
+            2 * single.by_category["op2-dac"]
+        )
+        assert double.by_category["adc"] == pytest.approx(
+            2 * single.by_category["adc"]
+        )
+
+    def test_run_aggregates(self, simple_config):
+        acc = WeightStaticAccelerator(simple_config)
+        ops = [GEMMOp("a", 16, 8, 8, module=MODULE_FFN) for _ in range(3)]
+        result = acc.run(ops, workload="triple")
+        assert result.workload == "triple"
+        assert result.latency >= result.active_time
+        assert result.energy.total == pytest.approx(
+            sum(acc.op_energy(op).total for op in ops)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightStaticConfig(name="bad", n_cores=0, k=8)
+        with pytest.raises(ValueError):
+            WeightStaticConfig(name="bad", n_cores=1, k=8, decomposition_runs=0)

@@ -1,0 +1,92 @@
+"""Tests for the electronic roofline platforms (Fig. 13 comparison set)."""
+
+import pytest
+
+from repro.arch import LighteningTransformer, lt_base
+from repro.baselines import (
+    ElectronicPlatform,
+    all_platforms,
+    cpu_i7_9750h,
+    edge_tpu,
+    fpga_transformer_accelerator,
+    gpu_a100,
+)
+from repro.workloads import deit_base, deit_tiny, gemm_trace
+
+
+class TestPlatformModels:
+    def test_four_platforms(self):
+        names = [p.name for p in all_platforms()]
+        assert len(names) == 4
+        assert any("A100" in n for n in names)
+        assert any("CPU" in n for n in names)
+
+    def test_latency_scales_with_model_size(self):
+        gpu = gpu_a100()
+        assert gpu.latency(deit_base()) > gpu.latency(deit_tiny())
+
+    def test_energy_scales_with_model_size(self):
+        cpu = cpu_i7_9750h()
+        assert cpu.energy(deit_base()) > cpu.energy(deit_tiny())
+
+    def test_fps_inverse_of_latency(self):
+        tpu = edge_tpu()
+        assert tpu.fps(deit_tiny()) == pytest.approx(1.0 / tpu.latency(deit_tiny()))
+
+    def test_edp_consistent(self):
+        fpga = fpga_transformer_accelerator()
+        trace = gemm_trace(deit_tiny())
+        assert fpga.edp(trace) == pytest.approx(
+            fpga.energy(trace) * fpga.latency(trace)
+        )
+
+    def test_accepts_trace_or_config(self):
+        gpu = gpu_a100()
+        assert gpu.energy(deit_tiny()) == pytest.approx(
+            gpu.energy(gemm_trace(deit_tiny()))
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElectronicPlatform("bad", peak_ops=0, utilization=0.5, ops_per_joule=1)
+        with pytest.raises(ValueError):
+            ElectronicPlatform("bad", peak_ops=1, utilization=1.5, ops_per_joule=1)
+
+
+class TestFig13Shape:
+    """The paper's headline cross-platform claims."""
+
+    @pytest.fixture(scope="class")
+    def lt_result(self):
+        return LighteningTransformer(lt_base(4)).run(deit_tiny())
+
+    def test_lt_beats_cpu_by_hundreds_x_energy(self, lt_result):
+        ratio = cpu_i7_9750h().energy(deit_tiny()) / lt_result.energy_joules
+        assert ratio > 150  # paper: >300x
+
+    def test_lt_beats_gpu_energy(self, lt_result):
+        ratio = gpu_a100().energy(deit_tiny()) / lt_result.energy_joules
+        assert 3 < ratio < 20  # paper: ~6.6x
+
+    def test_lt_beats_edge_tpu_energy(self, lt_result):
+        ratio = edge_tpu().energy(deit_tiny()) / lt_result.energy_joules
+        assert ratio > 8  # paper: ~18x
+
+    def test_lt_beats_fpga_energy(self, lt_result):
+        ratio = (
+            fpga_transformer_accelerator().energy(deit_tiny())
+            / lt_result.energy_joules
+        )
+        assert ratio > 8  # paper: ~20x
+
+    def test_lt_highest_throughput(self, lt_result):
+        """Paper: LT achieves the highest FPS among all platforms,
+        even with the 4-tile LT-B."""
+        for platform in all_platforms():
+            assert lt_result.fps > platform.fps(deit_tiny())
+
+    def test_edp_orders_of_magnitude(self, lt_result):
+        """2-3 orders of magnitude EDP advantage over electronics."""
+        lt_edp = lt_result.edp
+        for platform in all_platforms():
+            assert platform.edp(deit_tiny()) / lt_edp > 50

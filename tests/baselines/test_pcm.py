@@ -1,0 +1,102 @@
+"""Tests for the PCM-crossbar baseline (Table I's third prior design)."""
+
+import pytest
+
+from repro.arch import LighteningTransformer, lt_base
+from repro.baselines import (
+    PCM_DECOMPOSITION_RUNS,
+    PCMAccelerator,
+    MRRAccelerator,
+    pcm_core_area,
+    pcm_path_loss_db,
+)
+from repro.units import MM2
+from repro.workloads import (
+    MODULE_ATTENTION,
+    MODULE_FFN,
+    GEMMOp,
+    deit_tiny,
+    gemm_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def pcm():
+    return PCMAccelerator(bits=4)
+
+
+class TestConfiguration:
+    def test_four_product_decomposition(self, pcm):
+        """Positive-only on both operands: (X+-X-)(Y+-Y-) needs 4 runs."""
+        assert pcm.config.decomposition_runs == PCM_DECOMPOSITION_RUNS == 4
+
+    def test_zero_locking_power(self, pcm):
+        """Non-volatile PCM holds weights at zero static power."""
+        assert pcm.config.locking_power_per_core == 0.0
+
+    def test_slow_reconfiguration(self, pcm):
+        """Device writes are in the paper's 10 ns - 10 us band."""
+        assert 10e-9 <= pcm.config.reconfig_time <= 10e-6
+
+    def test_core_area_band(self):
+        assert 0.5 * MM2 < pcm_core_area(12) < 5 * MM2
+
+    def test_loss_budget_moderate(self):
+        assert 3 < pcm_path_loss_db(12) < 15
+
+    def test_area_matched_cores(self, pcm):
+        assert 10 <= pcm.config.n_cores <= 40
+
+
+class TestExecutionCharacteristics:
+    def test_mm_throughput_beats_mvm(self, pcm):
+        """PCM is an MM core: it streams k vectors per cycle."""
+        op = GEMMOp("fc", m=120, k=12, n=12, module=MODULE_FFN)
+        mvm_cycles = pcm.op_weight_tiles(op) * op.m * pcm.config.decomposition_runs
+        assert pcm.op_stream_cycles(op) == mvm_cycles // pcm.config.k
+
+    def test_dynamic_ops_pay_rewrite_stalls(self, pcm):
+        static = GEMMOp("fc", 197, 192, 192, module=MODULE_FFN)
+        dynamic = GEMMOp(
+            "qkt", 197, 192, 192, module=MODULE_ATTENTION, dynamic=True
+        )
+        assert pcm.op_reconfig_time(dynamic) == pytest.approx(
+            4 * pcm.op_reconfig_time(static)
+        )
+
+    def test_dynamic_ops_pay_write_energy(self, pcm):
+        static = GEMMOp("fc", 197, 192, 192, module=MODULE_FFN)
+        dynamic = GEMMOp(
+            "qkt", 197, 192, 192, module=MODULE_ATTENTION, dynamic=True
+        )
+        static_writes = pcm.op_energy(static).by_category["op1-mod"]
+        dynamic_writes = pcm.op_energy(dynamic).by_category["op1-mod"]
+        assert dynamic_writes > 3 * static_writes
+
+
+class TestTableIShape:
+    """PCM loses to LT on Transformers: reprogramming + decomposition."""
+
+    def test_lt_wins_latency_by_orders(self, pcm):
+        trace = gemm_trace(deit_tiny())
+        lt = LighteningTransformer(lt_base(4)).run(trace)
+        run = pcm.run(trace)
+        assert run.latency / lt.latency > 30
+
+    def test_lt_wins_energy(self, pcm):
+        trace = gemm_trace(deit_tiny())
+        lt = LighteningTransformer(lt_base(4)).run(trace)
+        assert pcm.run(trace).energy_joules > lt.energy_joules
+
+    def test_pcm_between_mrr_and_mzi_on_attention_latency(self, pcm):
+        """Reprogramming is slower than MRR streaming but the one-shot MM
+        keeps PCM ahead of the fully reconfiguration-bound MZI."""
+        from repro.baselines import MZIAccelerator
+
+        attention = [
+            op for op in gemm_trace(deit_tiny()) if op.module == MODULE_ATTENTION
+        ]
+        mrr_latency = MRRAccelerator(bits=4).run(attention).latency
+        mzi_latency = MZIAccelerator(bits=4).run(attention).latency
+        pcm_latency = pcm.run(attention).latency
+        assert pcm_latency > mrr_latency

@@ -1,0 +1,145 @@
+"""Tests for the MZI and MRR baselines: the Table V comparison shape."""
+
+import pytest
+
+from repro.arch import LighteningTransformer, lt_base
+from repro.baselines import (
+    MRRAccelerator,
+    MZIAccelerator,
+    mrr_core_area,
+    mzi_core_area,
+    mzi_path_loss_db,
+    mrr_path_loss_db,
+)
+from repro.units import MM2
+from repro.workloads import (
+    MODULE_ATTENTION,
+    MODULE_FFN,
+    GEMMOp,
+    deit_tiny,
+    filter_module,
+    gemm_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def lt():
+    return LighteningTransformer(lt_base(4))
+
+
+@pytest.fixture(scope="module")
+def mrr():
+    return MRRAccelerator(bits=4)
+
+
+@pytest.fixture(scope="module")
+def mzi():
+    return MZIAccelerator(bits=4)
+
+
+@pytest.fixture(scope="module")
+def deit_trace():
+    return gemm_trace(deit_tiny())
+
+
+class TestAreaMatching:
+    def test_mrr_core_area_band(self):
+        assert 1.0 * MM2 < mrr_core_area(12) < 4.0 * MM2
+
+    def test_mzi_core_larger_than_mrr(self):
+        """The bulky MZI mesh limits how many cores fit (paper Sec. V-C)."""
+        assert mzi_core_area(12) > mrr_core_area(12)
+
+    def test_core_counts_area_matched(self, mrr, mzi):
+        assert 10 <= mrr.config.n_cores <= 24
+        assert 6 <= mzi.config.n_cores <= 14
+        assert mzi.config.n_cores < mrr.config.n_cores
+
+
+class TestLossBudgets:
+    def test_mzi_mesh_loss_is_prohibitive(self):
+        """Deeply cascaded MZIs: tens of dB (paper: laser dominates)."""
+        assert mzi_path_loss_db(12) > 25.0
+
+    def test_mrr_loss_moderate(self):
+        assert 5.0 < mrr_path_loss_db(12) < 15.0
+
+    def test_mzi_loss_grows_with_mesh(self):
+        assert mzi_path_loss_db(24) > mzi_path_loss_db(12)
+
+
+class TestTableVShape:
+    """Who wins, by roughly what factor (paper Table V, 4-bit)."""
+
+    def test_mrr_energy_ratio(self, lt, mrr, deit_trace):
+        ratio = mrr.run(deit_trace).energy_joules / lt.run(deit_trace).energy_joules
+        assert ratio == pytest.approx(4.0, rel=0.4)  # paper avg: 4.03x
+
+    def test_mrr_latency_ratio(self, lt, mrr, deit_trace):
+        ratio = mrr.run(deit_trace).latency / lt.run(deit_trace).latency
+        assert ratio == pytest.approx(12.8, rel=0.35)  # paper avg: 12.85x
+
+    def test_mzi_latency_hundreds_of_x(self, lt, mzi, deit_trace):
+        """Reconfiguration-bound MZI: paper avg 675x."""
+        ratio = mzi.run(deit_trace).latency / lt.run(deit_trace).latency
+        assert 200 < ratio < 1500
+
+    def test_mzi_energy_ratio(self, lt, mzi, deit_trace):
+        ratio = mzi.run(deit_trace).energy_joules / lt.run(deit_trace).energy_joules
+        assert 3.0 < ratio < 16.0  # paper avg: 8.01x
+
+    def test_mzi_edp_orders_of_magnitude(self, lt, mzi, deit_trace):
+        """Paper: 3-4 orders of magnitude EDP gap."""
+        ratio = mzi.run(deit_trace).edp / lt.run(deit_trace).edp
+        assert ratio > 1e3
+
+    def test_mrr_edp(self, lt, mrr, deit_trace):
+        ratio = mrr.run(deit_trace).edp / lt.run(deit_trace).edp
+        assert ratio == pytest.approx(51.8, rel=0.5)  # paper avg: 51.79x
+
+
+class TestMRRCharacteristics:
+    def test_locking_power_dominates_breakdown(self, mrr, deit_trace):
+        """Paper Fig. 11: static operand locking is >40 % of MRR energy
+        on the attention workload."""
+        mha = filter_module(deit_trace, MODULE_ATTENTION)
+        report = mrr.energy(mha)
+        assert report.by_category["op1-mod"] / report.total > 0.25
+
+    def test_decomposition_declared(self, mrr):
+        assert mrr.config.decomposition_runs == 2
+
+    def test_no_reconfig_stall(self, mrr):
+        op = GEMMOp("fc", 100, 24, 24, module=MODULE_FFN)
+        assert mrr.op_reconfig_time(op) == 0.0
+
+
+class TestMZICharacteristics:
+    def test_reconfiguration_dominates_latency(self, mzi):
+        """The 2 us MEMS response makes weight switching the bottleneck."""
+        op = GEMMOp("fc", 197, 192, 768, module=MODULE_FFN, count=12)
+        assert mzi.op_reconfig_time(op) > 10 * mzi.op_active_time(op)
+
+    def test_laser_is_top_energy_category_on_linear(self, mzi):
+        """Paper: MZI laser takes over 75 % of its linear-layer energy."""
+        op = GEMMOp("fc", 197, 192, 768, module=MODULE_FFN, count=12)
+        report = mzi.op_energy(op)
+        laser_share = report.by_category["laser"] / report.total
+        assert laser_share > 0.30
+        assert report.by_category["laser"] == max(report.by_category.values())
+
+    def test_dynamic_ops_delegated_to_mrr(self, mzi):
+        dynamic = GEMMOp(
+            "qkt", 197, 64, 197, module=MODULE_ATTENTION, dynamic=True
+        )
+        assert not mzi.supports(dynamic)
+        assert mzi.op_latency(dynamic) == pytest.approx(
+            mzi.attention_subsystem.op_latency(dynamic)
+        )
+
+    def test_static_ops_on_mesh(self, mzi):
+        static = GEMMOp("fc", 197, 192, 192, module=MODULE_FFN)
+        assert mzi.supports(static)
+
+    def test_full_range_single_pass(self, mzi):
+        assert mzi.config.decomposition_runs == 1

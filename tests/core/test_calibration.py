@@ -1,0 +1,138 @@
+"""Tests for the dispersion-calibration extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CalibratedDPTC,
+    DPTC,
+    DPTCGeometry,
+    NoiseModel,
+    additive_correction,
+    channel_gains,
+    dispersion_error_reduction,
+)
+from repro.core.dispersion import DispersionProfile, dispersion_profile
+from repro.optics import WDMGrid
+
+
+@pytest.fixture
+def profile():
+    return dispersion_profile(WDMGrid(12))
+
+
+def dispersion_only() -> NoiseModel:
+    return NoiseModel(
+        encoding=NoiseModel.ideal().encoding,
+        systematic=NoiseModel.ideal().systematic,
+        include_dispersion=True,
+    )
+
+
+class TestChannelGains:
+    def test_inverts_multiplicative_factor(self, profile):
+        gains = channel_gains(profile, 12)
+        assert np.allclose(gains * profile.multiplicative_factor, 1.0)
+
+    def test_cyclic_tiling(self, profile):
+        gains = channel_gains(profile, 30)
+        assert gains.shape == (30,)
+        assert np.allclose(gains[:12], gains[12:24])
+
+    def test_ideal_profile_gains_are_one(self):
+        gains = channel_gains(DispersionProfile.ideal(8), 8)
+        assert np.allclose(gains, 1.0)
+
+    def test_validation(self, profile):
+        with pytest.raises(ValueError):
+            channel_gains(profile, 0)
+
+    def test_degenerate_profile_rejected(self):
+        degenerate = DispersionProfile(
+            kappa=np.array([0.5]), phase=np.array([0.0])  # sin(0) = 0 gain
+        )
+        with pytest.raises(ValueError):
+            channel_gains(degenerate, 4)
+
+
+class TestAdditiveCorrection:
+    def test_zero_at_ideal_profile(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-1, 1, (4, 8))
+        b = rng.uniform(-1, 1, (8, 4))
+        correction = additive_correction(a, b, DispersionProfile.ideal(8))
+        assert np.allclose(correction, 0.0)
+
+    def test_matches_dptc_error_structure(self, profile):
+        """The correction equals the additive term the engine injects."""
+        geometry = DPTCGeometry(4, 4, 12)
+        rng = np.random.default_rng(1)
+        a = rng.uniform(-1, 1, (4, 12))
+        b = rng.uniform(-1, 1, (12, 4))
+        engine = DPTC(geometry, dispersion_only())
+        # Remove the multiplicative part with exact gains, leaving only
+        # the additive term.
+        gains = channel_gains(profile, 12)
+        raw = engine.matmul(a, b * gains[:, None])
+        beta_a = np.max(np.abs(a))
+        b_comp = b * gains[:, None]
+        beta_b = np.max(np.abs(b_comp))
+        correction = additive_correction(
+            a / beta_a, b_comp / beta_b, profile
+        ) * beta_a * beta_b
+        assert np.allclose(raw - correction, a @ b, atol=1e-12)
+
+
+class TestCalibratedDPTC:
+    def test_dispersion_only_recovers_exact(self):
+        engine = CalibratedDPTC(DPTCGeometry(), dispersion_only())
+        rng = np.random.default_rng(2)
+        a = rng.uniform(-1, 1, (16, 24))
+        b = rng.uniform(-1, 1, (24, 16))
+        assert np.allclose(engine.matmul(a, b), a @ b, atol=1e-10)
+
+    def test_error_reduction_is_large(self):
+        plain, calibrated = dispersion_error_reduction(DPTCGeometry())
+        assert plain > 1e-4
+        assert calibrated < plain / 100
+
+    def test_ideal_model_passthrough(self):
+        engine = CalibratedDPTC(DPTCGeometry(), NoiseModel.ideal())
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(8, 12))
+        b = rng.normal(size=(12, 8))
+        assert np.allclose(engine.matmul(a, b), a @ b)
+
+    def test_stochastic_noise_unaffected(self):
+        """Calibration removes the deterministic bias without touching
+        the stochastic error floor."""
+        rng_data = np.random.default_rng(4)
+        a = rng_data.uniform(-1, 1, (16, 24))
+        b = rng_data.uniform(-1, 1, (24, 16))
+        reference = a @ b
+        noise = NoiseModel.paper_default()
+
+        def mean_error(engine_cls):
+            errors = []
+            for seed in range(10):
+                out = engine_cls(DPTCGeometry(), noise).matmul(
+                    a, b, rng=np.random.default_rng(seed)
+                )
+                errors.append(
+                    np.linalg.norm(out - reference) / np.linalg.norm(reference)
+                )
+            return np.mean(errors)
+
+        plain = mean_error(DPTC)
+        calibrated = mean_error(CalibratedDPTC)
+        assert calibrated == pytest.approx(plain, rel=0.15)
+
+    def test_zero_operands(self):
+        engine = CalibratedDPTC(DPTCGeometry(), dispersion_only())
+        out = engine.matmul(np.zeros((4, 12)), np.ones((12, 4)))
+        assert np.allclose(out, 0.0)
+
+    def test_shape_validation(self):
+        engine = CalibratedDPTC(DPTCGeometry(), dispersion_only())
+        with pytest.raises(ValueError):
+            engine.matmul(np.ones((3, 4)), np.ones((5, 6)))

@@ -1,0 +1,131 @@
+"""Tests for the analytic DDot dot-product engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import DDot, NoiseModel, analytic_output
+from repro.core.noise import EncodingNoise, SystematicNoise
+
+
+@pytest.fixture
+def ideal():
+    return DDot(12, NoiseModel.ideal())
+
+
+class TestIdealDDot:
+    def test_exact_dot_product(self, ideal):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-5, 5, 12)
+        y = rng.uniform(-5, 5, 12)
+        assert ideal.dot(x, y) == pytest.approx(float(x @ y), rel=1e-12)
+
+    def test_full_range_no_decomposition(self, ideal):
+        """Signed operands and signed output in a single shot."""
+        assert ideal.dot(np.array([-2.0, 3.0]), np.array([4.0, -1.0])) == pytest.approx(
+            -11.0
+        )
+
+    def test_operands_beyond_unit_range_are_rescaled(self, ideal):
+        """The beta normalisation makes any dynamic range encodable."""
+        x = np.array([100.0, -50.0])
+        y = np.array([0.001, 0.002])
+        assert ideal.dot(x, y) == pytest.approx(float(x @ y), rel=1e-12)
+
+    def test_zero_operand_returns_zero(self, ideal):
+        assert ideal.dot(np.zeros(4), np.ones(4)) == 0.0
+
+    def test_short_vectors_accepted(self, ideal):
+        assert ideal.dot(np.array([1.0]), np.array([2.0])) == pytest.approx(2.0)
+
+    def test_rejects_vector_longer_than_wavelengths(self, ideal):
+        with pytest.raises(ValueError):
+            ideal.dot(np.zeros(13), np.zeros(13))
+
+    def test_rejects_shape_mismatch(self, ideal):
+        with pytest.raises(ValueError):
+            ideal.dot(np.zeros(3), np.zeros(4))
+
+    def test_rejects_bad_wavelength_count(self):
+        with pytest.raises(ValueError):
+            DDot(0)
+
+
+class TestAnalyticOutput:
+    def test_design_point_is_exact_dot(self):
+        x = np.array([0.5, -0.7])
+        y = np.array([0.3, 0.9])
+        kappa = np.full(2, 0.5)
+        phase = np.full(2, -np.pi / 2)
+        assert analytic_output(x, y, kappa, phase) == pytest.approx(float(x @ y))
+
+    def test_additive_term_sign(self):
+        """kappa > 1/2 weights x^2 negatively (Eq. 9 structure)."""
+        x = np.array([1.0])
+        y = np.array([0.0])
+        out = analytic_output(x, y, np.array([0.6]), np.array([-np.pi / 2]))
+        assert out == pytest.approx(-(2 * 0.6 - 1) * 0.5)
+
+    def test_phase_error_reduces_product_gain(self):
+        x = np.array([1.0])
+        y = np.array([1.0])
+        ideal_out = analytic_output(x, y, np.array([0.5]), np.array([-np.pi / 2]))
+        drifted = analytic_output(
+            x, y, np.array([0.5]), np.array([-np.pi / 2 + 0.3])
+        )
+        assert abs(drifted) < abs(ideal_out)
+
+
+class TestNoisyDDot:
+    def test_noise_perturbs_result(self):
+        ddot = DDot(12, NoiseModel.paper_default())
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, 12)
+        y = rng.uniform(-1, 1, 12)
+        assert ddot.dot(x, y, rng) != pytest.approx(float(x @ y), abs=1e-9)
+
+    def test_noise_unbiased(self):
+        model = NoiseModel(
+            encoding=EncodingNoise(0.03, 2.0),
+            systematic=SystematicNoise(0.05),
+            include_dispersion=False,
+        )
+        ddot = DDot(12, model)
+        rng = np.random.default_rng(9)
+        x = rng.uniform(0.3, 1.0, 12)
+        y = rng.uniform(0.3, 1.0, 12)
+        samples = [ddot.dot(x, y, rng) for _ in range(500)]
+        assert np.mean(samples) == pytest.approx(float(x @ y), rel=0.02)
+
+    def test_relative_error_band(self):
+        """Paper Fig. 6: ~2-4 % relative error for length-12 dot products."""
+        ddot = DDot(12, NoiseModel.paper_default())
+        rng = np.random.default_rng(11)
+        errors = []
+        for _ in range(300):
+            x = rng.uniform(-1, 1, 12)
+            y = rng.uniform(-1, 1, 12)
+            ideal_val = float(x @ y)
+            if abs(ideal_val) < 0.5:
+                continue
+            errors.append(abs(ddot.dot(x, y, rng) - ideal_val) / abs(ideal_val))
+        assert 0.01 < float(np.mean(errors)) < 0.10
+
+    def test_seeded_reproducibility(self):
+        ddot = DDot(8, NoiseModel.paper_default())
+        x = np.linspace(-1, 1, 8)
+        y = np.linspace(0.5, -0.5, 8)
+        a = ddot.dot(x, y, np.random.default_rng(3))
+        b = ddot.dot(x, y, np.random.default_rng(3))
+        assert a == b
+
+    def test_dispersion_only_model_deterministic(self):
+        model = NoiseModel(
+            encoding=EncodingNoise(0.0, 0.0),
+            systematic=SystematicNoise(0.0),
+            include_dispersion=True,
+        )
+        ddot = DDot(12, model)
+        x = np.linspace(-1, 1, 12)
+        y = np.linspace(1, -1, 12)
+        assert ddot.dot(x, y) == ddot.dot(x, y)
+        assert ddot.dot(x, y) == pytest.approx(float(x @ y), abs=0.05)

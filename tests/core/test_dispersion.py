@@ -1,0 +1,69 @@
+"""Tests for the DDot dispersion profile (Fig. 3 reproduction)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DispersionProfile, dispersion_profile
+from repro.optics import WDMGrid
+
+
+class TestIdealProfile:
+    def test_design_point(self):
+        profile = DispersionProfile.ideal(12)
+        assert np.allclose(profile.kappa, 0.5)
+        assert np.allclose(profile.phase, -np.pi / 2)
+
+    def test_factors_at_design_point(self):
+        profile = DispersionProfile.ideal(8)
+        assert np.allclose(profile.multiplicative_factor, 1.0)
+        assert np.allclose(profile.additive_factor, 0.0)
+
+    def test_deviations_zero(self):
+        profile = DispersionProfile.ideal(4)
+        assert profile.max_kappa_deviation() == 0.0
+        assert profile.max_phase_deviation_deg() == 0.0
+
+
+class TestFig3Reproduction:
+    """The paper's dispersion numbers for 25 DWDM channels."""
+
+    @pytest.fixture
+    def profile(self):
+        return dispersion_profile(WDMGrid(25))
+
+    def test_max_kappa_deviation(self, profile):
+        assert profile.max_kappa_deviation() == pytest.approx(0.018, rel=0.1)
+
+    def test_max_phase_deviation(self, profile):
+        assert profile.max_phase_deviation_deg() == pytest.approx(0.28, abs=0.02)
+
+    def test_multiplicative_factor_second_order_flat(self, profile):
+        """The design point is a local optimum: the x*y gain stays within
+        ~0.1 % even at the worst channel (the robustness argument)."""
+        assert np.max(np.abs(profile.multiplicative_factor - 1.0)) < 1e-3
+
+    def test_additive_factor_small(self, profile):
+        assert np.max(np.abs(profile.additive_factor)) < 0.02
+
+
+class TestScalingWithChannels:
+    def test_more_channels_more_dispersion(self):
+        few = dispersion_profile(WDMGrid(5))
+        many = dispersion_profile(WDMGrid(25))
+        assert many.max_kappa_deviation() > few.max_kappa_deviation()
+        assert many.max_phase_deviation_deg() > few.max_phase_deviation_deg()
+
+    def test_112_channels_still_usable(self):
+        """Wavelength scaling claim: the full FSR-limited comb keeps the
+        multiplicative error below ~2 %."""
+        profile = dispersion_profile(WDMGrid(112))
+        assert np.max(np.abs(profile.multiplicative_factor - 1.0)) < 0.02
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DispersionProfile(kappa=np.zeros(3), phase=np.zeros(4))
+
+    def test_n_channels(self):
+        assert dispersion_profile(WDMGrid(7)).n_channels == 7

@@ -1,0 +1,169 @@
+"""Tests for the DPTC crossbar tensor core."""
+
+import numpy as np
+import pytest
+
+from repro.core import DPTC, DPTCGeometry, NoiseModel
+from repro.core.noise import EncodingNoise, SystematicNoise
+
+
+class TestGeometry:
+    def test_paper_default_dimensions(self):
+        geom = DPTCGeometry()
+        assert (geom.n_h, geom.n_v, geom.n_lambda) == (12, 12, 12)
+
+    def test_macs_per_cycle(self):
+        assert DPTCGeometry(12, 12, 12).macs_per_cycle == 1728
+        assert DPTCGeometry(8, 8, 8).macs_per_cycle == 512
+
+    def test_ops_per_cycle_is_twice_macs(self):
+        geom = DPTCGeometry(4, 5, 6)
+        assert geom.ops_per_cycle == 2 * geom.macs_per_cycle
+
+    def test_n_ddots(self):
+        assert DPTCGeometry(3, 7, 12).n_ddots == 21
+
+    def test_tile_counts_exact_fit(self):
+        geom = DPTCGeometry(12, 12, 12)
+        assert geom.tile_counts(24, 36, 12) == (2, 3, 1)
+
+    def test_tile_counts_round_up(self):
+        geom = DPTCGeometry(12, 12, 12)
+        assert geom.tile_counts(13, 1, 25) == (2, 1, 3)
+
+    def test_cycles_deit_attention_shape(self):
+        """197 x 64 x 197 (one DeiT-T attention head QK^T)."""
+        assert DPTCGeometry().cycles(197, 64, 197) == 17 * 6 * 17
+
+    def test_utilization_perfect_fit(self):
+        assert DPTCGeometry(12, 12, 12).utilization(12, 12, 12) == pytest.approx(1.0)
+
+    def test_utilization_poor_fit(self):
+        util = DPTCGeometry(12, 12, 12).utilization(13, 13, 13)
+        assert util == pytest.approx(13**3 / (8 * 1728))
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            DPTCGeometry(0, 12, 12)
+        with pytest.raises(ValueError):
+            DPTCGeometry().cycles(0, 5, 5)
+
+
+class TestEncodingCostModel:
+    """Eq. 6 and the (2*Nh*Nv)/(Nh+Nv) sharing claim."""
+
+    def test_shared_cost(self):
+        geom = DPTCGeometry(12, 12, 12)
+        assert geom.encoding_ops_shared() == 12 * 12 + 12 * 12
+
+    def test_unshared_cost(self):
+        geom = DPTCGeometry(12, 12, 12)
+        assert geom.encoding_ops_unshared() == 2 * 12 * 12 * 12
+
+    def test_paper_12x_saving(self):
+        assert DPTCGeometry(12, 12, 12).encoding_saving() == pytest.approx(12.0)
+
+    def test_saving_formula(self):
+        geom = DPTCGeometry(8, 24, 12)
+        expected = 2 * 8 * 24 / (8 + 24)
+        assert geom.encoding_saving() == pytest.approx(expected)
+
+    def test_tiled_cost_scales(self):
+        geom = DPTCGeometry()
+        assert geom.encoding_ops_shared(3, 2) == 6 * geom.encoding_ops_shared()
+
+
+class TestIdealExecution:
+    def test_matches_numpy(self):
+        dptc = DPTC(noise=NoiseModel.ideal())
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(30, 50))
+        b = rng.normal(size=(50, 20))
+        assert np.allclose(dptc.matmul(a, b), a @ b)
+
+    def test_tile_matmul_shapes_enforced(self):
+        dptc = DPTC(DPTCGeometry(4, 6, 5), noise=NoiseModel.ideal())
+        a = np.ones((4, 5))
+        b = np.ones((5, 6))
+        assert np.allclose(dptc.tile_matmul(a, b), a @ b)
+        with pytest.raises(ValueError):
+            dptc.tile_matmul(np.ones((5, 5)), b)
+        with pytest.raises(ValueError):
+            dptc.tile_matmul(a, np.ones((6, 6)))
+
+    def test_incompatible_shapes_rejected(self):
+        dptc = DPTC(noise=NoiseModel.ideal())
+        with pytest.raises(ValueError):
+            dptc.matmul(np.ones((3, 4)), np.ones((5, 6)))
+
+    def test_grid_channel_mismatch_rejected(self):
+        from repro.optics import WDMGrid
+
+        with pytest.raises(ValueError):
+            DPTC(DPTCGeometry(12, 12, 12), grid=WDMGrid(8))
+
+
+class TestNoisyExecution:
+    def test_zero_matrix_stays_zero(self):
+        dptc = DPTC(noise=NoiseModel.paper_default())
+        out = dptc.matmul(np.zeros((5, 12)), np.ones((12, 5)))
+        assert np.array_equal(out, np.zeros((5, 5)))
+
+    def test_relative_error_reasonable(self):
+        dptc = DPTC(noise=NoiseModel.paper_default())
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(64, 96))
+        b = rng.normal(size=(96, 48))
+        out = dptc.matmul(a, b, rng=rng)
+        rel = np.linalg.norm(out - a @ b) / np.linalg.norm(a @ b)
+        assert rel < 0.15
+
+    def test_unbiased(self):
+        model = NoiseModel(
+            encoding=EncodingNoise(0.03, 2.0),
+            systematic=SystematicNoise(0.05),
+            include_dispersion=False,
+        )
+        dptc = DPTC(noise=model)
+        rng = np.random.default_rng(2)
+        a = rng.uniform(-1, 1, size=(8, 12))
+        b = rng.uniform(-1, 1, size=(12, 8))
+        acc = np.zeros((8, 8))
+        n = 600
+        for _ in range(n):
+            acc += dptc.matmul(a, b, rng=rng)
+        # max-over-64-elements of a 600-sample mean: ~4 sigma headroom
+        assert np.allclose(acc / n, a @ b, atol=0.05)
+
+    def test_dispersion_only_is_deterministic(self):
+        model = NoiseModel(
+            encoding=EncodingNoise(0.0, 0.0),
+            systematic=SystematicNoise(0.0),
+            include_dispersion=True,
+        )
+        dptc = DPTC(noise=model)
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(10, 24))
+        b = rng.normal(size=(24, 10))
+        out1 = dptc.matmul(a, b)
+        out2 = dptc.matmul(a, b)
+        assert np.array_equal(out1, out2)
+        rel = np.linalg.norm(out1 - a @ b) / np.linalg.norm(a @ b)
+        assert rel < 0.02
+
+    def test_scale_invariance_of_relative_error(self):
+        """beta normalisation means absolute operand scale is irrelevant."""
+        dptc = DPTC(noise=NoiseModel.paper_default())
+        a = np.random.default_rng(5).normal(size=(16, 24))
+        b = np.random.default_rng(6).normal(size=(24, 16))
+        out_small = dptc.matmul(a, b, rng=np.random.default_rng(7))
+        out_large = dptc.matmul(1e3 * a, 1e3 * b, rng=np.random.default_rng(7))
+        assert np.allclose(out_large, 1e6 * out_small, rtol=1e-9)
+
+    def test_seeded_reproducibility(self):
+        dptc = DPTC(noise=NoiseModel.paper_default())
+        a = np.ones((4, 12))
+        b = np.ones((12, 4))
+        out1 = dptc.matmul(a, b, rng=np.random.default_rng(0))
+        out2 = dptc.matmul(a, b, rng=np.random.default_rng(0))
+        assert np.array_equal(out1, out2)

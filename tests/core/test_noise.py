@@ -1,0 +1,90 @@
+"""Tests for the Sec. III-C noise model bundle."""
+
+import numpy as np
+import pytest
+
+from repro.core import EncodingNoise, NoiseModel, SystematicNoise
+
+
+class TestEncodingNoise:
+    def test_defaults_match_paper(self):
+        noise = EncodingNoise()
+        assert noise.magnitude_std == pytest.approx(0.03)
+        assert noise.phase_std_deg == pytest.approx(2.0)
+
+    def test_phase_conversion(self):
+        assert EncodingNoise(phase_std_deg=180.0).phase_std_rad == pytest.approx(
+            np.pi
+        )
+
+    def test_magnitude_noise_is_relative(self):
+        """delta_x ~ N(0, (sigma*|x|)^2): bigger values drift more."""
+        noise = EncodingNoise(magnitude_std=0.1, phase_std_deg=0.0)
+        rng = np.random.default_rng(0)
+        small = noise.perturb_magnitude(np.full(20_000, 0.1), rng) - 0.1
+        large = noise.perturb_magnitude(np.full(20_000, 1.0), rng) - 1.0
+        assert np.std(large) == pytest.approx(10 * np.std(small), rel=0.05)
+
+    def test_zero_noise_is_identity(self):
+        noise = EncodingNoise(0.0, 0.0)
+        rng = np.random.default_rng(0)
+        values = np.array([0.1, -0.5, 0.9])
+        assert np.array_equal(noise.perturb_magnitude(values, rng), values)
+        assert np.array_equal(noise.sample_phase((3,), rng), np.zeros(3))
+
+    def test_phase_sample_statistics(self):
+        noise = EncodingNoise(phase_std_deg=2.0)
+        rng = np.random.default_rng(1)
+        phases = noise.sample_phase((50_000,), rng)
+        assert np.std(phases) == pytest.approx(np.radians(2.0), rel=0.03)
+        assert np.mean(phases) == pytest.approx(0.0, abs=1e-3)
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ValueError):
+            EncodingNoise(magnitude_std=-0.1)
+        with pytest.raises(ValueError):
+            EncodingNoise(phase_std_deg=-1.0)
+
+
+class TestSystematicNoise:
+    def test_default_matches_paper(self):
+        assert SystematicNoise().std == pytest.approx(0.05)
+
+    def test_multiplicative_structure(self):
+        """eps is relative: zero outputs stay exactly zero."""
+        noise = SystematicNoise(0.5)
+        rng = np.random.default_rng(0)
+        assert np.array_equal(noise.apply(np.zeros(10), rng), np.zeros(10))
+
+    def test_statistics(self):
+        noise = SystematicNoise(0.05)
+        rng = np.random.default_rng(2)
+        out = noise.apply(np.full(50_000, 2.0), rng)
+        assert np.std(out / 2.0) == pytest.approx(0.05, rel=0.03)
+
+    def test_zero_std_identity(self):
+        rng = np.random.default_rng(0)
+        values = np.array([1.0, -3.0])
+        assert np.array_equal(SystematicNoise(0.0).apply(values, rng), values)
+
+
+class TestNoiseModel:
+    def test_ideal_flags(self):
+        model = NoiseModel.ideal()
+        assert model.is_ideal
+        assert not model.include_dispersion
+
+    def test_paper_default_flags(self):
+        model = NoiseModel.paper_default()
+        assert not model.is_ideal
+        assert model.include_dispersion
+        assert model.encoding.magnitude_std == pytest.approx(0.03)
+        assert model.systematic.std == pytest.approx(0.05)
+
+    def test_dispersion_only_model_not_ideal(self):
+        model = NoiseModel(
+            encoding=EncodingNoise(0.0, 0.0),
+            systematic=SystematicNoise(0.0),
+            include_dispersion=True,
+        )
+        assert not model.is_ideal

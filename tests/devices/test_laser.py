@@ -1,0 +1,131 @@
+"""Tests for the loss-budget-driven laser power model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.devices import (
+    LossBudget,
+    ddot_path_loss,
+    default_library,
+    required_laser_power,
+    splitter_tree_loss_db,
+)
+from repro.units import db_to_linear
+
+
+@pytest.fixture
+def lib():
+    return default_library()
+
+
+class TestLossBudget:
+    def test_total_is_sum_of_entries(self):
+        budget = LossBudget()
+        budget.add("a", 1.0)
+        budget.add("b", 2.5)
+        assert budget.total_db == pytest.approx(3.5)
+
+    def test_transmission_matches_db(self):
+        budget = LossBudget()
+        budget.add("x", 10.0)
+        assert budget.transmission == pytest.approx(0.1)
+
+    def test_rejects_negative_loss(self):
+        budget = LossBudget()
+        with pytest.raises(ValueError):
+            budget.add("gain?", -1.0)
+
+    def test_empty_budget_is_lossless(self):
+        assert LossBudget().total_db == 0.0
+        assert LossBudget().transmission == 1.0
+
+
+class TestSplitterTree:
+    def test_fanout_one_is_lossless(self, lib):
+        assert splitter_tree_loss_db(1, lib) == 0.0
+
+    def test_fanout_two(self, lib):
+        # 3.01 dB ideal split + one Y-branch excess loss.
+        expected = 10 * math.log10(2) + lib.y_branch.insertion_loss_db
+        assert splitter_tree_loss_db(2, lib) == pytest.approx(expected)
+
+    def test_fanout_twelve(self, lib):
+        # 10.79 dB ideal + ceil(log2(12)) = 4 stages of excess loss.
+        expected = 10 * math.log10(12) + 4 * lib.y_branch.insertion_loss_db
+        assert splitter_tree_loss_db(12, lib) == pytest.approx(expected)
+
+    def test_rejects_zero_fanout(self, lib):
+        with pytest.raises(ValueError):
+            splitter_tree_loss_db(0, lib)
+
+    @given(fanout=st.integers(min_value=1, max_value=256))
+    def test_monotone_in_fanout(self, fanout):
+        lib = default_library()
+        assert splitter_tree_loss_db(fanout + 1, lib) >= splitter_tree_loss_db(
+            fanout, lib
+        )
+
+
+class TestDDotPathLoss:
+    def test_contains_all_path_elements(self, lib):
+        budget = ddot_path_loss(lib, broadcast_fanout=12, crossings=6)
+        names = [name for name, _ in budget.entries]
+        for expected in (
+            "wdm_demux",
+            "mzm",
+            "wdm_mux",
+            "broadcast_tree",
+            "crossings",
+            "ddot_phase_shifter",
+            "ddot_coupler",
+        ):
+            assert expected in names
+
+    def test_paper_scale_loss(self, lib):
+        """The N=12 crossbar path lands in the mid-teens of dB."""
+        budget = ddot_path_loss(lib, broadcast_fanout=12, crossings=6)
+        assert 13.0 < budget.total_db < 19.0
+
+    def test_no_broadcast_is_cheaper(self, lib):
+        wide = ddot_path_loss(lib, broadcast_fanout=12, crossings=0).total_db
+        narrow = ddot_path_loss(lib, broadcast_fanout=1, crossings=0).total_db
+        assert narrow < wide
+
+
+class TestRequiredLaserPower:
+    def test_scales_linearly_with_channels(self, lib):
+        p1 = required_laser_power(100, 15.0, 4, lib)
+        p2 = required_laser_power(200, 15.0, 4, lib)
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_scales_with_loss(self, lib):
+        p_low = required_laser_power(100, 10.0, 4, lib)
+        p_high = required_laser_power(100, 20.0, 4, lib)
+        assert p_high == pytest.approx(10 * p_low)
+
+    def test_each_output_bit_doubles_power(self, lib):
+        """The paper's 0.77 W -> 12.3 W laser jump (4-bit -> 8-bit) is 16x."""
+        p4 = required_laser_power(100, 15.0, 4, lib)
+        p8 = required_laser_power(100, 15.0, 8, lib)
+        assert p8 == pytest.approx(16 * p4)
+
+    def test_wall_plug_efficiency_divides(self, lib):
+        # direct recomputation for a single lossless channel at 4 bits:
+        # -25 dBm floor = 3.16 uW optical, / 0.2 wall-plug = 15.8 uW electrical
+        optical_floor = 1e-3 * db_to_linear(lib.photodetector.sensitivity_dbm)
+        expected = optical_floor / lib.laser.wall_plug_efficiency
+        assert required_laser_power(1, 0.0, 4, lib) == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_zero_channels_needs_no_power(self, lib):
+        assert required_laser_power(0, 15.0, 4, lib) == 0.0
+
+    def test_rejects_bad_inputs(self, lib):
+        with pytest.raises(ValueError):
+            required_laser_power(-1, 15.0, 4, lib)
+        with pytest.raises(ValueError):
+            required_laser_power(10, 15.0, 0, lib)

@@ -1,0 +1,109 @@
+"""Tests for the Table III device library."""
+
+import dataclasses
+
+import pytest
+
+from repro.devices import DeviceLibrary, default_library
+from repro.units import GHZ, MW, THZ, UM2, US
+
+
+@pytest.fixture
+def lib() -> DeviceLibrary:
+    return default_library()
+
+
+class TestTableIIIValues:
+    """Every operating point matches the paper's Table III."""
+
+    def test_dac(self, lib):
+        assert lib.dac.bits == 8
+        assert lib.dac.power == pytest.approx(50 * MW)
+        assert lib.dac.sample_rate == pytest.approx(14 * GHZ)
+        assert lib.dac.area == pytest.approx(11_000 * UM2)
+
+    def test_adc(self, lib):
+        assert lib.adc.bits == 8
+        assert lib.adc.power == pytest.approx(14.8 * MW)
+        assert lib.adc.sample_rate == pytest.approx(10 * GHZ)
+        assert lib.adc.area == pytest.approx(2_850 * UM2)
+
+    def test_tia(self, lib):
+        assert lib.tia.power == pytest.approx(3 * MW)
+        assert lib.tia.area <= 50 * UM2
+
+    def test_microdisk(self, lib):
+        assert lib.microdisk.locking_power == pytest.approx(0.275 * MW)
+        assert lib.microdisk.insertion_loss_db == pytest.approx(0.93)
+        assert lib.microdisk.fsr == pytest.approx(5.6 * THZ)
+
+    def test_microring(self, lib):
+        assert lib.microring.tuning_power == pytest.approx(0.21 * MW)
+        assert lib.microring.locking_power == pytest.approx(1.2 * MW)
+        assert lib.microring.insertion_loss_db == pytest.approx(0.95)
+        assert lib.microring.area == pytest.approx(9.66 * 9.66 * UM2)
+
+    def test_mzm(self, lib):
+        assert lib.mzm.tuning_power == pytest.approx(2.25 * MW)
+        assert lib.mzm.insertion_loss_db == pytest.approx(1.2)
+        assert lib.mzm.area == pytest.approx(260 * 20 * UM2)
+
+    def test_directional_coupler(self, lib):
+        assert lib.directional_coupler.insertion_loss_db == pytest.approx(0.33)
+        assert lib.directional_coupler.area == pytest.approx(5.25 * 2.4 * UM2)
+
+    def test_phase_shifter(self, lib):
+        assert lib.phase_shifter.insertion_loss_db == pytest.approx(0.33)
+        assert lib.phase_shifter.area == pytest.approx(100 * 45 * UM2)
+        assert lib.phase_shifter.response_time == pytest.approx(2 * US)
+
+    def test_photodetector(self, lib):
+        assert lib.photodetector.power == pytest.approx(1.1 * MW)
+        assert lib.photodetector.sensitivity_dbm == pytest.approx(-25.0)
+
+    def test_y_branch(self, lib):
+        assert lib.y_branch.insertion_loss_db == pytest.approx(0.3)
+
+    def test_micro_comb(self, lib):
+        assert lib.micro_comb.area == pytest.approx(1_184 * 1_184 * UM2)
+
+    def test_laser(self, lib):
+        assert lib.laser.wall_plug_efficiency == pytest.approx(0.2)
+        assert lib.laser.area == pytest.approx(400 * 300 * UM2)
+
+
+class TestLibrarySemantics:
+    def test_library_is_frozen(self, lib):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            lib.dac = None
+
+    def test_derived_library_via_replace(self, lib):
+        cheaper_mzm = dataclasses.replace(lib.mzm, tuning_power=1 * MW)
+        derived = dataclasses.replace(lib, mzm=cheaper_mzm)
+        assert derived.mzm.tuning_power == pytest.approx(1 * MW)
+        assert lib.mzm.tuning_power == pytest.approx(2.25 * MW)
+
+    def test_two_default_libraries_equal(self):
+        assert default_library() == default_library()
+
+
+class TestParamValidation:
+    def test_dac_rejects_nonpositive_bits(self):
+        from repro.devices import DACParams
+
+        with pytest.raises(ValueError):
+            DACParams(bits=0, power=1.0, sample_rate=1.0, area=1.0)
+
+    def test_adc_rejects_nonpositive_power(self):
+        from repro.devices import ADCParams
+
+        with pytest.raises(ValueError):
+            ADCParams(bits=8, power=-1.0, sample_rate=1.0, area=1.0)
+
+    def test_laser_rejects_bad_efficiency(self):
+        from repro.devices import LaserParams
+
+        with pytest.raises(ValueError):
+            LaserParams(wall_plug_efficiency=0.0, area=1.0)
+        with pytest.raises(ValueError):
+            LaserParams(wall_plug_efficiency=1.5, area=1.0)

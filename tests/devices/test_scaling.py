@@ -1,0 +1,103 @@
+"""Tests for ADC/DAC bit-width and frequency power scaling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.devices import default_library
+from repro.devices.scaling import (
+    adc_energy_per_conversion,
+    adc_power,
+    adc_walden_fom,
+    dac_energy_per_conversion,
+    dac_power,
+)
+from repro.units import GHZ, MW
+
+
+@pytest.fixture
+def lib():
+    return default_library()
+
+
+class TestADCScaling:
+    def test_reference_point_reproduced(self, lib):
+        assert adc_power(8, 10 * GHZ, lib.adc) == pytest.approx(14.8 * MW)
+
+    def test_walden_fom_value(self, lib):
+        # 14.8 mW / (2^8 * 10 GHz) ~ 5.8 fJ per conversion step.
+        assert adc_walden_fom(lib.adc) == pytest.approx(5.78e-15, rel=0.01)
+
+    def test_linear_in_frequency(self, lib):
+        p1 = adc_power(8, 5 * GHZ, lib.adc)
+        p2 = adc_power(8, 10 * GHZ, lib.adc)
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_each_bit_doubles_power(self, lib):
+        p4 = adc_power(4, 5 * GHZ, lib.adc)
+        p8 = adc_power(8, 5 * GHZ, lib.adc)
+        assert p8 == pytest.approx(16 * p4)
+
+    def test_energy_per_conversion_consistency(self, lib):
+        f = 5 * GHZ
+        assert adc_energy_per_conversion(6, lib.adc) == pytest.approx(
+            adc_power(6, f, lib.adc) / f
+        )
+
+    def test_rejects_bad_inputs(self, lib):
+        with pytest.raises(ValueError):
+            adc_power(0, 1 * GHZ, lib.adc)
+        with pytest.raises(ValueError):
+            adc_power(8, -1.0, lib.adc)
+
+
+class TestDACScaling:
+    def test_reference_point_reproduced(self, lib):
+        assert dac_power(8, 14 * GHZ, lib.dac) == pytest.approx(50 * MW)
+
+    def test_linear_in_frequency(self, lib):
+        p1 = dac_power(8, 7 * GHZ, lib.dac)
+        assert dac_power(8, 14 * GHZ, lib.dac) == pytest.approx(2 * p1)
+
+    def test_4bit_much_cheaper_than_8bit(self, lib):
+        """The paper's >3x power jump from 4-bit to 8-bit hinges on this."""
+        p4 = dac_power(4, 5 * GHZ, lib.dac)
+        p8 = dac_power(8, 5 * GHZ, lib.dac)
+        # (2^8 + 8) / (2^4 + 4) = 13.2
+        assert p8 / p4 == pytest.approx(13.2, rel=1e-3)
+
+    def test_energy_per_conversion(self, lib):
+        f = 5 * GHZ
+        energy = dac_energy_per_conversion(4, f, lib.dac)
+        assert energy == pytest.approx(dac_power(4, f, lib.dac) / f)
+
+    def test_rejects_bad_inputs(self, lib):
+        with pytest.raises(ValueError):
+            dac_power(-1, 1 * GHZ, lib.dac)
+        with pytest.raises(ValueError):
+            dac_power(8, 0.0, lib.dac)
+
+
+class TestScalingProperties:
+    @given(bits=st.integers(min_value=1, max_value=16))
+    def test_adc_power_monotone_in_bits(self, bits):
+        lib = default_library()
+        p_low = adc_power(bits, 5 * GHZ, lib.adc)
+        p_high = adc_power(bits + 1, 5 * GHZ, lib.adc)
+        assert p_high > p_low
+
+    @given(bits=st.integers(min_value=1, max_value=16))
+    def test_dac_power_monotone_in_bits(self, bits):
+        lib = default_library()
+        p_low = dac_power(bits, 5 * GHZ, lib.dac)
+        p_high = dac_power(bits + 1, 5 * GHZ, lib.dac)
+        assert p_high > p_low
+
+    @given(
+        freq=st.floats(min_value=1e8, max_value=2e10),
+        bits=st.integers(min_value=1, max_value=12),
+    )
+    def test_powers_positive(self, freq, bits):
+        lib = default_library()
+        assert adc_power(bits, freq, lib.adc) > 0
+        assert dac_power(bits, freq, lib.dac) > 0

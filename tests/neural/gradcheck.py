@@ -1,0 +1,40 @@
+"""Numerical gradient checking helper for autograd tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neural import Tensor
+
+
+def numerical_gradient(fn, values: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    values = np.asarray(values, dtype=float)
+    grad = np.zeros_like(values)
+    flat = values.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn(values.copy())
+        flat[i] = original - eps
+        lower = fn(values.copy())
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def check_gradients(build_fn, values: np.ndarray, atol: float = 1e-5) -> None:
+    """Assert autograd and numerical gradients agree.
+
+    Args:
+        build_fn: maps a :class:`Tensor` to a scalar :class:`Tensor`.
+        values: the input point.
+    """
+    tensor = Tensor(values, requires_grad=True)
+    out = build_fn(tensor)
+    out.backward()
+    numerical = numerical_gradient(
+        lambda data: build_fn(Tensor(data)).item(), np.asarray(values, dtype=float)
+    )
+    np.testing.assert_allclose(tensor.grad, numerical, atol=atol, rtol=1e-4)

@@ -1,0 +1,53 @@
+"""Tests for checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.neural import (
+    TinyBERT,
+    TinyViT,
+    load_checkpoint,
+    no_grad,
+    save_checkpoint,
+)
+
+
+class TestRoundTrip:
+    def test_vit_roundtrip(self, tmp_path):
+        model = TinyViT(seed=0, depth=1)
+        path = save_checkpoint(model, tmp_path / "vit.npz")
+        clone = TinyViT(seed=99, depth=1)  # different init
+        load_checkpoint(clone, path)
+        image = np.random.default_rng(0).normal(size=(16, 16))
+        with no_grad():
+            assert np.allclose(model(image).data, clone(image).data)
+
+    def test_bert_roundtrip(self, tmp_path):
+        model = TinyBERT(seed=0, depth=1, seq_len=8)
+        path = save_checkpoint(model, tmp_path / "bert.npz")
+        clone = TinyBERT(seed=5, depth=1, seq_len=8)
+        load_checkpoint(clone, path)
+        tokens = np.array([0, 1, 2, 3, 4, 5, 6, 7])
+        with no_grad():
+            assert np.allclose(model(tokens).data, clone(tokens).data)
+
+    def test_suffix_added(self, tmp_path):
+        model = TinyViT(seed=0, depth=1)
+        save_checkpoint(model, tmp_path / "plain")
+        assert (tmp_path / "plain.npz").exists()
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(TinyViT(depth=1), tmp_path / "nope.npz")
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        path = save_checkpoint(TinyViT(seed=0, depth=1), tmp_path / "v.npz")
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(TinyViT(seed=0, depth=2), path)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        path = save_checkpoint(TinyViT(seed=0, depth=1, dim=32), tmp_path / "v.npz")
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(TinyViT(seed=0, depth=1, dim=64), path)

@@ -1,0 +1,152 @@
+"""Tests for differentiable NN functions."""
+
+import numpy as np
+import pytest
+from scipy.special import erf
+
+from repro.neural import (
+    Tensor,
+    accuracy,
+    cross_entropy,
+    gelu,
+    layer_norm,
+    log_softmax,
+    relu,
+    softmax,
+)
+
+from tests.neural.gradcheck import check_gradients
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = softmax(Tensor(rng.normal(size=(4, 6))))
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_matches_reference(self, rng):
+        x = rng.normal(size=(3, 5))
+        expected = np.exp(x) / np.exp(x).sum(axis=-1, keepdims=True)
+        assert np.allclose(softmax(Tensor(x)).data, expected)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(2, 4))
+        assert np.allclose(
+            softmax(Tensor(x)).data, softmax(Tensor(x + 100.0)).data
+        )
+
+    def test_large_values_stable(self):
+        out = softmax(Tensor(np.array([[1000.0, 1000.0]])))
+        assert np.allclose(out.data, 0.5)
+
+    def test_gradient(self, rng):
+        w = rng.normal(size=(2, 5))
+        check_gradients(
+            lambda t: (softmax(t) * Tensor(w)).sum(), rng.normal(size=(2, 5))
+        )
+
+
+class TestLogSoftmax:
+    def test_consistent_with_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert np.allclose(log_softmax(x).data, np.log(softmax(x).data))
+
+    def test_gradient(self, rng):
+        w = rng.normal(size=(2, 4))
+        check_gradients(
+            lambda t: (log_softmax(t) * Tensor(w)).sum(), rng.normal(size=(2, 4))
+        )
+
+
+class TestGELU:
+    def test_matches_erf_form(self, rng):
+        x = rng.normal(size=(10,))
+        expected = 0.5 * x * (1 + erf(x / np.sqrt(2)))
+        assert np.allclose(gelu(Tensor(x)).data, expected)
+
+    def test_zero_fixed_point(self):
+        assert gelu(Tensor([0.0])).data[0] == 0.0
+
+    def test_asymptotics(self):
+        assert gelu(Tensor([10.0])).data[0] == pytest.approx(10.0, rel=1e-6)
+        assert gelu(Tensor([-10.0])).data[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient(self, rng):
+        check_gradients(lambda t: gelu(t).sum(), rng.normal(size=(6,)))
+
+
+class TestReLU:
+    def test_values(self):
+        out = relu(Tensor([-1.0, 0.0, 2.0]))
+        assert np.allclose(out.data, [0.0, 0.0, 2.0])
+
+
+class TestLayerNorm:
+    def test_normalises(self, rng):
+        x = Tensor(rng.normal(2.0, 3.0, size=(4, 8)))
+        weight = Tensor(np.ones(8))
+        bias = Tensor(np.zeros(8))
+        out = layer_norm(x, weight, bias).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_affine_applied(self, rng):
+        x = Tensor(rng.normal(size=(2, 4)))
+        out = layer_norm(x, Tensor(np.full(4, 2.0)), Tensor(np.full(4, 1.0))).data
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+    def test_gradient_input(self, rng):
+        weight = Tensor(rng.normal(size=(5,)))
+        bias = Tensor(rng.normal(size=(5,)))
+        check_gradients(
+            lambda t: (layer_norm(t, weight, bias) ** 2).sum(),
+            rng.normal(size=(3, 5)),
+        )
+
+    def test_gradient_weight(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        bias = Tensor(np.zeros(5))
+        check_gradients(
+            lambda t: (layer_norm(x, t, bias) ** 2).sum(), rng.normal(size=(5,))
+        )
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_uniform_prediction(self):
+        logits = Tensor(np.zeros((3, 4)))
+        loss = cross_entropy(logits, np.array([0, 1, 2]))
+        assert loss.item() == pytest.approx(np.log(4))
+
+    def test_gradient(self, rng):
+        labels = np.array([1, 0, 3])
+        check_gradients(
+            lambda t: cross_entropy(t, labels), rng.normal(size=(3, 4))
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3, 4))), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+
+    def test_half(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1])) == 0.5
+
+    def test_accepts_tensor(self):
+        assert accuracy(Tensor([[2.0, 1.0]]), np.array([0])) == 1.0

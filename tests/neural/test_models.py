@@ -1,0 +1,194 @@
+"""Tests for attention, encoder blocks, and the tiny model zoo."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.neural import (
+    EncoderBlock,
+    MultiHeadAttention,
+    PhotonicExecutor,
+    Tensor,
+    TinyBERT,
+    TinyViT,
+    no_grad,
+    softmax,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def reference_attention(x, wqkv, bqkv, wproj, bproj, heads):
+    """Plain-numpy multi-head attention for cross-checking."""
+    tokens, dim = x.shape
+    head_dim = dim // heads
+    qkv = (x @ wqkv + bqkv).reshape(tokens, 3, heads, head_dim)
+    qkv = qkv.transpose(1, 2, 0, 3)
+    q, k, v = qkv[0], qkv[1], qkv[2]
+    out = np.empty((heads, tokens, head_dim))
+    for h in range(heads):
+        scores = q[h] @ k[h].T / math.sqrt(head_dim)
+        scores -= scores.max(axis=-1, keepdims=True)
+        weights = np.exp(scores)
+        weights /= weights.sum(axis=-1, keepdims=True)
+        out[h] = weights @ v[h]
+    merged = out.transpose(1, 0, 2).reshape(tokens, dim)
+    return merged @ wproj + bproj
+
+
+class TestMultiHeadAttention:
+    def test_matches_reference(self, rng):
+        mha = MultiHeadAttention(8, 2, rng=rng)
+        x = rng.normal(size=(5, 8))
+        expected = reference_attention(
+            x,
+            mha.qkv.weight.data,
+            mha.qkv.bias.data,
+            mha.proj.weight.data,
+            mha.proj.bias.data,
+            heads=2,
+        )
+        assert np.allclose(mha(Tensor(x)).data, expected, atol=1e-10)
+
+    def test_output_shape(self, rng):
+        mha = MultiHeadAttention(12, 3, rng=rng)
+        assert mha(Tensor(rng.normal(size=(7, 12)))).shape == (7, 12)
+
+    def test_gradients_flow(self, rng):
+        mha = MultiHeadAttention(8, 2, rng=rng)
+        out = mha(Tensor(rng.normal(size=(4, 8))))
+        (out * out).sum().backward()
+        assert all(p.grad is not None for p in mha.parameters())
+
+    def test_dim_heads_validation(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3)
+
+    def test_noisy_executor_perturbs(self, rng):
+        ideal = MultiHeadAttention(8, 2, rng=np.random.default_rng(1))
+        noisy = MultiHeadAttention(
+            8, 2, executor=PhotonicExecutor.paper_default(seed=0),
+            rng=np.random.default_rng(1),
+        )
+        noisy.qkv.weight.data = ideal.qkv.weight.data.copy()
+        noisy.qkv.bias.data = ideal.qkv.bias.data.copy()
+        noisy.proj.weight.data = ideal.proj.weight.data.copy()
+        noisy.proj.bias.data = ideal.proj.bias.data.copy()
+        x = Tensor(rng.normal(size=(5, 8)))
+        assert not np.allclose(ideal(x).data, noisy(x).data)
+
+
+class TestEncoderBlock:
+    def test_residual_structure(self, rng):
+        """Zeroing the sublayer outputs must give the identity."""
+        block = EncoderBlock(8, 2, rng=rng)
+        block.attention.proj.weight.data[:] = 0.0
+        block.attention.proj.bias.data[:] = 0.0
+        block.ffn.fc2.weight.data[:] = 0.0
+        block.ffn.fc2.bias.data[:] = 0.0
+        x = rng.normal(size=(4, 8))
+        assert np.allclose(block(Tensor(x)).data, x)
+
+    def test_shape_preserved(self, rng):
+        block = EncoderBlock(16, 4, rng=rng)
+        assert block(Tensor(rng.normal(size=(9, 16)))).shape == (9, 16)
+
+
+class TestTinyViT:
+    def test_patchify_shapes(self):
+        model = TinyViT(image_size=16, patch_size=4)
+        patches = model.patchify(np.arange(256.0).reshape(16, 16))
+        assert patches.shape == (16, 16)
+
+    def test_patchify_content(self):
+        model = TinyViT(image_size=4, patch_size=2, dim=8, depth=1, heads=1)
+        image = np.arange(16.0).reshape(4, 4)
+        patches = model.patchify(image)
+        assert np.allclose(patches[0], [0, 1, 4, 5])  # top-left patch
+        assert np.allclose(patches[3], [10, 11, 14, 15])  # bottom-right
+
+    def test_patchify_validates_shape(self):
+        model = TinyViT(image_size=16, patch_size=4)
+        with pytest.raises(ValueError):
+            model.patchify(np.zeros((8, 8)))
+
+    def test_forward_logits_shape(self, rng):
+        model = TinyViT(n_classes=5)
+        logits = model(rng.normal(size=(16, 16)))
+        assert logits.shape == (5,)
+
+    def test_patch_size_divides(self):
+        with pytest.raises(ValueError):
+            TinyViT(image_size=16, patch_size=5)
+
+    def test_deterministic_given_seed(self, rng):
+        image = rng.normal(size=(16, 16))
+        a = TinyViT(seed=3)(image).data
+        b = TinyViT(seed=3)(image).data
+        assert np.allclose(a, b)
+
+    def test_set_executor_swaps_everywhere(self, rng):
+        model = TinyViT(seed=0)
+        noisy = PhotonicExecutor.paper_default(seed=0)
+        model.set_executor(noisy)
+        assert model.patch_embed.executor is noisy
+        assert model.head.executor is noisy
+        for block in model.blocks:
+            assert block.attention.executor is noisy
+            assert block.ffn.fc1.executor is noisy
+
+    def test_noise_changes_logits(self, rng):
+        image = rng.normal(size=(16, 16))
+        model = TinyViT(seed=1)
+        with no_grad():
+            clean = model(image).data.copy()
+            model.set_executor(PhotonicExecutor.paper_default(seed=0))
+            noisy = model(image).data
+        assert not np.allclose(clean, noisy)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        model = TinyViT(seed=2, depth=1)
+        logits = model(rng.normal(size=(16, 16)))
+        (logits * logits).sum().backward()
+        missing = [
+            name for name, p in model.named_parameters() if p.grad is None
+        ]
+        assert missing == []
+
+
+class TestTinyBERT:
+    def test_forward_logits_shape(self):
+        model = TinyBERT(n_classes=3)
+        tokens = np.zeros(17, dtype=int)
+        assert model(tokens).shape == (3,)
+
+    def test_sequence_length_validated(self):
+        model = TinyBERT(seq_len=10)
+        with pytest.raises(ValueError):
+            model(np.zeros(9, dtype=int))
+
+    def test_vocabulary_validated(self):
+        model = TinyBERT(vocab_size=8, seq_len=4)
+        with pytest.raises(ValueError):
+            model(np.array([0, 1, 2, 99]))
+
+    def test_token_order_matters(self):
+        """Attention must distinguish marker order (the dataset's task)."""
+        model = TinyBERT(seq_len=6, seed=0)
+        seq_a = np.array([0, 1, 3, 3, 2, 3])
+        seq_b = np.array([0, 2, 3, 3, 1, 3])
+        with no_grad():
+            assert not np.allclose(model(seq_a).data, model(seq_b).data)
+
+    def test_gradients_reach_all_parameters(self):
+        model = TinyBERT(seq_len=6, depth=1, seed=1)
+        logits = model(np.array([0, 1, 2, 3, 4, 5]))
+        (logits * logits).sum().backward()
+        missing = [
+            name for name, p in model.named_parameters() if p.grad is None
+        ]
+        assert missing == []

@@ -1,0 +1,170 @@
+"""Tests for neural modules: Linear, LayerNorm, Dropout, Embedding."""
+
+import numpy as np
+import pytest
+
+from repro.neural import (
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    Module,
+    PhotonicExecutor,
+    Sequential,
+    Tensor,
+)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(8, 4, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((3, 8))))
+        assert out.shape == (3, 4)
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(6, 5, rng=rng)
+        x = rng.normal(size=(4, 6))
+        expected = x @ layer.weight.data + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self):
+        layer = Linear(4, 4, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        x = np.ones((2, 4))
+        assert np.allclose(layer(Tensor(x)).data, x @ layer.weight.data)
+
+    def test_3d_input(self):
+        rng = np.random.default_rng(2)
+        layer = Linear(6, 3, rng=rng)
+        x = rng.normal(size=(2, 5, 6))
+        out = layer(Tensor(x))
+        assert out.shape == (2, 5, 3)
+        assert np.allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_gradients_reach_parameters(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(3))
+        out = layer(Tensor(np.ones((4, 3))))
+        (out * out).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_noisy_executor_changes_output(self):
+        rng = np.random.default_rng(4)
+        ideal = Linear(8, 8, executor=PhotonicExecutor.ideal(), rng=rng)
+        noisy = Linear(8, 8, executor=PhotonicExecutor.paper_default(seed=0))
+        noisy.weight.data = ideal.weight.data.copy()
+        noisy.bias.data = ideal.bias.data.copy()
+        x = Tensor(np.random.default_rng(5).normal(size=(4, 8)))
+        assert not np.allclose(ideal(x).data, noisy(x).data)
+
+
+class TestLayerNormModule:
+    def test_parameters_discovered(self):
+        layer = LayerNorm(8)
+        names = [name for name, _ in layer.named_parameters()]
+        assert set(names) == {"weight", "bias"}
+
+    def test_output_normalised(self):
+        layer = LayerNorm(16)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 2.0, size=(5, 16)))
+        out = layer(x).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+
+
+class TestDropout:
+    def test_train_mode_zeroes_fraction(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        drop.train()
+        out = drop(Tensor(np.ones(10_000)))
+        zero_fraction = np.mean(out.data == 0.0)
+        assert zero_fraction == pytest.approx(0.5, abs=0.03)
+
+    def test_eval_mode_identity(self):
+        drop = Dropout(0.5)
+        drop.eval()
+        x = np.ones(100)
+        assert np.array_equal(drop(Tensor(x)).data, x)
+
+    def test_inverted_scaling_preserves_mean(self):
+        drop = Dropout(0.3, rng=np.random.default_rng(1))
+        drop.train()
+        out = drop(Tensor(np.ones(100_000)))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(0))
+        out = emb(np.array([3, 3, 7]))
+        assert out.shape == (3, 4)
+        assert np.allclose(out.data[0], out.data[1])
+
+    def test_gradients(self):
+        emb = Embedding(5, 3, rng=np.random.default_rng(1))
+        out = emb(np.array([0, 0, 2]))
+        out.sum().backward()
+        assert emb.weight.grad is not None
+        assert np.allclose(emb.weight.grad[0], 2.0)  # used twice
+
+
+class TestModuleMechanics:
+    def _make_model(self):
+        return Sequential(
+            Linear(4, 8, rng=np.random.default_rng(0)),
+            GELU(),
+            Linear(8, 2, rng=np.random.default_rng(1)),
+        )
+
+    def test_named_parameters_nested(self):
+        model = self._make_model()
+        names = [name for name, _ in model.named_parameters()]
+        assert "layers.0.weight" in names
+        assert "layers.2.bias" in names
+        assert len(names) == 4
+
+    def test_zero_grad(self):
+        model = self._make_model()
+        out = model(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Linear(2, 2))
+        model.eval()
+        assert not model.layers[0].training
+        model.train()
+        assert model.layers[0].training
+
+    def test_state_dict_roundtrip(self):
+        model = self._make_model()
+        state = model.state_dict()
+        clone = self._make_model()
+        clone.layers[0].weight.data += 1.0  # desynchronise
+        clone.load_state_dict(state)
+        x = Tensor(np.random.default_rng(2).normal(size=(3, 4)))
+        assert np.allclose(model(x).data, clone(x).data)
+
+    def test_state_dict_validates_keys(self):
+        model = self._make_model()
+        state = model.state_dict()
+        state.pop("layers.0.weight")
+        with pytest.raises(KeyError):
+            self._make_model().load_state_dict(state)
+
+    def test_state_dict_validates_shapes(self):
+        model = self._make_model()
+        state = model.state_dict()
+        state["layers.0.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            self._make_model().load_state_dict(state)
+
+    def test_forward_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

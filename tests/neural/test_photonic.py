@@ -1,0 +1,123 @@
+"""Tests for the photonic matmul executor (quantization + noise + STE)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DPTCGeometry, NoiseModel
+from repro.neural import PhotonicExecutor, QuantConfig, Tensor
+from repro.neural.quantization import quantize_array
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestIdealExecutor:
+    def test_exact(self, rng):
+        executor = PhotonicExecutor.ideal()
+        a = rng.normal(size=(5, 8))
+        b = rng.normal(size=(8, 3))
+        out = executor.matmul(Tensor(a), Tensor(b))
+        assert np.allclose(out.data, a @ b)
+
+    def test_batched(self, rng):
+        executor = PhotonicExecutor.ideal()
+        a = rng.normal(size=(2, 4, 6))
+        b = rng.normal(size=(2, 6, 5))
+        out = executor.matmul(Tensor(a), Tensor(b))
+        assert out.shape == (2, 4, 5)
+        assert np.allclose(out.data, a @ b)
+
+    def test_batch_mismatch_rejected(self, rng):
+        executor = PhotonicExecutor.ideal()
+        with pytest.raises(ValueError):
+            executor.matmul(
+                Tensor(rng.normal(size=(2, 4, 6))),
+                Tensor(rng.normal(size=(3, 6, 5))),
+            )
+
+    def test_rank_mismatch_rejected(self, rng):
+        executor = PhotonicExecutor.ideal()
+        with pytest.raises(ValueError):
+            executor.matmul(
+                Tensor(rng.normal(size=(2, 4, 6))), Tensor(rng.normal(size=(6, 5)))
+            )
+
+
+class TestDigitalReference:
+    def test_applies_quantization_only(self, rng):
+        executor = PhotonicExecutor.digital_reference(QuantConfig.int4())
+        a = rng.normal(size=(4, 6))
+        b = rng.normal(size=(6, 4))
+        out = executor.matmul(Tensor(a), Tensor(b))
+        expected = quantize_array(a, 4) @ quantize_array(b, 4)
+        assert np.allclose(out.data, expected)
+
+    def test_weight_operand_bits(self, rng):
+        executor = PhotonicExecutor.digital_reference(QuantConfig(8, 4))
+        a = rng.normal(size=(4, 6))
+        b = rng.normal(size=(6, 4))
+        out = executor.matmul(Tensor(a), Tensor(b), weight_operand=1)
+        expected = quantize_array(a, 4) @ quantize_array(b, 8)
+        assert np.allclose(out.data, expected)
+
+
+class TestNoisyExecutor:
+    def test_noise_applied(self, rng):
+        executor = PhotonicExecutor.paper_default(seed=1)
+        a = rng.normal(size=(6, 12))
+        b = rng.normal(size=(12, 6))
+        out = executor.matmul(Tensor(a), Tensor(b))
+        reference = quantize_array(a, 4) @ quantize_array(b, 4)
+        assert not np.allclose(out.data, reference)
+        rel = np.linalg.norm(out.data - reference) / np.linalg.norm(reference)
+        assert rel < 0.3
+
+    def test_seeded_reproducibility(self, rng):
+        a = Tensor(rng.normal(size=(4, 8)))
+        b = Tensor(rng.normal(size=(8, 4)))
+        out1 = PhotonicExecutor.paper_default(seed=7).matmul(a, b)
+        out2 = PhotonicExecutor.paper_default(seed=7).matmul(a, b)
+        assert np.allclose(out1.data, out2.data)
+
+    def test_wavelength_count_controls_dispersion(self, rng):
+        """More WDM channels -> wider dispersion profile (Fig. 14 axis)."""
+        noise = NoiseModel(
+            encoding=NoiseModel.ideal().encoding,
+            systematic=NoiseModel.ideal().systematic,
+            include_dispersion=True,
+        )
+        a = rng.normal(size=(8, 24))
+        b = rng.normal(size=(24, 8))
+        errors = []
+        for n_lambda in (6, 26):
+            executor = PhotonicExecutor(
+                geometry=DPTCGeometry(12, 12, n_lambda), noise=noise, quant=None
+            )
+            out = executor.matmul(Tensor(a), Tensor(b))
+            errors.append(np.linalg.norm(out.data - a @ b))
+        assert errors[1] > errors[0]
+
+
+class TestStraightThroughGradients:
+    def test_gradients_are_ideal_product(self, rng):
+        """Backward ignores noise: grads equal the clean matmul grads of
+        the quantized operands."""
+        executor = PhotonicExecutor.paper_default(seed=3)
+        a = Tensor(rng.normal(size=(3, 12)), requires_grad=True)
+        b = Tensor(rng.normal(size=(12, 2)), requires_grad=True)
+        out = executor.matmul(a, b)
+        out.sum().backward()
+        grad_out = np.ones((3, 2))
+        qa = quantize_array(a.data, 4)
+        qb = quantize_array(b.data, 4)
+        assert np.allclose(a.grad, grad_out @ qb.T)
+        assert np.allclose(b.grad, qa.T @ grad_out)
+
+    def test_gradients_flow_in_ideal_mode(self, rng):
+        executor = PhotonicExecutor.ideal()
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        executor.matmul(a, b).sum().backward()
+        assert a.grad is not None and b.grad is not None

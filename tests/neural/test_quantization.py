@@ -1,0 +1,110 @@
+"""Tests for low-bit quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.neural import (
+    QuantConfig,
+    Tensor,
+    fake_quantize,
+    quantization_error,
+    quantization_levels,
+    quantize_array,
+)
+
+
+class TestQuantConfig:
+    def test_presets(self):
+        assert QuantConfig.int4() == QuantConfig(4, 4)
+        assert QuantConfig.int8() == QuantConfig(8, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantConfig(1, 4)
+
+
+class TestQuantizeArray:
+    def test_levels(self):
+        assert quantization_levels(4) == 7
+        assert quantization_levels(8) == 127
+
+    def test_zero_preserved(self):
+        values = np.array([-1.0, 0.0, 1.0])
+        assert quantize_array(values, 4)[1] == 0.0
+
+    def test_extremes_preserved(self):
+        values = np.array([-1.0, 0.3, 1.0])
+        quantized = quantize_array(values, 4)
+        assert quantized[0] == pytest.approx(-1.0)
+        assert quantized[2] == pytest.approx(1.0)
+
+    def test_grid_spacing(self):
+        values = np.linspace(-1, 1, 1000)
+        quantized = quantize_array(values, 4)
+        unique = np.unique(quantized)
+        assert len(unique) == 15  # 2*7 + 1 symmetric levels
+        assert np.allclose(np.diff(unique), 1.0 / 7.0)
+
+    def test_8bit_finer_than_4bit(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=1000)
+        assert quantization_error(values, 8) < quantization_error(values, 4)
+
+    def test_4bit_error_band(self):
+        """4-bit RMS error on Gaussian data: the max-abs scale stretches
+        over ~3.5 sigma of outliers, so step ~ 0.5 sigma and the RMS
+        error lands around step/sqrt(12) ~ 15 % of the data RMS."""
+        rng = np.random.default_rng(1)
+        err = quantization_error(rng.normal(size=5000), 4)
+        assert 0.08 < err < 0.25
+
+    def test_zero_tensor(self):
+        assert np.array_equal(quantize_array(np.zeros(5), 4), np.zeros(5))
+        assert quantization_error(np.zeros(5), 4) == 0.0
+
+    @given(
+        values=hnp.arrays(
+            float,
+            st.integers(min_value=1, max_value=30),
+            elements=st.floats(min_value=-10, max_value=10),
+        ),
+        bits=st.integers(min_value=2, max_value=10),
+    )
+    def test_idempotent(self, values, bits):
+        once = quantize_array(values, bits)
+        twice = quantize_array(once, bits)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    @given(
+        values=hnp.arrays(
+            float, 16, elements=st.floats(min_value=-5, max_value=5)
+        ),
+        bits=st.integers(min_value=2, max_value=10),
+    )
+    def test_error_bounded_by_half_step(self, values, bits):
+        quantized = quantize_array(values, bits)
+        max_abs = np.max(np.abs(values))
+        if max_abs > 0:
+            step = max_abs / quantization_levels(bits)
+            assert np.max(np.abs(values - quantized)) <= step / 2 + 1e-12
+
+
+class TestFakeQuantize:
+    def test_forward_quantizes(self):
+        t = Tensor(np.linspace(-1, 1, 100))
+        out = fake_quantize(t, 4)
+        assert len(np.unique(out.data)) <= 15
+
+    def test_straight_through_gradient(self):
+        t = Tensor(np.linspace(-1, 1, 10), requires_grad=True)
+        fake_quantize(t, 4).sum().backward()
+        assert np.allclose(t.grad, np.ones(10))
+
+    def test_gradient_flows_through_composition(self):
+        t = Tensor(np.array([0.5, -0.3]), requires_grad=True)
+        (fake_quantize(t, 8) ** 2).sum().backward()
+        # STE: d/dt (q(t)^2) ~ 2*q(t)
+        assert np.allclose(t.grad, 2 * fake_quantize(Tensor(t.data), 8).data)

@@ -1,0 +1,164 @@
+"""Tests for the circuit-level DDot simulator (INTERCONNECT substitute)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.optics import DDotCircuit, WDMGrid
+
+finite_vec = hnp.arrays(
+    float,
+    st.integers(min_value=1, max_value=12),
+    elements=st.floats(min_value=-1.0, max_value=1.0),
+)
+
+
+@pytest.fixture
+def ideal_circuit():
+    return DDotCircuit(WDMGrid(12), include_dispersion=False)
+
+
+class TestIdealDotProduct:
+    def test_simple_dot(self, ideal_circuit):
+        x = np.array([0.5, -0.3, 0.8])
+        y = np.array([0.2, 0.9, -0.4])
+        assert ideal_circuit.dot_product(x, y) == pytest.approx(float(x @ y))
+
+    def test_full_range_signs(self, ideal_circuit):
+        """Negative operands and negative outputs work in one shot."""
+        x = np.array([-1.0, -0.5])
+        y = np.array([1.0, 0.5])
+        assert ideal_circuit.dot_product(x, y) == pytest.approx(-1.25)
+
+    def test_orthogonal_vectors(self, ideal_circuit):
+        assert ideal_circuit.dot_product(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_vector(self, ideal_circuit):
+        assert ideal_circuit.dot_product(np.zeros(5), np.ones(5)) == pytest.approx(0.0)
+
+    @settings(max_examples=50)
+    @given(data=st.data())
+    def test_matches_numpy_dot(self, data):
+        x = data.draw(finite_vec)
+        y = data.draw(
+            hnp.arrays(
+                float, x.size, elements=st.floats(min_value=-1.0, max_value=1.0)
+            )
+        )
+        circuit = DDotCircuit(WDMGrid(12), include_dispersion=False)
+        assert circuit.dot_product(x, y) == pytest.approx(float(x @ y), abs=1e-9)
+
+
+class TestDispersion:
+    def test_dispersion_introduces_small_error(self):
+        grid = WDMGrid(12)
+        circuit = DDotCircuit(grid, include_dispersion=True)
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, 12)
+        y = rng.uniform(-1, 1, 12)
+        result = circuit.dot_product(x, y)
+        ideal = float(x @ y)
+        assert result != pytest.approx(ideal, abs=1e-12)  # dispersion present
+        assert result == pytest.approx(ideal, abs=0.05)  # but small
+
+    def test_center_channel_unaffected(self):
+        """An odd grid's centre channel sits exactly at the design point."""
+        grid = WDMGrid(13)
+        circuit = DDotCircuit(grid)
+        x = np.zeros(13)
+        y = np.zeros(13)
+        x[6] = 0.7
+        y[6] = 0.9
+        assert circuit.dot_product(x, y) == pytest.approx(0.63, abs=1e-12)
+
+    def test_kappa_profile_exposed(self):
+        circuit = DDotCircuit(WDMGrid(25))
+        assert circuit.kappa.shape == (25,)
+        assert np.max(np.abs(circuit.kappa - 0.5)) / 0.5 < 0.02
+
+
+class TestBalancedDetection:
+    def test_differential_structure(self, ideal_circuit):
+        x = np.array([1.0])
+        y = np.array([1.0])
+        out = ideal_circuit.detect(x, y)
+        # Identical inputs interfere constructively on the sum port only.
+        assert out.current_sum_port == pytest.approx(2.0)
+        assert out.current_diff_port == pytest.approx(0.0, abs=1e-12)
+        assert out.differential == pytest.approx(2.0)
+
+    def test_energy_conservation(self, ideal_circuit):
+        """The passive circuit cannot create or destroy optical power."""
+        rng = np.random.default_rng(7)
+        x = rng.uniform(-1, 1, 12)
+        y = rng.uniform(-1, 1, 12)
+        out = ideal_circuit.detect(x, y)
+        power_in = float(np.sum(x**2) + np.sum(y**2))
+        assert out.current_sum_port + out.current_diff_port == pytest.approx(
+            power_in, rel=1e-9
+        )
+
+    def test_responsivity_mismatch_biases_output(self):
+        circuit = DDotCircuit(
+            WDMGrid(4), include_dispersion=False, responsivities=(1.0, 0.9)
+        )
+        x = np.array([0.5, 0.5])
+        y = np.array([-0.5, 0.5])
+        ideal = float(x @ y)
+        assert circuit.dot_product(x, y) != pytest.approx(ideal, abs=1e-6)
+
+
+class TestNoiseInjection:
+    def test_noise_changes_result(self):
+        circuit = DDotCircuit(WDMGrid(12), include_dispersion=False)
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, 12)
+        y = rng.uniform(-1, 1, 12)
+        noisy = circuit.dot_product(
+            x, y, magnitude_std=0.03, phase_std=np.radians(2), rng=rng
+        )
+        assert noisy != pytest.approx(float(x @ y), abs=1e-9)
+
+    def test_noise_is_unbiased_on_average(self):
+        circuit = DDotCircuit(WDMGrid(12), include_dispersion=False)
+        rng = np.random.default_rng(5)
+        x = rng.uniform(0.2, 1, 12)
+        y = rng.uniform(0.2, 1, 12)
+        samples = [
+            circuit.dot_product(
+                x, y, magnitude_std=0.03, phase_std=np.radians(2), rng=rng
+            )
+            for _ in range(400)
+        ]
+        assert np.mean(samples) == pytest.approx(float(x @ y), rel=0.02)
+
+    def test_reproducible_with_seeded_rng(self):
+        circuit = DDotCircuit(WDMGrid(8))
+        x = np.linspace(-1, 1, 8)
+        y = np.linspace(1, -1, 8)
+        a = circuit.dot_product(x, y, 0.03, 0.03, np.random.default_rng(42))
+        b = circuit.dot_product(x, y, 0.03, 0.03, np.random.default_rng(42))
+        assert a == b
+
+
+class TestInputValidation:
+    def test_vector_too_long(self, ideal_circuit):
+        with pytest.raises(ValueError):
+            ideal_circuit.dot_product(np.zeros(13), np.zeros(13))
+
+    def test_shape_mismatch(self, ideal_circuit):
+        with pytest.raises(ValueError):
+            ideal_circuit.dot_product(np.zeros(3), np.zeros(4))
+
+    def test_matrix_rejected(self, ideal_circuit):
+        with pytest.raises(ValueError):
+            ideal_circuit.detect(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_short_vectors_padded(self, ideal_circuit):
+        assert ideal_circuit.dot_product(
+            np.array([1.0]), np.array([1.0])
+        ) == pytest.approx(1.0)

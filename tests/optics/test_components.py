@@ -1,0 +1,136 @@
+"""Tests for device transfer functions (couplers, shifters, MZM, PD)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.optics import (
+    WDMGrid,
+    coupler_matrix,
+    coupling_factor,
+    mzm_encode,
+    phase_response,
+    phase_shifter_matrix,
+    photocurrent,
+)
+
+
+class TestCouplingFactor:
+    def test_design_point_is_50_50(self):
+        kappa = coupling_factor(np.array([1550e-9]))
+        assert kappa[0] == pytest.approx(0.5, abs=1e-12)
+
+    def test_deviation_grows_with_detuning(self):
+        grid = WDMGrid(25)
+        kappa = coupling_factor(grid.wavelengths)
+        deviation = np.abs(kappa - 0.5)
+        center = grid.n_channels // 2
+        assert deviation[0] > deviation[center // 2] > deviation[center]
+
+    def test_paper_deviation_at_25_channels(self):
+        """Fig. 3: ~1.8 % worst-case relative deviation."""
+        grid = WDMGrid(25)
+        kappa = coupling_factor(grid.wavelengths)
+        worst = np.max(np.abs(kappa - 0.5)) / 0.5
+        assert worst == pytest.approx(0.018, rel=0.1)
+
+    def test_kappa_within_physical_bounds(self):
+        grid = WDMGrid(112)  # the full FSR-limited comb
+        kappa = coupling_factor(grid.wavelengths)
+        assert np.all(kappa > 0.0) and np.all(kappa < 1.0)
+
+
+class TestPhaseResponse:
+    def test_design_point_exact(self):
+        phase = phase_response(np.array([1550e-9]), -np.pi / 2)
+        assert phase[0] == pytest.approx(-np.pi / 2)
+
+    def test_paper_deviation_at_25_channels(self):
+        """Fig. 3: ~0.28 degree worst-case phase deviation."""
+        grid = WDMGrid(25)
+        phase = phase_response(grid.wavelengths, -np.pi / 2)
+        worst_deg = np.degrees(np.max(np.abs(phase + np.pi / 2)))
+        assert worst_deg == pytest.approx(0.28, abs=0.02)
+
+    def test_shorter_wavelength_gets_larger_magnitude(self):
+        phase = phase_response(np.array([1549e-9, 1551e-9]), -np.pi / 2)
+        assert abs(phase[0]) > abs(phase[1])
+
+
+class TestCouplerMatrix:
+    def test_50_50_matrix(self):
+        m = coupler_matrix(0.5)
+        expected = np.array([[1, 1j], [1j, 1]]) / np.sqrt(2)
+        assert np.allclose(m, expected)
+
+    def test_unitary_for_any_kappa(self):
+        for kappa in (0.0, 0.25, 0.5, 0.75, 1.0):
+            m = coupler_matrix(kappa)
+            assert np.allclose(m @ m.conj().T, np.eye(2), atol=1e-12)
+
+    def test_vectorised_shape(self):
+        m = coupler_matrix(np.full(7, 0.5))
+        assert m.shape == (7, 2, 2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            coupler_matrix(1.5)
+        with pytest.raises(ValueError):
+            coupler_matrix(-0.1)
+
+    @given(kappa=st.floats(min_value=0.0, max_value=1.0))
+    def test_energy_conservation(self, kappa):
+        m = coupler_matrix(kappa)
+        vec = np.array([0.6, 0.8j])
+        out = m @ vec
+        assert np.sum(np.abs(out) ** 2) == pytest.approx(
+            np.sum(np.abs(vec) ** 2), rel=1e-9
+        )
+
+
+class TestPhaseShifterMatrix:
+    def test_phase_applied_to_lower_arm_only(self):
+        m = phase_shifter_matrix(np.pi / 3)
+        vec = np.array([1.0, 1.0], dtype=complex)
+        out = m @ vec
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(np.exp(1j * np.pi / 3))
+
+    def test_unitary(self):
+        m = phase_shifter_matrix(-np.pi / 2)
+        assert np.allclose(m @ m.conj().T, np.eye(2))
+
+
+class TestMZMEncode:
+    def test_identity_within_range(self):
+        values = np.array([-1.0, -0.5, 0.0, 0.5, 1.0])
+        assert np.allclose(mzm_encode(values), values)
+
+    def test_full_range_including_negatives(self):
+        """Sign encoding is the coherent design's key capability."""
+        assert mzm_encode(np.array([-0.7]))[0] == pytest.approx(-0.7)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            mzm_encode(np.array([1.2]))
+
+    def test_clip_mode(self):
+        out = mzm_encode(np.array([1.7, -2.0]), clip=True)
+        assert np.allclose(out, [1.0, -1.0])
+
+
+class TestPhotocurrent:
+    def test_sums_channel_intensities(self):
+        fields = np.array([1.0, 1j, 0.5])
+        assert photocurrent(fields) == pytest.approx(1.0 + 1.0 + 0.25)
+
+    def test_responsivity_scales(self):
+        fields = np.array([1.0, 2.0])
+        assert photocurrent(fields, responsivity=0.8) == pytest.approx(0.8 * 5.0)
+
+    def test_phase_invariance(self):
+        """PDs detect intensity only: global phase cannot matter."""
+        fields = np.array([0.3 + 0.4j, -0.2j])
+        rotated = fields * np.exp(1j * 1.234)
+        assert photocurrent(fields) == pytest.approx(photocurrent(rotated))

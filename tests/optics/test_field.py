@@ -1,0 +1,58 @@
+"""Tests for the WDM optical field container."""
+
+import numpy as np
+import pytest
+
+from repro.optics import OpticalField, WDMGrid
+
+
+@pytest.fixture
+def grid():
+    return WDMGrid(4)
+
+
+class TestConstruction:
+    def test_from_values(self, grid):
+        field = OpticalField.from_values(grid, np.array([1.0, -0.5, 0.0, 0.25]))
+        assert field.amplitudes.dtype == complex
+        assert np.allclose(field.amplitudes.real, [1.0, -0.5, 0.0, 0.25])
+
+    def test_shape_mismatch_rejected(self, grid):
+        with pytest.raises(ValueError):
+            OpticalField.from_values(grid, np.zeros(3))
+        with pytest.raises(ValueError):
+            OpticalField(grid, np.zeros(5, dtype=complex))
+
+
+class TestArithmetic:
+    def test_scaled(self, grid):
+        field = OpticalField.from_values(grid, np.ones(4))
+        halved = field.scaled(0.5)
+        assert np.allclose(halved.amplitudes, 0.5)
+        # original untouched (immutability)
+        assert np.allclose(field.amplitudes, 1.0)
+
+    def test_with_phase(self, grid):
+        field = OpticalField.from_values(grid, np.ones(4))
+        rotated = field.with_phase(np.full(4, np.pi / 2))
+        assert np.allclose(rotated.amplitudes, 1j)
+
+    def test_phase_shape_checked(self, grid):
+        field = OpticalField.from_values(grid, np.ones(4))
+        with pytest.raises(ValueError):
+            field.with_phase(np.zeros(2))
+
+
+class TestIntensity:
+    def test_intensities(self, grid):
+        field = OpticalField(grid, np.array([1.0, 2j, 0.0, -1.0]))
+        assert np.allclose(field.intensities, [1.0, 4.0, 0.0, 1.0])
+
+    def test_total_intensity(self, grid):
+        field = OpticalField(grid, np.array([1.0, 2j, 0.0, -1.0]))
+        assert field.total_intensity == pytest.approx(6.0)
+
+    def test_phase_rotation_preserves_intensity(self, grid):
+        field = OpticalField.from_values(grid, np.array([0.5, -0.5, 0.7, 0.1]))
+        rotated = field.with_phase(np.array([0.1, 0.7, -2.0, 3.0]))
+        assert rotated.total_intensity == pytest.approx(field.total_intensity)

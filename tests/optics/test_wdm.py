@@ -1,0 +1,85 @@
+"""Tests for DWDM grid arithmetic and the Eq. 10 channel-count limit."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.optics import (
+    DEFAULT_CENTER_WAVELENGTH,
+    DEFAULT_CHANNEL_SPACING,
+    WDMGrid,
+    fsr_wavelength_window,
+    max_channels,
+)
+from repro.units import NM, THZ
+
+
+class TestWDMGrid:
+    def test_default_grid_parameters(self):
+        grid = WDMGrid(12)
+        assert grid.center == pytest.approx(1550 * NM)
+        assert grid.spacing == pytest.approx(0.4 * NM)
+
+    def test_wavelengths_centred(self):
+        grid = WDMGrid(25)
+        assert np.median(grid.wavelengths) == pytest.approx(grid.center)
+
+    def test_wavelengths_sorted_and_spaced(self):
+        grid = WDMGrid(12)
+        diffs = np.diff(grid.wavelengths)
+        assert np.allclose(diffs, grid.spacing)
+
+    def test_single_channel_sits_at_center(self):
+        grid = WDMGrid(1)
+        assert grid.wavelengths[0] == pytest.approx(grid.center)
+
+    def test_even_channel_count_straddles_center(self):
+        grid = WDMGrid(2)
+        assert grid.wavelengths[0] == pytest.approx(grid.center - 0.2 * NM)
+        assert grid.wavelengths[1] == pytest.approx(grid.center + 0.2 * NM)
+
+    def test_span(self):
+        assert WDMGrid(25).span == pytest.approx(24 * 0.4 * NM)
+
+    def test_detunings_antisymmetric(self):
+        grid = WDMGrid(13)
+        assert np.allclose(grid.detunings, -grid.detunings[::-1])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            WDMGrid(0)
+        with pytest.raises(ValueError):
+            WDMGrid(4, spacing=-1.0)
+
+    @given(n=st.integers(min_value=1, max_value=200))
+    def test_channel_count_matches(self, n):
+        assert WDMGrid(n).wavelengths.size == n
+
+
+class TestEq10:
+    """The paper's microdisk FSR -> wavelength window -> 112 channels."""
+
+    def test_window_edges_match_paper(self):
+        lower, upper = fsr_wavelength_window(5.6 * THZ)
+        assert lower / NM == pytest.approx(1527.88, abs=0.01)
+        assert upper / NM == pytest.approx(1572.76, abs=0.01)
+
+    def test_112_channels(self):
+        assert max_channels(5.6 * THZ) == 112
+
+    def test_window_contains_center(self):
+        lower, upper = fsr_wavelength_window(5.6 * THZ)
+        assert lower < DEFAULT_CENTER_WAVELENGTH < upper
+
+    def test_larger_fsr_gives_more_channels(self):
+        assert max_channels(8 * THZ) > max_channels(5.6 * THZ)
+
+    def test_finer_spacing_gives_more_channels(self):
+        assert max_channels(5.6 * THZ, spacing=0.2 * NM) > max_channels(
+            5.6 * THZ, spacing=DEFAULT_CHANNEL_SPACING
+        )
+
+    def test_rejects_nonpositive_fsr(self):
+        with pytest.raises(ValueError):
+            fsr_wavelength_window(0.0)

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAreaCommand:
+    def test_default(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "Area breakdown" in out
+        assert "TOTAL" in out
+        assert "60" in out  # LT-B ~60.3 mm^2
+
+    def test_lt_large(self, capsys):
+        assert main(["area", "--config", "lt-l"]) == 0
+        assert "lt-l" in capsys.readouterr().out
+
+
+class TestPowerCommand:
+    def test_4bit(self, capsys):
+        assert main(["power", "--bits", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "laser" in out and "dac" in out
+
+    def test_8bit_has_higher_total(self, capsys):
+        main(["power", "--bits", "4"])
+        out4 = capsys.readouterr().out
+        main(["power", "--bits", "8"])
+        out8 = capsys.readouterr().out
+
+        def total(text):
+            for line in text.splitlines():
+                if line.startswith("TOTAL"):
+                    return float(line.split()[1])
+            raise AssertionError("no TOTAL line")
+
+        assert total(out8) > 3 * total(out4)
+
+
+class TestRunCommand:
+    def test_deit_t(self, capsys):
+        assert main(["run", "--model", "deit-t"]) == 0
+        out = capsys.readouterr().out
+        assert "deit-tiny" in out
+        assert "energy_mJ" in out
+
+    def test_bert(self, capsys):
+        assert main(["run", "--model", "bert-base"]) == 0
+        assert "bert-base" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_contains_all_designs(self, capsys):
+        assert main(["compare", "--model", "deit-t"]) == 0
+        out = capsys.readouterr().out
+        for design in ("LT-B", "MRR bank", "MZI array", "CPU", "GPU"):
+            assert design in out
+
+
+class TestReportCommand:
+    def test_writes_file(self, tmp_path, capsys):
+        output = tmp_path / "EXP.md"
+        assert main(["report", "--skip-accuracy", "--output", str(output)]) == 0
+        text = output.read_text()
+        assert "Table IV" in text
+        assert "Fig. 13" in text
+
+
+class TestParsing:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["area", "--bits", "5"])
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--model", "gpt-17"])

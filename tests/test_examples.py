@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs to completion.
+
+The slow training example (noise_aware_transformer) is exercised with a
+reduced workload via import rather than a full run.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "accelerator_comparison.py",
+    "sparse_attention_on_dptc.py",
+    "design_space_exploration.py",
+    "llm_decode_analysis.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_paper_numbers():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "60.3" in result.stdout  # paper area quoted
+    assert "FPS" in result.stdout
+
+
+def test_all_examples_are_covered():
+    """Every example on disk is either smoke-tested or known-slow."""
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    known_slow = {"noise_aware_transformer.py"}
+    assert on_disk == set(FAST_EXAMPLES) | known_slow
+
+
+@pytest.mark.slow
+def test_noise_aware_example_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "noise_aware_transformer.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "digital (noise-free quantized) test accuracy" in result.stdout

@@ -1,0 +1,173 @@
+"""End-to-end integration tests across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    LighteningTransformer,
+    lt_base,
+    mvm_engine,
+    os_dataflow_matmul,
+    workload_cycles,
+)
+from repro.baselines import MRRAccelerator, MZIAccelerator, PCMAccelerator
+from repro.core import DPTC, DPTCGeometry, NoiseModel
+from repro.neural import (
+    PhotonicExecutor,
+    QuantConfig,
+    TinyViT,
+    evaluate,
+    load_checkpoint,
+    save_checkpoint,
+    striped_image_dataset,
+    train_classifier,
+)
+from repro.optics import DDotCircuit, WDMGrid
+from repro.workloads import (
+    WindowAttentionPattern,
+    decode_trace,
+    deit_tiny,
+    dense_attention,
+    gemm_trace,
+    gpt2_small,
+    sparse_attention,
+)
+
+
+class TestTrainCheckpointDeploy:
+    """Train -> persist -> reload -> evaluate under analog noise."""
+
+    def test_full_lifecycle(self, tmp_path):
+        data = striped_image_dataset(n_samples=80, n_classes=2, seed=0)
+        train, test = data.split(0.75)
+        model = TinyViT(n_classes=2, depth=1, seed=0)
+        train_classifier(model, train, epochs=3, lr=5e-3, seed=0)
+        clean_accuracy = evaluate(model, test)
+
+        path = save_checkpoint(model, tmp_path / "vit.npz")
+        deployed = TinyViT(n_classes=2, depth=1, seed=42)
+        load_checkpoint(deployed, path)
+        deployed.set_executor(
+            PhotonicExecutor.paper_default(QuantConfig.int4(), seed=1)
+        )
+        noisy_accuracy = evaluate(deployed, test)
+        # The deployed noisy model stays within a few test samples of
+        # the clean checkpoint (the paper's robustness claim end-to-end).
+        assert abs(noisy_accuracy - clean_accuracy) <= 0.2
+        assert noisy_accuracy > 0.5
+
+
+class TestSparseAttentionThroughDataflow:
+    """Blockified window attention chunks through the OS schedule on a
+    noisy core, against the masked dense reference."""
+
+    def test_chunks_via_dataflow(self):
+        config = lt_base(4)
+        dptc = DPTC(config.geometry, NoiseModel.paper_default())
+        rng = np.random.default_rng(0)
+        n, d = 36, 12
+        q, k, v = (rng.normal(size=(n, d)) for _ in range(3))
+        pattern = WindowAttentionPattern(n, window=5, block=12)
+
+        def executor(a, b):
+            return os_dataflow_matmul(
+                config, a, b, lambda x, y: dptc.tile_matmul(x, y, rng=rng)
+            )
+
+        out = sparse_attention(q, k, v, pattern, matmul=executor)
+        reference = dense_attention(q, k, v, mask=pattern.mask())
+        rel = np.linalg.norm(out - reference) / np.linalg.norm(reference)
+        assert rel < 0.35
+
+
+class TestFullComparisonInvariants:
+    """System-level invariants that must hold across every accelerator."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        trace = gemm_trace(deit_tiny())
+        return {
+            "lt": LighteningTransformer(lt_base(4)).run(trace),
+            "mrr": MRRAccelerator(bits=4).run(trace),
+            "mzi": MZIAccelerator(bits=4).run(trace),
+            "pcm": PCMAccelerator(bits=4).run(trace),
+        }
+
+    def test_lt_wins_energy_and_latency(self, runs):
+        for name, run in runs.items():
+            if name == "lt":
+                continue
+            assert run.energy_joules > runs["lt"].energy_joules, name
+            assert run.latency > runs["lt"].latency, name
+
+    def test_edp_consistency(self, runs):
+        for run in runs.values():
+            assert run.edp == pytest.approx(run.energy_joules * run.latency)
+
+    def test_energy_breakdowns_complete(self, runs):
+        for run in runs.values():
+            assert run.energy.total > 0
+            assert all(v >= 0 for v in run.energy.by_category.values())
+
+    def test_weight_static_designs_lose_most_on_attention(self):
+        from repro.workloads import MODULE_ATTENTION, filter_module
+
+        trace = gemm_trace(deit_tiny())
+        attention = filter_module(trace, MODULE_ATTENTION)
+        lt = LighteningTransformer(lt_base(4)).run(attention)
+        pcm = PCMAccelerator(bits=4).run(attention)
+        mzi_full_trace = MZIAccelerator(bits=4).run(trace)
+        lt_full_trace = LighteningTransformer(lt_base(4)).run(trace)
+        attention_gap = pcm.latency / lt.latency
+        overall_gap = mzi_full_trace.latency / lt_full_trace.latency
+        assert attention_gap > 10  # reprogramming-dominated
+        assert overall_gap > 10
+
+
+class TestOpticsNeuralConsistency:
+    """The circuit simulator and the neural executor agree channel-wise."""
+
+    def test_single_dot_through_both_stacks(self):
+        grid = WDMGrid(12)
+        circuit = DDotCircuit(grid, include_dispersion=True)
+        executor = PhotonicExecutor(
+            geometry=DPTCGeometry(12, 12, 12),
+            noise=NoiseModel(
+                encoding=NoiseModel.ideal().encoding,
+                systematic=NoiseModel.ideal().systematic,
+                include_dispersion=True,
+            ),
+            quant=None,
+        )
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-1, 1, 12)
+        y = rng.uniform(-1, 1, 12)
+        from repro.neural import Tensor
+
+        neural_out = executor.matmul(
+            Tensor(x.reshape(1, 12)), Tensor(y.reshape(12, 1))
+        ).data[0, 0]
+        # The executor's beta normalisation rescales the operands; map
+        # the circuit run through the same scaling.
+        beta_x, beta_y = np.max(np.abs(x)), np.max(np.abs(y))
+        circuit_out = circuit.dot_product(x / beta_x, y / beta_y) * beta_x * beta_y
+        assert neural_out == pytest.approx(circuit_out, rel=1e-9)
+
+
+class TestHeterogeneousDecodeEngine:
+    """The Sec. VI-A MVM engine serves Sec. VI-B decode traces better."""
+
+    def test_mvm_engine_cuts_decode_cycles(self):
+        from dataclasses import replace
+
+        trace = decode_trace(gpt2_small(), context_len=512)
+        default = lt_base(8)
+        flat = replace(default, geometry=mvm_engine(1728, 48), name="LT-mvm")
+        # Attention rows are single-query: the flat engine wastes none
+        # of its 12-row dimension on them.
+        from repro.workloads import dynamic_ops
+
+        attention = dynamic_ops(trace)
+        assert workload_cycles(flat, attention) < workload_cycles(
+            default, attention
+        )

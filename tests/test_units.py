@@ -1,0 +1,66 @@
+"""Tests for unit constants and dB conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_power_constants(self):
+        assert units.MW == 1e-3
+        assert units.UW == 1e-6
+
+    def test_time_constants_ordering(self):
+        assert units.PS < units.NS < units.US < units.MS
+
+    def test_area_constants(self):
+        assert units.UM2 == 1e-12
+        assert units.MM2 == 1e-6
+        assert units.MM2 / units.UM2 == pytest.approx(1e6)
+
+    def test_speed_of_light(self):
+        assert units.SPEED_OF_LIGHT == pytest.approx(2.998e8, rel=1e-3)
+
+
+class TestDecibels:
+    def test_db_to_linear_roundtrip(self):
+        for db in (-30.0, -3.0, 0.0, 3.0, 10.0, 25.0):
+            assert units.linear_to_db(units.db_to_linear(db)) == pytest.approx(db)
+
+    def test_zero_db_is_unity(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_ten_db_is_factor_ten(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_three_db_is_about_two(self):
+        assert units.db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+
+class TestDbm:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_minus_25_dbm(self):
+        # The paper's photodetector sensitivity floor.
+        assert units.dbm_to_watts(-25.0) == pytest.approx(3.1623e-6, rel=1e-4)
+
+    def test_watts_to_dbm_roundtrip(self):
+        for dbm in (-25.0, -3.0, 0.0, 20.0):
+            assert units.watts_to_dbm(units.dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+    def test_watts_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(0.0)
+
+    def test_dbm_log_consistency(self):
+        assert units.watts_to_dbm(1.0) == pytest.approx(30.0)
+        assert units.watts_to_dbm(2e-3) == pytest.approx(10 * math.log10(2), rel=1e-6)

@@ -1,0 +1,86 @@
+"""Tests for GEMM operation descriptors."""
+
+import pytest
+
+from repro.workloads import (
+    GEMMOp,
+    MODULE_ATTENTION,
+    MODULE_FFN,
+    MODULE_PROJECTION,
+    dynamic_ops,
+    filter_module,
+    static_ops,
+    total_flops,
+    total_macs,
+)
+
+
+class TestGEMMOp:
+    def test_macs(self):
+        op = GEMMOp("x", m=4, k=5, n=6)
+        assert op.macs == 120
+
+    def test_macs_scale_with_count(self):
+        op = GEMMOp("x", m=4, k=5, n=6, count=3)
+        assert op.macs == 360
+
+    def test_flops_twice_macs(self):
+        op = GEMMOp("x", m=2, k=3, n=4)
+        assert op.flops == 2 * op.macs
+
+    def test_element_counts(self):
+        op = GEMMOp("x", m=2, k=3, n=4, count=5)
+        assert op.output_elements == 2 * 4 * 5
+        assert op.operand_a_elements == 2 * 3 * 5
+        assert op.operand_b_elements == 3 * 4 * 5
+
+    def test_static_weights_zero_for_dynamic(self):
+        op = GEMMOp("attn", m=10, k=8, n=10, module=MODULE_ATTENTION, dynamic=True)
+        assert op.static_weight_elements == 0
+
+    def test_static_weights_for_linear(self):
+        op = GEMMOp("fc", m=10, k=8, n=16, module=MODULE_FFN, count=2)
+        assert op.static_weight_elements == 8 * 16 * 2
+
+    def test_single_collapses_count(self):
+        op = GEMMOp("x", m=2, k=2, n=2, count=7)
+        assert op.single().count == 1
+        assert op.single().macs == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GEMMOp("bad", m=0, k=1, n=1)
+        with pytest.raises(ValueError):
+            GEMMOp("bad", m=1, k=1, n=1, count=0)
+        with pytest.raises(ValueError):
+            GEMMOp("bad", m=1, k=1, n=1, module="not-a-module")
+
+
+class TestTraceHelpers:
+    @pytest.fixture
+    def trace(self):
+        return [
+            GEMMOp("qkt", 4, 4, 4, module=MODULE_ATTENTION, dynamic=True),
+            GEMMOp("proj", 4, 4, 4, module=MODULE_PROJECTION),
+            GEMMOp("ffn", 4, 4, 8, module=MODULE_FFN),
+        ]
+
+    def test_total_macs(self, trace):
+        assert total_macs(trace) == 64 + 64 + 128
+
+    def test_total_flops(self, trace):
+        assert total_flops(trace) == 2 * total_macs(trace)
+
+    def test_filter_module(self, trace):
+        assert [op.name for op in filter_module(trace, MODULE_FFN)] == ["ffn"]
+        both = filter_module(trace, MODULE_FFN, MODULE_PROJECTION)
+        assert {op.name for op in both} == {"proj", "ffn"}
+
+    def test_filter_unknown_module_raises(self, trace):
+        with pytest.raises(ValueError):
+            filter_module(trace, "bogus")
+
+    def test_dynamic_static_partition(self, trace):
+        assert [op.name for op in dynamic_ops(trace)] == ["qkt"]
+        assert {op.name for op in static_ops(trace)} == {"proj", "ffn"}
+        assert len(dynamic_ops(trace)) + len(static_ops(trace)) == len(trace)

@@ -1,0 +1,103 @@
+"""Tests for the global+window (BigBird-style) sparse pattern."""
+
+import numpy as np
+import pytest
+
+from repro.core import DPTCGeometry
+from repro.workloads.global_sparse import (
+    GlobalWindowPattern,
+    blockified_ops,
+    cycle_savings,
+    sparse_attention_with_globals,
+    sparse_cycles,
+)
+from repro.workloads.sparse import dense_cycles, WindowAttentionPattern
+
+
+class TestPattern:
+    def test_mask_includes_window_band(self):
+        pattern = GlobalWindowPattern(12, window=3, block=4, global_tokens=0)
+        window_only = WindowAttentionPattern(12, 3, 4)
+        assert np.array_equal(pattern.mask(), window_only.mask())
+
+    def test_global_rows_and_columns(self):
+        pattern = GlobalWindowPattern(10, window=3, block=4, global_tokens=2)
+        mask = pattern.mask()
+        assert mask[0].all() and mask[1].all()  # global rows see all
+        assert mask[:, 0].all() and mask[:, 1].all()  # all see globals
+        assert not mask[5, 9]  # far off-band, non-global stays masked
+
+    def test_density_grows_with_globals(self):
+        no_globals = GlobalWindowPattern(64, 5, 8, global_tokens=0).density()
+        with_globals = GlobalWindowPattern(64, 5, 8, global_tokens=4).density()
+        assert with_globals > no_globals
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GlobalWindowPattern(10, window=3, block=4, global_tokens=10)
+        with pytest.raises(ValueError):
+            GlobalWindowPattern(10, window=4, block=4)  # even window
+
+
+class TestBlockifiedOps:
+    def test_no_globals_reduces_to_window_chunks(self):
+        pattern = GlobalWindowPattern(24, 5, 8, global_tokens=0)
+        ops = blockified_ops(pattern, head_dim=16)
+        assert all(op.name.startswith("window") for op in ops)
+
+    def test_global_chunks_present(self):
+        pattern = GlobalWindowPattern(24, 5, 8, global_tokens=2)
+        names = {op.name for op in blockified_ops(pattern, 16)}
+        assert "global_rows" in names and "global_cols" in names
+
+    def test_global_chunk_shapes(self):
+        pattern = GlobalWindowPattern(24, 5, 8, global_tokens=2)
+        ops = {op.name: op for op in blockified_ops(pattern, 16)}
+        rows = ops["global_rows"]
+        assert (rows.m, rows.k, rows.n) == (2, 16, 24)
+        cols = ops["global_cols"]
+        assert (cols.m, cols.k, cols.n) == (22, 16, 2)
+
+    def test_all_chunks_dynamic_attention(self):
+        pattern = GlobalWindowPattern(24, 5, 8, global_tokens=1)
+        assert all(op.dynamic for op in blockified_ops(pattern, 16))
+
+
+class TestCycles:
+    def test_sparse_still_beats_dense_with_globals(self):
+        geometry = DPTCGeometry()
+        pattern = GlobalWindowPattern(196, window=13, block=12, global_tokens=2)
+        assert sparse_cycles(pattern, 64, geometry) < dense_cycles(
+            196, 64, geometry
+        )
+        assert cycle_savings(pattern, 64, geometry) > 1.5
+
+    def test_globals_cost_cycles(self):
+        geometry = DPTCGeometry()
+        without = GlobalWindowPattern(196, 13, 12, global_tokens=0)
+        with_globals = GlobalWindowPattern(196, 13, 12, global_tokens=4)
+        assert sparse_cycles(with_globals, 64, geometry) > sparse_cycles(
+            without, 64, geometry
+        )
+
+
+class TestReferenceExecution:
+    def test_masked_dense_semantics(self):
+        rng = np.random.default_rng(0)
+        n, d = 20, 8
+        q, k, v = (rng.normal(size=(n, d)) for _ in range(3))
+        pattern = GlobalWindowPattern(n, window=5, block=4, global_tokens=2)
+        out = sparse_attention_with_globals(q, k, v, pattern)
+        # Global rows attend everywhere: identical to dense attention rows.
+        scores = (q @ k.T) / np.sqrt(d)
+        weights = np.exp(scores - scores.max(axis=1, keepdims=True))
+        weights /= weights.sum(axis=1, keepdims=True)
+        dense = weights @ v
+        assert np.allclose(out[:2], dense[:2], atol=1e-12)
+
+    def test_shape_validation(self):
+        pattern = GlobalWindowPattern(8, 3, 4)
+        with pytest.raises(ValueError):
+            sparse_attention_with_globals(
+                np.zeros((9, 4)), np.zeros((9, 4)), np.zeros((9, 4)), pattern
+            )

@@ -1,0 +1,161 @@
+"""Tests for block-sparse (window) attention support."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DPTC, DPTCGeometry, NoiseModel
+from repro.workloads import (
+    WindowAttentionPattern,
+    blockified_av_ops,
+    blockified_qk_ops,
+    cycle_savings,
+    dense_attention,
+    dense_cycles,
+    sparse_attention,
+    sparse_cycles,
+)
+
+
+class TestPattern:
+    def test_reach(self):
+        assert WindowAttentionPattern(16, window=3, block=4).reach == 1
+        assert WindowAttentionPattern(16, window=7, block=4).reach == 3
+
+    def test_mask_structure(self):
+        pattern = WindowAttentionPattern(5, window=3, block=2)
+        mask = pattern.mask()
+        assert mask.shape == (5, 5)
+        assert mask[0, 0] and mask[0, 1] and not mask[0, 2]
+        assert np.array_equal(mask, mask.T)  # symmetric window
+
+    def test_density_decreases_with_length(self):
+        d_short = WindowAttentionPattern(16, 3, 4).density()
+        d_long = WindowAttentionPattern(64, 3, 4).density()
+        assert d_long < d_short
+
+    def test_q_block_rows_partial_last(self):
+        pattern = WindowAttentionPattern(10, window=3, block=4)
+        assert pattern.n_blocks == 3
+        assert pattern.q_block_rows(0) == (0, 4)
+        assert pattern.q_block_rows(2) == (8, 10)
+        with pytest.raises(IndexError):
+            pattern.q_block_rows(3)
+
+    def test_key_span_clipped_at_edges(self):
+        pattern = WindowAttentionPattern(10, window=5, block=4)
+        assert pattern.key_span(0) == (0, 6)  # reach 2 beyond row 3
+        assert pattern.key_span(2) == (6, 10)
+
+    def test_key_span_covers_window(self):
+        pattern = WindowAttentionPattern(20, window=7, block=5)
+        for b in range(pattern.n_blocks):
+            q0, q1 = pattern.q_block_rows(b)
+            k0, k1 = pattern.key_span(b)
+            for i in range(q0, q1):
+                assert k0 <= max(0, i - pattern.reach)
+                assert k1 >= min(20, i + pattern.reach + 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowAttentionPattern(10, window=4, block=2)  # even window
+        with pytest.raises(ValueError):
+            WindowAttentionPattern(0, window=3, block=2)
+        with pytest.raises(ValueError):
+            WindowAttentionPattern(10, window=3, block=0)
+
+
+class TestBlockifiedOps:
+    def test_qk_chunk_shapes(self):
+        pattern = WindowAttentionPattern(12, window=3, block=4)
+        ops = blockified_qk_ops(pattern, head_dim=8)
+        assert len(ops) == 3
+        assert all(op.k == 8 and op.dynamic for op in ops)
+        # middle block: 4 rows, keys 3..9 -> 6 columns
+        assert (ops[1].m, ops[1].n) == (4, 6)
+
+    def test_av_chunk_shapes_transpose_qk(self):
+        pattern = WindowAttentionPattern(12, window=3, block=4)
+        qk = blockified_qk_ops(pattern, head_dim=8)
+        av = blockified_av_ops(pattern, head_dim=8)
+        for q_op, a_op in zip(qk, av):
+            assert (a_op.m, a_op.k, a_op.n) == (q_op.m, q_op.n, q_op.k)
+
+
+class TestSparseAttentionCorrectness:
+    def test_matches_masked_dense(self):
+        rng = np.random.default_rng(0)
+        n, d = 24, 8
+        q, k, v = (rng.normal(size=(n, d)) for _ in range(3))
+        pattern = WindowAttentionPattern(n, window=5, block=6)
+        out_sparse = sparse_attention(q, k, v, pattern)
+        out_dense = dense_attention(q, k, v, mask=pattern.mask())
+        assert np.allclose(out_sparse, out_dense, atol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=40),
+        window=st.sampled_from([1, 3, 5, 9]),
+        block=st.integers(min_value=1, max_value=8),
+    )
+    def test_matches_masked_dense_property(self, n, window, block):
+        rng = np.random.default_rng(n * 31 + window)
+        q, k, v = (rng.normal(size=(n, 4)) for _ in range(3))
+        pattern = WindowAttentionPattern(n, window=window, block=block)
+        assert np.allclose(
+            sparse_attention(q, k, v, pattern),
+            dense_attention(q, k, v, mask=pattern.mask()),
+            atol=1e-10,
+        )
+
+    def test_full_window_equals_dense(self):
+        """Window spanning everything degenerates to dense attention."""
+        rng = np.random.default_rng(1)
+        n, d = 10, 4
+        q, k, v = (rng.normal(size=(n, d)) for _ in range(3))
+        pattern = WindowAttentionPattern(n, window=2 * n + 1, block=4)
+        assert np.allclose(
+            sparse_attention(q, k, v, pattern), dense_attention(q, k, v), atol=1e-12
+        )
+
+    def test_runs_on_noisy_dptc(self):
+        """The chunks execute on a photonic core: Fig. 16's point."""
+        rng = np.random.default_rng(2)
+        n, d = 24, 12
+        q, k, v = (rng.normal(size=(n, d)) for _ in range(3))
+        pattern = WindowAttentionPattern(n, window=5, block=6)
+        dptc = DPTC(noise=NoiseModel.paper_default())
+        out = sparse_attention(
+            q, k, v, pattern, matmul=lambda a, b: dptc.matmul(a, b, rng=rng)
+        )
+        reference = dense_attention(q, k, v, mask=pattern.mask())
+        rel = np.linalg.norm(out - reference) / np.linalg.norm(reference)
+        assert rel < 0.25  # noisy analog execution stays in the ballpark
+
+    def test_shape_validation(self):
+        pattern = WindowAttentionPattern(4, 3, 2)
+        with pytest.raises(ValueError):
+            sparse_attention(np.zeros((4, 2)), np.zeros((5, 2)), np.zeros((4, 2)), pattern)
+        with pytest.raises(ValueError):
+            sparse_attention(np.zeros((6, 2)), np.zeros((6, 2)), np.zeros((6, 2)), pattern)
+
+
+class TestCycleSavings:
+    def test_sparse_cheaper_for_long_sequences(self):
+        geometry = DPTCGeometry()
+        pattern = WindowAttentionPattern(196, window=13, block=12)
+        assert sparse_cycles(pattern, 64, geometry) < dense_cycles(196, 64, geometry)
+        assert cycle_savings(pattern, 64, geometry) > 2.0
+
+    def test_savings_grow_with_sequence_length(self):
+        geometry = DPTCGeometry()
+        short = cycle_savings(WindowAttentionPattern(96, 13, 12), 64, geometry)
+        long = cycle_savings(WindowAttentionPattern(384, 13, 12), 64, geometry)
+        assert long > short
+
+    def test_tiny_window_maximises_savings(self):
+        geometry = DPTCGeometry()
+        narrow = cycle_savings(WindowAttentionPattern(196, 3, 12), 64, geometry)
+        wide = cycle_savings(WindowAttentionPattern(196, 25, 12), 64, geometry)
+        assert narrow > wide

@@ -1,0 +1,152 @@
+"""Tests for the transformer model zoo and GEMM trace extraction."""
+
+import pytest
+
+from repro.workloads import (
+    MODULE_ATTENTION,
+    MODULE_FFN,
+    PAPER_WORKLOADS,
+    TransformerConfig,
+    bert_base,
+    bert_large,
+    deit_base,
+    deit_small,
+    deit_tiny,
+    dynamic_ops,
+    filter_module,
+    gemm_trace,
+    model_parameters,
+    total_macs,
+)
+
+
+class TestModelZoo:
+    def test_deit_tiny_shape(self):
+        cfg = deit_tiny()
+        assert (cfg.depth, cfg.dim, cfg.heads) == (12, 192, 3)
+        assert cfg.seq_len == 197
+        assert cfg.head_dim == 64
+        assert cfg.ffn_dim == 768
+
+    def test_deit_small_shape(self):
+        cfg = deit_small()
+        assert (cfg.depth, cfg.dim, cfg.heads) == (12, 384, 6)
+
+    def test_deit_base_shape(self):
+        cfg = deit_base()
+        assert (cfg.depth, cfg.dim, cfg.heads) == (12, 768, 12)
+        assert cfg.seq_len == 197
+
+    def test_bert_base_shape(self):
+        cfg = bert_base(128)
+        assert (cfg.depth, cfg.dim, cfg.heads) == (12, 768, 12)
+        assert cfg.seq_len == 128
+        assert cfg.kind == "text"
+
+    def test_bert_large_shape(self):
+        cfg = bert_large(320)
+        assert (cfg.depth, cfg.dim, cfg.heads) == (24, 1024, 16)
+        assert cfg.seq_len == 320
+
+    def test_paper_workloads_registry(self):
+        assert set(PAPER_WORKLOADS) == {
+            "DeiT-T-224",
+            "DeiT-S-224",
+            "DeiT-B-224",
+            "BERT-base-128",
+            "BERT-large-320",
+        }
+        for factory in PAPER_WORKLOADS.values():
+            assert isinstance(factory(), TransformerConfig)
+
+    def test_patch_geometry(self):
+        cfg = deit_tiny()
+        assert cfg.n_patches == 196
+        assert cfg.patch_dim == 16 * 16 * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransformerConfig("bad", depth=1, dim=10, heads=3, seq_len=4)
+        with pytest.raises(ValueError):
+            TransformerConfig("bad", depth=0, dim=12, heads=3, seq_len=4)
+        with pytest.raises(ValueError):
+            TransformerConfig("bad", depth=1, dim=12, heads=3, seq_len=4, kind="audio")
+
+
+class TestGEMMTrace:
+    def test_deit_tiny_op_names(self):
+        names = {op.name for op in gemm_trace(deit_tiny())}
+        assert names == {
+            "patch_embed",
+            "qkv_proj",
+            "attn_qkt",
+            "attn_av",
+            "out_proj",
+            "ffn1",
+            "ffn2",
+            "head",
+        }
+
+    def test_bert_has_no_patch_embed(self):
+        names = {op.name for op in gemm_trace(bert_base())}
+        assert "patch_embed" not in names
+        assert "pooler" in names and "classifier" in names
+
+    def test_attention_ops_are_dynamic(self):
+        trace = gemm_trace(deit_tiny())
+        dyn = dynamic_ops(trace)
+        assert {op.name for op in dyn} == {"attn_qkt", "attn_av"}
+        assert all(op.module == MODULE_ATTENTION for op in dyn)
+
+    def test_attention_dimensions(self):
+        cfg = deit_tiny()
+        trace = {op.name: op for op in gemm_trace(cfg)}
+        qkt = trace["attn_qkt"]
+        assert (qkt.m, qkt.k, qkt.n) == (197, 64, 197)
+        assert qkt.count == 12 * 3
+        av = trace["attn_av"]
+        assert (av.m, av.k, av.n) == (197, 197, 64)
+
+    def test_ffn_dimensions(self):
+        trace = {op.name: op for op in gemm_trace(deit_tiny())}
+        assert (trace["ffn1"].m, trace["ffn1"].k, trace["ffn1"].n) == (197, 192, 768)
+        assert (trace["ffn2"].m, trace["ffn2"].k, trace["ffn2"].n) == (197, 768, 192)
+
+    def test_include_head_flag(self):
+        with_head = gemm_trace(deit_tiny(), include_head=True)
+        without = gemm_trace(deit_tiny(), include_head=False)
+        assert len(with_head) == len(without) + 1
+
+    def test_macs_scale_with_model_size(self):
+        t = total_macs(gemm_trace(deit_tiny()))
+        s = total_macs(gemm_trace(deit_small()))
+        b = total_macs(gemm_trace(deit_base()))
+        assert t < s < b
+        # FFN+projections grow ~quadratically in dim: S/T well above 2x.
+        assert s / t > 2.5
+
+    def test_deit_tiny_total_macs_plausible(self):
+        """DeiT-T is ~1.3 G multiply-adds per 224x224 inference."""
+        macs = total_macs(gemm_trace(deit_tiny()))
+        assert 1.0e9 < macs < 1.5e9
+
+    def test_ffn_dominates_deit_macs(self):
+        trace = gemm_trace(deit_tiny())
+        ffn = total_macs(filter_module(trace, MODULE_FFN))
+        assert ffn / total_macs(trace) > 0.4
+
+
+class TestModelParameters:
+    def test_deit_tiny_parameter_count(self):
+        """DeiT-T has ~5.7 M params; GEMM weights alone are ~5.4 M."""
+        params = model_parameters(deit_tiny())
+        assert 4.5e6 < params < 6.5e6
+
+    def test_bert_base_parameter_count(self):
+        """BERT-base encoder GEMM weights are ~85 M."""
+        params = model_parameters(bert_base())
+        assert 80e6 < params < 95e6
+
+    def test_dynamic_ops_carry_no_weights(self):
+        trace = gemm_trace(deit_tiny())
+        assert all(op.static_weight_elements == 0 for op in dynamic_ops(trace))
