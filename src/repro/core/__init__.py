@@ -17,7 +17,7 @@ from repro.core.calibration import (
 )
 from repro.core.ddot import DDot, analytic_output
 from repro.core.dispersion import DispersionProfile, dispersion_profile
-from repro.core.dptc import DPTC, DPTCGeometry
+from repro.core.dptc import DPTC, DPTCGeometry, DPTCNoiseDraw
 from repro.core.noise import (
     DEFAULT_MAGNITUDE_STD,
     DEFAULT_PHASE_STD_DEG,
@@ -35,6 +35,7 @@ __all__ = [
     "channel_gains",
     "dispersion_error_reduction",
     "DPTCGeometry",
+    "DPTCNoiseDraw",
     "DEFAULT_MAGNITUDE_STD",
     "DEFAULT_PHASE_STD_DEG",
     "DEFAULT_SYSTEMATIC_STD",

@@ -47,19 +47,20 @@ def additive_correction(
     """The Eq. 9 additive error of ``a_hat @ b_hat``, computed digitally.
 
     Args:
-        a_hat, b_hat: the *encoded* (normalised) operands.
+        a_hat, b_hat: the *encoded* (normalised) operands, optionally
+            stacked with leading batch axes.
 
     Returns:
-        The ``[m, n]`` additive term the analog output contains; callers
-        subtract it from the measured result.
+        The ``[..., m, n]`` additive term the analog output contains;
+        callers subtract it from the measured result.
     """
     a_hat = np.asarray(a_hat, dtype=float)
     b_hat = np.asarray(b_hat, dtype=float)
-    d = a_hat.shape[1]
+    d = a_hat.shape[-1]
     weight = np.resize(profile.additive_factor, d)
     row_term = 0.5 * ((a_hat**2) @ weight)
     col_term = 0.5 * (weight @ (b_hat**2))
-    return row_term[:, None] - col_term[None, :]
+    return row_term[..., :, None] - col_term[..., None, :]
 
 
 class CalibratedDPTC(DPTC):
@@ -84,29 +85,37 @@ class CalibratedDPTC(DPTC):
         a: np.ndarray,
         b: np.ndarray,
         rng: np.random.Generator | None = None,
+        draw=None,
     ) -> np.ndarray:
         a = np.asarray(a, dtype=float)
         b = np.asarray(b, dtype=float)
-        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
-            raise ValueError(f"incompatible matmul shapes: {a.shape} x {b.shape}")
+        self._broadcast_out_shape(a.shape, b.shape)
         if self.noise.is_ideal or not self.noise.include_dispersion:
-            return super().matmul(a, b, rng=rng)
+            return super().matmul(a, b, rng=rng, draw=draw)
 
-        d = a.shape[1]
+        d = a.shape[-1]
         gains = channel_gains(self.profile, d)
         # Pre-compensate operand B so the analog multiplicative factor
         # cancels; the uncalibrated engine then runs as-is.
-        compensated = super().matmul(a, b * gains[:, None], rng=rng)
+        b_comp = b * gains[:, None]
+        compensated = super().matmul(a, b_comp, rng=rng, draw=draw)
 
         # Digitally remove the additive dispersion term.  It arises from
-        # the *encoded* values: reproduce the engine's normalisation.
-        beta_a = float(np.max(np.abs(a)))
-        b_comp = b * gains[:, None]
-        beta_b = float(np.max(np.abs(b_comp)))
-        if beta_a == 0.0 or beta_b == 0.0:
-            return compensated
-        correction = additive_correction(a / beta_a, b_comp / beta_b, self.profile)
-        return compensated - correction * beta_a * beta_b
+        # the *encoded* values: reproduce the engine's per-matrix
+        # normalisation (all-zero slices need no correction).
+        beta_a = np.max(np.abs(a), axis=(-2, -1), keepdims=True)
+        beta_b = np.max(np.abs(b_comp), axis=(-2, -1), keepdims=True)
+        correction = additive_correction(
+            a / np.where(beta_a == 0.0, 1.0, beta_a),
+            b_comp / np.where(beta_b == 0.0, 1.0, beta_b),
+            self.profile,
+        )
+        correction = np.where(
+            (beta_a == 0.0) | (beta_b == 0.0),
+            0.0,
+            correction * (beta_a * beta_b),
+        )
+        return compensated - correction
 
 
 def dispersion_error_reduction(

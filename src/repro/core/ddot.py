@@ -103,6 +103,12 @@ class DDot:
         beta_y = float(np.max(np.abs(y))) if y.size else 0.0
         if beta_x == 0.0 or beta_y == 0.0:
             return 0.0
+        # One fallback generator for the whole call, matching
+        # DPTC.matmul's single-RNG discipline.  An ideal model consumes
+        # no randomness (systematic.apply is a no-op at std == 0), so
+        # skip the construction cost on that hot path.
+        if rng is None and not self.noise.is_ideal:
+            rng = np.random.default_rng()
 
         x_hat = x / beta_x
         y_hat = y / beta_y
@@ -110,15 +116,11 @@ class DDot:
         phase = self.profile.phase[: x.size].copy()
 
         if not self.noise.is_ideal:
-            if rng is None:
-                rng = np.random.default_rng()
             x_hat = self.noise.encoding.perturb_magnitude(x_hat, rng)
             y_hat = self.noise.encoding.perturb_magnitude(y_hat, rng)
             phase = phase + self.noise.encoding.sample_phase((x.size,), rng)
 
         raw = analytic_output(x_hat, y_hat, kappa, phase)
-        if self.noise.systematic.std > 0.0:
-            if rng is None:
-                rng = np.random.default_rng()
-            raw = float(self.noise.systematic.apply(np.asarray(raw), rng))
+        # Applied unconditionally: a no-op (consuming no RNG) at std == 0.
+        raw = float(self.noise.systematic.apply(np.asarray(raw), rng))
         return raw * beta_x * beta_y

@@ -15,6 +15,15 @@ Two views are provided:
   looping the analytic DDot over every tile, including per-channel
   dispersion (channels are assigned cyclically along the contraction
   dimension) and stochastic encoding noise per encoded element.
+
+The executor is *batched*: operands may carry any number of leading
+batch axes (``[..., m, d] x [..., d, n]``) with numpy-style rank
+broadcasting (e.g. a 2-D weight against 3-D activations), and the whole
+stack — every head and every sequence of an attention product — is
+computed as single whole-batch einsum/matmul expressions.  The
+per-matrix Python loop of the original engine is preserved verbatim as
+:meth:`DPTC.matmul_reference` so the equivalence and speedup of the
+vectorised path stay measurable.
 """
 
 from __future__ import annotations
@@ -102,6 +111,33 @@ class DPTCGeometry:
         return self.encoding_ops_unshared() / self.encoding_ops_shared()
 
 
+@dataclass(frozen=True)
+class DPTCNoiseDraw:
+    """One realisation of every stochastic factor of a (batched) matmul.
+
+    The arrays live at the *given* operand shapes (before batch
+    broadcasting), so a shared 2-D weight is encoded — and perturbed —
+    once for the whole batch, exactly like the crossbar's operand
+    sharing broadcasts one modulated waveguide to a full row of DDots.
+
+    Attributes:
+        magnitude_a, magnitude_b: multiplicative encoding factors
+            ``1 + delta`` applied to the normalised operands.
+        phase_a, phase_b: per-element phase drifts (rad).
+        systematic: multiplicative output factors ``1 + eps`` at the
+            broadcast output shape.
+
+    Ideal components collapse to scalars (1 for factors, 0 for phases)
+    so a disabled noise term costs neither RNG draws nor memory.
+    """
+
+    magnitude_a: np.ndarray | float
+    magnitude_b: np.ndarray | float
+    phase_a: np.ndarray | float
+    phase_b: np.ndarray | float
+    systematic: np.ndarray | float
+
+
 class DPTC:
     """Functional (optionally noisy) executor for DPTC matrix multiplies.
 
@@ -130,6 +166,7 @@ class DPTC:
             self.profile = dispersion_profile(self.grid)
         else:
             self.profile = DispersionProfile.ideal(self.geometry.n_lambda)
+        self._channel_cache: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
     def tile_matmul(
         self,
@@ -149,13 +186,110 @@ class DPTC:
             )
         return self.matmul(a, b, rng=rng)
 
+    @staticmethod
+    def _broadcast_out_shape(
+        a_shape: tuple[int, ...], b_shape: tuple[int, ...]
+    ) -> tuple[int, ...]:
+        """Validate stacked operand shapes; return the output shape."""
+        if len(a_shape) < 2 or len(b_shape) < 2:
+            raise ValueError(
+                f"operands must be at least 2-D, got {a_shape} x {b_shape}"
+            )
+        if a_shape[-1] != b_shape[-2]:
+            raise ValueError(
+                f"incompatible matmul shapes: {a_shape} x {b_shape}"
+            )
+        try:
+            batch = np.broadcast_shapes(a_shape[:-2], b_shape[:-2])
+        except ValueError as exc:
+            raise ValueError(
+                f"batch dims not broadcastable: {a_shape} x {b_shape}"
+            ) from exc
+        return batch + (a_shape[-2], b_shape[-1])
+
+    def sample_noise(
+        self,
+        a_shape: tuple[int, ...],
+        b_shape: tuple[int, ...],
+        rng: np.random.Generator,
+    ) -> DPTCNoiseDraw:
+        """Draw every stochastic factor for one (batched) matmul.
+
+        The sampling order is fixed — magnitude A, magnitude B, phase A,
+        phase B, systematic — and each array is drawn in one vectorised
+        call, so the batched engine and the per-matrix reference loop
+        consume an identical RNG stream when handed the same generator.
+        """
+        a_shape = tuple(a_shape)
+        b_shape = tuple(b_shape)
+        out_shape = self._broadcast_out_shape(a_shape, b_shape)
+        encoding = self.noise.encoding
+        # (shape, std, base) per draw; factors are base + std * N(0, 1).
+        segments = (
+            (a_shape, encoding.magnitude_std, 1.0),
+            (b_shape, encoding.magnitude_std, 1.0),
+            (a_shape, encoding.phase_std_rad, 0.0),
+            (b_shape, encoding.phase_std_rad, 0.0),
+            (out_shape, self.noise.systematic.std, 1.0),
+        )
+        # One fused standard-normal draw for all segments.  The PCG64
+        # stream is consumed value-by-value, so slicing one big draw is
+        # bit-identical to five sequential ``rng.normal`` calls — the
+        # documented sampling order is unchanged, just cheaper.  The
+        # magnitude pair and the phase pair each share a std, so each
+        # pair is scaled in one pass.
+        total = sum(math.prod(shape) for shape, std, _ in segments if std > 0.0)
+        z = rng.standard_normal(total) if total else None
+        values: list[np.ndarray | float] = []
+        offset = 0
+        for pair in (segments[0:2], segments[2:4], segments[4:5]):
+            std, base = pair[0][1], pair[0][2]
+            if std == 0.0:
+                values.extend(base for _ in pair)
+                continue
+            counts = [math.prod(shape) for shape, _, _ in pair]
+            block = z[offset : offset + sum(counts)]
+            offset += sum(counts)
+            block *= std
+            if base != 0.0:
+                block += base
+            lo = 0
+            for (shape, _, _), count in zip(pair, counts):
+                values.append(block[lo : lo + count].reshape(shape))
+                lo += count
+        return DPTCNoiseDraw(*values)
+
+    def _channel_factors(
+        self, d: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-contraction-element dispersion factors (cyclic channels).
+
+        Cached per contraction length: the profile is fixed at
+        construction, so the cyclic tiling never changes.
+        """
+        cached = self._channel_cache.get(d)
+        if cached is None:
+            kappa = np.resize(self.profile.kappa, d)
+            phase_deviation = np.resize(self.profile.phase_deviation, d)
+            two_tk = 2.0 * np.sqrt(kappa * (1.0 - kappa))
+            cached = (kappa, phase_deviation, two_tk)
+            self._channel_cache[d] = cached
+        return cached
+
     def matmul(
         self,
         a: np.ndarray,
         b: np.ndarray,
         rng: np.random.Generator | None = None,
+        draw: DPTCNoiseDraw | None = None,
     ) -> np.ndarray:
         """Full-range matrix product ``a @ b`` executed on the DPTC.
+
+        Operands may be stacked: ``[..., m, d] x [..., d, n]`` with
+        numpy-style broadcasting of the leading batch axes (a 2-D weight
+        against 3-D activations is fine).  The whole batch — every head
+        and every sequence — is computed in single whole-batch matmul
+        expressions; there is no per-matrix Python loop.
 
         Arbitrary GEMM sizes are supported; the contraction dimension is
         mapped cyclically onto the WDM channels (tile ``i`` of the
@@ -165,18 +299,158 @@ class DPTC:
         Operands are normalised per matrix by their maximum magnitudes
         (the hardware's ``beta_x``/``beta_y`` scaling) and the output is
         rescaled, so values of any range are accepted.
+
+        Args:
+            a, b: stacked operands.
+            rng: noise sampling stream (fresh unseeded generator if
+                omitted); unused when ``draw`` is given.
+            draw: a pre-sampled :class:`DPTCNoiseDraw` for this operand
+                pair, e.g. to share one realisation with
+                :meth:`matmul_reference`.
         """
         a = np.asarray(a, dtype=float)
         b = np.asarray(b, dtype=float)
-        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
-            raise ValueError(
-                f"incompatible matmul shapes: {a.shape} x {b.shape}"
-            )
+        out_shape = self._broadcast_out_shape(a.shape, b.shape)
         if self.noise.is_ideal:
-            return a @ b
+            return np.matmul(a, b)
 
-        if rng is None:
-            rng = np.random.default_rng()
+        # Per-matrix normalisation: each [m, d] / [d, n] slice of the
+        # stack gets its own beta (all-zero slices are masked at the end).
+        beta_a = np.max(np.abs(a), axis=(-2, -1), keepdims=True)
+        beta_b = np.max(np.abs(b), axis=(-2, -1), keepdims=True)
+        if draw is None:
+            if not beta_a.any() or not beta_b.any():
+                # An all-zero operand short-circuits before any noise is
+                # sampled, like the reference loop's per-matrix early
+                # return — the shared RNG stream stays aligned.
+                return np.zeros(out_shape)
+            if rng is None:
+                rng = np.random.default_rng()
+            draw = self.sample_noise(a.shape, b.shape, rng)
+        has_zero = bool((beta_a == 0.0).any() or (beta_b == 0.0).any())
+        a_hat = a / (np.where(beta_a == 0.0, 1.0, beta_a) if has_zero else beta_a)
+        b_hat = b / (np.where(beta_b == 0.0, 1.0, beta_b) if has_zero else beta_b)
+        a_hat *= draw.magnitude_a
+        b_hat *= draw.magnitude_b
+
+        d = a.shape[-1]
+        kappa, phase_deviation, two_tk = self._channel_factors(d)
+
+        # Additive term first, while a_hat/b_hat are pristine:
+        # sum_i -(2*kappa_i - 1) * (a_i^2 - b_i^2) / 2.  The fused
+        # einsum squares and contracts in one pass.
+        additive = -(2.0 * kappa - 1.0)
+        row_term = np.einsum("...md,...md,d->...m", a_hat, a_hat, additive)
+        col_term = np.einsum("d,...dn,...dn->...n", additive, b_hat, b_hat)
+
+        # Multiplicative term: sum_i 2*t_i*k_i * cos(dphi_i + py - px) * a*b,
+        # expanded via cos(P - Q) so it reduces to two exact matmuls.
+        # Buffers are recycled (trig results host the products) — every
+        # array here is freshly allocated by this call, never caller- or
+        # draw-owned.
+        angle_b = phase_deviation[:, None] + draw.phase_b
+        cos_b = np.cos(angle_b)
+        sin_b = np.sin(angle_b, out=angle_b)
+        b_hat *= two_tk[:, None]
+        if cos_b.shape == b_hat.shape:
+            b_cos = np.multiply(b_hat, cos_b, out=cos_b)
+            b_sin = np.multiply(b_hat, sin_b, out=sin_b)
+        else:  # scalar phase drift: angle is the [d, 1] channel profile
+            b_cos = b_hat * cos_b
+            b_sin = b_hat * sin_b
+        if isinstance(draw.phase_a, np.ndarray):
+            cos_a = np.cos(draw.phase_a)
+            sin_a = np.sin(draw.phase_a)
+            a_cos = np.multiply(a_hat, cos_a, out=cos_a)
+            a_sin = np.multiply(a_hat, sin_a, out=sin_a)
+        else:
+            a_cos = a_hat * math.cos(draw.phase_a)
+            a_sin = a_hat * math.sin(draw.phase_a)
+        out = a_cos @ b_cos
+        out += a_sin @ b_sin
+
+        out += 0.5 * row_term[..., :, None]
+        out -= 0.5 * col_term[..., None, :]
+
+        out *= draw.systematic
+        out *= beta_a * beta_b
+        if has_zero:
+            out = np.where((beta_a == 0.0) | (beta_b == 0.0), 0.0, out)
+        return out
+
+    def matmul_reference(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        rng: np.random.Generator | None = None,
+        draw: DPTCNoiseDraw | None = None,
+    ) -> np.ndarray:
+        """Per-matrix Python-loop execution (the pre-batching engine).
+
+        Preserved as ground truth for :meth:`matmul`: every ``[m, d] x
+        [d, n]`` slice of the stack is computed by a separate 2-D
+        evaluation, exactly like the original executor loop.
+
+        Two RNG disciplines are supported:
+
+        * ``draw`` given — the loop consumes the one whole-batch noise
+          realisation (sampling order preserved), so the result matches
+          the vectorised engine to machine precision;
+        * ``rng`` given (or neither) — noise is sampled per matrix
+          inside the loop, the original engine's behaviour; results
+          then match the batched path only distributionally.
+        """
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        out_shape = self._broadcast_out_shape(a.shape, b.shape)
+        batch = out_shape[:-2]
+        a_full = np.broadcast_to(a, batch + a.shape[-2:])
+        b_full = np.broadcast_to(b, batch + b.shape[-2:])
+
+        if self.noise.is_ideal:
+            out = np.empty(out_shape)
+            for index in np.ndindex(batch):
+                out[index] = a_full[index] @ b_full[index]
+            return out
+
+        out = np.empty(out_shape)
+        if draw is None:
+            # Original discipline: every slice samples its own noise
+            # from the shared generator, exactly like the pre-batching
+            # engine did (five separate draws per matrix).
+            if rng is None:
+                rng = np.random.default_rng()
+            for index in np.ndindex(batch):
+                out[index] = self._matmul_2d_legacy(a_full[index], b_full[index], rng)
+            return out
+
+        magnitude_a = np.broadcast_to(draw.magnitude_a, a_full.shape)
+        magnitude_b = np.broadcast_to(draw.magnitude_b, b_full.shape)
+        phase_a = np.broadcast_to(draw.phase_a, a_full.shape)
+        phase_b = np.broadcast_to(draw.phase_b, b_full.shape)
+        systematic = np.broadcast_to(draw.systematic, out_shape)
+        for index in np.ndindex(batch):
+            slice_draw = DPTCNoiseDraw(
+                magnitude_a=magnitude_a[index],
+                magnitude_b=magnitude_b[index],
+                phase_a=phase_a[index],
+                phase_b=phase_b[index],
+                systematic=systematic[index],
+            )
+            out[index] = self._noisy_matmul_2d(
+                a_full[index], b_full[index], slice_draw
+            )
+        return out
+
+    def _matmul_2d_legacy(
+        self, a: np.ndarray, b: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """The original (pre-batching) noisy 2-D product, verbatim.
+
+        Samples noise inline — magnitude A, magnitude B, phase A,
+        phase B, systematic, each as its own draw — and recomputes the
+        channel tiling per call, exactly like the seed implementation.
+        """
         beta_a = float(np.max(np.abs(a)))
         beta_b = float(np.max(np.abs(b)))
         if beta_a == 0.0 or beta_b == 0.0:
@@ -190,8 +464,6 @@ class DPTC:
         phase_deviation = np.resize(self.profile.phase_deviation, d)
         two_tk = 2.0 * np.sqrt(kappa * (1.0 - kappa))
 
-        # Multiplicative term: sum_i 2*t_i*k_i * cos(dphi_i + py - px) * a*b,
-        # expanded via cos(P - Q) so it reduces to two exact matmuls.
         phase_a = self.noise.encoding.sample_phase(a.shape, rng)
         phase_b = self.noise.encoding.sample_phase(b.shape, rng)
         angle_b = phase_deviation[:, None] + phase_b
@@ -201,10 +473,36 @@ class DPTC:
         b_sin = two_tk[:, None] * b_hat * np.sin(angle_b)
         out = a_cos @ b_cos + a_sin @ b_sin
 
-        # Additive term: sum_i -(2*kappa_i - 1) * (a_i^2 - b_i^2) / 2.
         additive = -(2.0 * kappa - 1.0)
         out += 0.5 * ((a_hat**2) @ additive)[:, None]
         out -= 0.5 * (additive @ (b_hat**2))[None, :]
 
         out = self.noise.systematic.apply(out, rng)
         return out * beta_a * beta_b
+
+    def _noisy_matmul_2d(
+        self, a: np.ndarray, b: np.ndarray, draw: DPTCNoiseDraw
+    ) -> np.ndarray:
+        """One noisy 2-D product with an explicit noise realisation."""
+        beta_a = float(np.max(np.abs(a)))
+        beta_b = float(np.max(np.abs(b)))
+        if beta_a == 0.0 or beta_b == 0.0:
+            return np.zeros((a.shape[0], b.shape[1]))
+
+        a_hat = (a / beta_a) * draw.magnitude_a
+        b_hat = (b / beta_b) * draw.magnitude_b
+        kappa, phase_deviation, two_tk = self._channel_factors(a.shape[1])
+
+        angle_b = phase_deviation[:, None] + draw.phase_b
+        a_cos = a_hat * np.cos(draw.phase_a)
+        a_sin = a_hat * np.sin(draw.phase_a)
+        b_cos = two_tk[:, None] * b_hat * np.cos(angle_b)
+        b_sin = two_tk[:, None] * b_hat * np.sin(angle_b)
+        out = a_cos @ b_cos + a_sin @ b_sin
+
+        additive = -(2.0 * kappa - 1.0)
+        out += 0.5 * ((a_hat**2) @ additive)[:, None]
+        out -= 0.5 * (additive @ (b_hat**2))[None, :]
+
+        out = out * draw.systematic
+        return out * (beta_a * beta_b)

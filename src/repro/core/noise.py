@@ -54,7 +54,19 @@ class EncodingNoise:
         if self.magnitude_std == 0.0:
             return np.asarray(values, dtype=float)
         values = np.asarray(values, dtype=float)
-        return values * (1.0 + rng.normal(0.0, self.magnitude_std, values.shape))
+        return values * self.magnitude_factors(values.shape, rng)
+
+    def magnitude_factors(
+        self, shape: tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray | float:
+        """Multiplicative drift factors ``1 + delta`` for encoded values.
+
+        Consumes the same RNG stream as :meth:`perturb_magnitude` (and
+        nothing at ``std == 0``, where the factor is the scalar 1).
+        """
+        if self.magnitude_std == 0.0:
+            return 1.0
+        return 1.0 + rng.normal(0.0, self.magnitude_std, shape)
 
     def sample_phase(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
         """Sample per-element phase drifts (rad)."""
@@ -77,7 +89,18 @@ class SystematicNoise:
         if self.std == 0.0:
             return np.asarray(outputs, dtype=float)
         outputs = np.asarray(outputs, dtype=float)
-        return outputs * (1.0 + rng.normal(0.0, self.std, outputs.shape))
+        return outputs * self.factors(outputs.shape, rng)
+
+    def factors(
+        self, shape: tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray | float:
+        """Multiplicative output factors ``1 + eps`` (scalar 1 at std 0).
+
+        Consumes the same RNG stream as :meth:`apply`.
+        """
+        if self.std == 0.0:
+            return 1.0
+        return 1.0 + rng.normal(0.0, self.std, shape)
 
 
 @dataclass(frozen=True)

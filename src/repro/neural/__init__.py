@@ -9,6 +9,7 @@ paper's artifact, rebuilt from scratch.
 from repro.neural.attention import MultiHeadAttention
 from repro.neural.autograd import (
     Tensor,
+    broadcast_to,
     concatenate,
     embedding_lookup,
     gather_rows,
@@ -70,6 +71,7 @@ __all__ = [
     "TinyViT",
     "TrainingResult",
     "accuracy",
+    "broadcast_to",
     "concatenate",
     "cross_entropy",
     "embedding_lookup",

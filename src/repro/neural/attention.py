@@ -20,7 +20,15 @@ from repro.neural.photonic import PhotonicExecutor
 
 
 class MultiHeadAttention(Module):
-    """Self-attention over ``[tokens, dim]`` inputs (single sequence)."""
+    """Self-attention over ``[batch, tokens, dim]`` (or ``[tokens, dim]``)
+    inputs.
+
+    All heads of all sequences run in *one* batched photonic call per
+    attention product: the ``[batch, heads, tokens, head_dim]`` stacks
+    are handed to the executor whole, so the noisy analytic transform is
+    evaluated as single whole-batch matmul expressions rather than a
+    Python loop over head matrices.
+    """
 
     def __init__(
         self,
@@ -40,18 +48,28 @@ class MultiHeadAttention(Module):
         self.proj = Linear(dim, dim, executor=self.executor, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        tokens = x.shape[0]
-        qkv = self.qkv(x)  # [tokens, 3*dim]
-        qkv = qkv.reshape(tokens, 3, self.heads, self.head_dim)
-        qkv = qkv.transpose(1, 2, 0, 3)  # [3, heads, tokens, head_dim]
+        if x.ndim not in (2, 3):
+            raise ValueError(
+                f"expected [tokens, dim] or [batch, tokens, dim], got {x.shape}"
+            )
+        single = x.ndim == 2
+        if single:
+            x = x.reshape(1, *x.shape)
+        batch, tokens = x.shape[0], x.shape[1]
+
+        qkv = self.qkv(x)  # [batch, tokens, 3*dim]
+        qkv = qkv.reshape(batch, tokens, 3, self.heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # [3, batch, heads, tokens, head_dim]
         q, k, v = qkv[0], qkv[1], qkv[2]
 
-        # Dynamic MM #1: Q K^T, both operands runtime activations.
+        # Dynamic MM #1: Q K^T, both operands runtime activations; all
+        # batch x heads matrices go through one photonic call.
         scores = self.executor.matmul(q, k.swapaxes(-1, -2))
         scores = scores * (1.0 / math.sqrt(self.head_dim))
         weights = softmax(scores, axis=-1)
 
         # Dynamic MM #2: A V.
-        context = self.executor.matmul(weights, v)  # [heads, tokens, head_dim]
-        context = context.swapaxes(0, 1).reshape(tokens, self.dim)
-        return self.proj(context)
+        context = self.executor.matmul(weights, v)  # [batch, heads, tokens, head_dim]
+        context = context.transpose(0, 2, 1, 3).reshape(batch, tokens, self.dim)
+        out = self.proj(context)
+        return out.reshape(tokens, self.dim) if single else out

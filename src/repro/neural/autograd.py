@@ -423,6 +423,18 @@ def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
     return Tensor.make(out_data, tensors, backward)
 
 
+def broadcast_to(tensor: Tensor, shape: tuple[int, ...]) -> Tensor:
+    """Broadcast a tensor to ``shape`` (gradients sum over expanded axes)."""
+    out_data = np.broadcast_to(tensor.data, shape)
+
+    def backward(grad: np.ndarray) -> None:
+        if tensor.requires_grad:
+            # accumulate_grad un-broadcasts down to the original shape.
+            tensor.accumulate_grad(grad)
+
+    return Tensor.make(out_data, (tensor,), backward)
+
+
 def gather_rows(tensor: Tensor, row_indices: np.ndarray) -> Tensor:
     """Select one column per row: ``out[i] = tensor[i, idx[i]]``."""
     row_indices = np.asarray(row_indices, dtype=int)

@@ -11,7 +11,11 @@ from repro.neural.photonic import PhotonicExecutor
 
 
 class FeedForward(Module):
-    """Two linear layers with GELU in between (the paper's FFN)."""
+    """Two linear layers with GELU in between (the paper's FFN).
+
+    Rank-agnostic: ``[batch, tokens, dim]`` stacks run through the same
+    batched photonic matmuls as single ``[tokens, dim]`` sequences.
+    """
 
     def __init__(
         self,
@@ -32,7 +36,12 @@ class FeedForward(Module):
 
 
 class EncoderBlock(Module):
-    """Pre-norm encoder block: ``x + MHA(LN(x))``, ``x + FFN(LN(x))``."""
+    """Pre-norm encoder block: ``x + MHA(LN(x))``, ``x + FFN(LN(x))``.
+
+    Accepts ``[tokens, dim]`` or batched ``[batch, tokens, dim]`` inputs;
+    every matrix product of the block executes as one whole-batch
+    photonic call.
+    """
 
     def __init__(
         self,

@@ -106,10 +106,15 @@ class Linear(Module):
         self.executor = executor if executor is not None else PhotonicExecutor.ideal()
 
     def forward(self, x: Tensor) -> Tensor:
-        flat = x if x.ndim == 2 else x.reshape(-1, x.shape[-1])
-        out = self.executor.matmul(flat, self.weight, weight_operand=1)
-        if x.ndim != 2:
-            out = out.reshape(*x.shape[:-1], self.weight.shape[1])
+        # The batched executor broadcasts the 2-D weight against any
+        # leading batch axes of the activations directly; only a bare
+        # feature vector needs lifting to matrix rank.
+        single = x.ndim == 1
+        if single:
+            x = x.reshape(1, x.shape[0])
+        out = self.executor.matmul(x, self.weight, weight_operand=1)
+        if single:
+            out = out.reshape(self.weight.shape[1])
         if self.bias is not None:
             out = out + self.bias
         return out

@@ -68,7 +68,11 @@ class PhotonicExecutor:
         """Differentiable ``a @ b`` executed photonically.
 
         Args:
-            a, b: 2-D or 3-D (leading batch/head axis) tensors.
+            a, b: tensors of rank >= 2; leading batch axes (batch,
+                heads, ...) broadcast numpy-style, so a whole
+                ``[batch, heads, tokens, dim]`` attention stack — or a
+                2-D weight against 3-D activations — runs in one
+                batched photonic call.
             weight_operand: 0 or 1 if one operand is a weight matrix
                 (quantized at ``quant.weight_bits``); activations use
                 ``quant.activation_bits``.
@@ -99,20 +103,6 @@ class PhotonicExecutor:
         return Tensor.make(out_data, (a, b), backward)
 
     def _execute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        if a.ndim == 2 and b.ndim == 2:
-            return self._dptc.matmul(a, b, rng=self.rng)
-        if a.ndim == 3 and b.ndim == 3:
-            if a.shape[0] != b.shape[0]:
-                raise ValueError(
-                    f"batch dims differ: {a.shape[0]} vs {b.shape[0]}"
-                )
-            return np.stack(
-                [
-                    self._dptc.matmul(a[i], b[i], rng=self.rng)
-                    for i in range(a.shape[0])
-                ]
-            )
-        raise ValueError(
-            f"unsupported operand ranks for photonic matmul: "
-            f"{a.ndim} and {b.ndim}"
-        )
+        # The DPTC engine is batched end-to-end: any leading batch shape
+        # runs as whole-batch matmul expressions with no Python loop.
+        return self._dptc.matmul(a, b, rng=self.rng)

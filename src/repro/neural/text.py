@@ -71,16 +71,25 @@ class TinyBERT(Module):
             block.ffn.fc2.executor = executor
 
     def forward(self, token_ids: np.ndarray) -> Tensor:
-        """Logits for one token sequence (``[n_classes]``)."""
+        """Logits for token sequences.
+
+        Accepts one ``[seq_len]`` sequence (returns ``[n_classes]``) or a
+        ``[batch, seq_len]`` stack (returns ``[batch, n_classes]``); the
+        whole batch runs through each photonic matmul in one call.
+        """
         token_ids = np.asarray(token_ids, dtype=int)
-        if token_ids.shape != (self.seq_len,):
+        single = token_ids.ndim == 1
+        batch_ids = token_ids[None, :] if single else token_ids
+        if batch_ids.ndim != 2 or batch_ids.shape[-1] != self.seq_len:
             raise ValueError(
-                f"expected sequence of length {self.seq_len}, got {token_ids.shape}"
+                f"expected sequence(s) of length {self.seq_len}, "
+                f"got {token_ids.shape}"
             )
-        if token_ids.min() < 0 or token_ids.max() >= self.vocab_size:
+        if batch_ids.min() < 0 or batch_ids.max() >= self.vocab_size:
             raise ValueError("token id out of vocabulary range")
-        tokens = self.token_embed(token_ids) + self.pos_embed
+        tokens = self.token_embed(batch_ids) + self.pos_embed
         for block in self.blocks:
             tokens = block(tokens)
-        cls = self.norm(tokens)[0]
-        return self.head(cls.reshape(1, self.dim)).reshape(-1)
+        cls = self.norm(tokens)[:, 0]  # [batch, dim]
+        logits = self.head(cls)
+        return logits.reshape(logits.shape[-1]) if single else logits

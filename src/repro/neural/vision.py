@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.neural.autograd import Tensor, concatenate
+from repro.neural.autograd import Tensor, broadcast_to, concatenate
 from repro.neural.blocks import EncoderBlock
 from repro.neural.modules import LayerNorm, Linear, Module
 from repro.neural.photonic import PhotonicExecutor
@@ -83,24 +83,43 @@ class TinyViT(Module):
             block.ffn.fc2.executor = executor
 
     def patchify(self, image: np.ndarray) -> np.ndarray:
-        """Split a ``[H, W]`` image into flattened ``p*p`` patches."""
+        """Split ``[H, W]`` (or batched ``[B, H, W]``) images into
+        flattened ``p*p`` patches."""
         image = np.asarray(image, dtype=float)
-        if image.shape != (self.image_size, self.image_size):
+        if image.shape[-2:] != (self.image_size, self.image_size) or image.ndim not in (
+            2,
+            3,
+        ):
             raise ValueError(
-                f"expected {(self.image_size, self.image_size)} image, "
+                f"expected {(self.image_size, self.image_size)} image(s), "
                 f"got {image.shape}"
             )
         p = self.patch_size
         side = self.image_size // p
-        patches = image.reshape(side, p, side, p).transpose(0, 2, 1, 3)
-        return patches.reshape(self.n_patches, p * p)
+        lead = image.shape[:-2]
+        patches = image.reshape(*lead, side, p, side, p).swapaxes(-3, -2)
+        return patches.reshape(*lead, self.n_patches, p * p)
 
     def forward(self, image: np.ndarray) -> Tensor:
-        """Logits for one image (``[n_classes]``)."""
-        tokens = self.patch_embed(Tensor(self.patchify(image)))
-        tokens = concatenate([self.cls_token, tokens])
+        """Logits for images.
+
+        Accepts one ``[H, W]`` image (returns ``[n_classes]``) or a
+        ``[batch, H, W]`` stack (returns ``[batch, n_classes]``); every
+        photonic matmul sees the whole batch at once.
+        """
+        image = np.asarray(image, dtype=float)
+        single = image.ndim == 2
+        batch_images = image[None] if single else image
+        patches = self.patchify(batch_images)  # [batch, n_patches, p*p]
+        tokens = self.patch_embed(Tensor(patches))
+        cls_tokens = broadcast_to(
+            self.cls_token.reshape(1, 1, self.dim),
+            (tokens.shape[0], 1, self.dim),
+        )
+        tokens = concatenate([cls_tokens, tokens], axis=1)
         tokens = tokens + self.pos_embed
         for block in self.blocks:
             tokens = block(tokens)
-        cls = self.norm(tokens)[0]
-        return self.head(cls.reshape(1, self.dim)).reshape(-1)
+        cls = self.norm(tokens)[:, 0]  # [batch, dim]
+        logits = self.head(cls)
+        return logits.reshape(logits.shape[-1]) if single else logits

@@ -10,7 +10,7 @@ so the Table V rows (MHA / FFN / All) can be regenerated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.workloads.gemm import (
     MODULE_ATTENTION,
@@ -130,13 +130,28 @@ PAPER_WORKLOADS = {
 }
 
 
-def gemm_trace(config: TransformerConfig, include_head: bool = True) -> list[GEMMOp]:
-    """GEMM operations of one single-batch inference, in execution order.
+def gemm_trace(
+    config: TransformerConfig,
+    include_head: bool = True,
+    batch_size: int = 1,
+) -> list[GEMMOp]:
+    """GEMM operations of one batched inference, in execution order.
 
     Attention products (QK^T and AV) are labelled dynamic — both
     operands are runtime activations; everything else multiplies an
     activation by a static weight matrix.
+
+    Args:
+        config: model architecture.
+        include_head: include the classifier (and BERT pooler) GEMMs.
+        batch_size: sequences per inference.  The batched execution
+            engine runs each op's whole ``batch x count`` stack in one
+            photonic call; for the trace this multiplies every op's
+            instance count (weights are shared across the batch, so use
+            ``batch_size=1`` when counting parameters).
     """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     seq = config.seq_len
     dim = config.dim
     ops: list[GEMMOp] = []
@@ -227,6 +242,8 @@ def gemm_trace(config: TransformerConfig, include_head: bool = True) -> list[GEM
             ops.append(
                 GEMMOp("classifier", m=1, k=dim, n=config.n_classes, module=MODULE_HEAD)
             )
+    if batch_size > 1:
+        ops = [replace(op, count=op.count * batch_size) for op in ops]
     return ops
 
 

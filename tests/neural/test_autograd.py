@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.neural import Tensor, concatenate, gather_rows, no_grad, stack
+from repro.neural import Tensor, broadcast_to, concatenate, gather_rows, no_grad, stack
 from repro.neural.autograd import embedding_lookup, is_grad_enabled
 
 from tests.neural.gradcheck import check_gradients
@@ -154,6 +154,20 @@ class TestShapeOpGradients:
             lambda t: (stack([t, Tensor(other)], axis=0) ** 2).sum(),
             rng.normal(size=(3,)),
         )
+
+    def test_broadcast_to(self, rng):
+        check_gradients(
+            lambda t: (broadcast_to(t, (4, 2, 3)) ** 2).sum(),
+            rng.normal(size=(1, 2, 3)),
+        )
+
+    def test_broadcast_to_values(self, rng):
+        t = Tensor(rng.normal(size=(1, 3)), requires_grad=True)
+        out = broadcast_to(t, (5, 3))
+        assert out.shape == (5, 3)
+        assert np.allclose(out.data, np.broadcast_to(t.data, (5, 3)))
+        out.sum().backward()
+        assert np.allclose(t.grad, np.full((1, 3), 5.0))
 
 
 class TestReductionGradients:

@@ -82,6 +82,43 @@ class TestMultiHeadAttention:
         assert not np.allclose(ideal(x).data, noisy(x).data)
 
 
+class TestBatchedAttention:
+    def test_batched_matches_per_sequence(self, rng):
+        """[batch, tokens, dim] output equals running each sequence alone."""
+        mha = MultiHeadAttention(8, 2, rng=np.random.default_rng(0))
+        x = rng.normal(size=(4, 5, 8))
+        batched = mha(Tensor(x)).data
+        for i in range(x.shape[0]):
+            assert np.allclose(batched[i], mha(Tensor(x[i])).data, atol=1e-12)
+
+    def test_batched_output_shape(self, rng):
+        mha = MultiHeadAttention(12, 3, rng=rng)
+        assert mha(Tensor(rng.normal(size=(4, 7, 12)))).shape == (4, 7, 12)
+
+    def test_batched_gradients_flow(self, rng):
+        mha = MultiHeadAttention(8, 2, rng=rng)
+        out = mha(Tensor(rng.normal(size=(3, 4, 8))))
+        (out * out).sum().backward()
+        assert all(p.grad is not None for p in mha.parameters())
+
+    def test_noisy_batched_runs_one_photonic_call(self, rng):
+        """All heads x sequences execute; result differs from ideal."""
+        executor = PhotonicExecutor.paper_default(seed=0)
+        noisy = MultiHeadAttention(8, 2, executor=executor, rng=np.random.default_rng(2))
+        ideal = MultiHeadAttention(8, 2, rng=np.random.default_rng(2))
+        ideal.qkv.weight.data = noisy.qkv.weight.data.copy()
+        ideal.qkv.bias.data = noisy.qkv.bias.data.copy()
+        ideal.proj.weight.data = noisy.proj.weight.data.copy()
+        ideal.proj.bias.data = noisy.proj.bias.data.copy()
+        x = Tensor(rng.normal(size=(4, 5, 8)))
+        assert not np.allclose(noisy(x).data, ideal(x).data)
+
+    def test_rank_validation(self, rng):
+        mha = MultiHeadAttention(8, 2, rng=rng)
+        with pytest.raises(ValueError):
+            mha(Tensor(rng.normal(size=(2, 3, 4, 8))))
+
+
 class TestEncoderBlock:
     def test_residual_structure(self, rng):
         """Zeroing the sublayer outputs must give the identity."""
@@ -96,6 +133,13 @@ class TestEncoderBlock:
     def test_shape_preserved(self, rng):
         block = EncoderBlock(16, 4, rng=rng)
         assert block(Tensor(rng.normal(size=(9, 16)))).shape == (9, 16)
+
+    def test_batched_matches_per_sequence(self, rng):
+        block = EncoderBlock(8, 2, rng=np.random.default_rng(4))
+        x = rng.normal(size=(3, 6, 8))
+        batched = block(Tensor(x)).data
+        for i in range(x.shape[0]):
+            assert np.allclose(batched[i], block(Tensor(x[i])).data, atol=1e-12)
 
 
 class TestTinyViT:
@@ -159,6 +203,31 @@ class TestTinyViT:
         ]
         assert missing == []
 
+    def test_batched_forward_matches_per_image(self, rng):
+        model = TinyViT(seed=4, depth=1)
+        images = rng.normal(size=(3, 16, 16))
+        with no_grad():
+            batched = model(images).data
+            assert batched.shape == (3, 4)
+            for i in range(3):
+                assert np.allclose(batched[i], model(images[i]).data, atol=1e-12)
+
+    def test_batched_patchify(self):
+        model = TinyViT(image_size=4, patch_size=2, dim=8, depth=1, heads=1)
+        images = np.stack([np.arange(16.0).reshape(4, 4)] * 2)
+        patches = model.patchify(images)
+        assert patches.shape == (2, 4, 4)
+        assert np.allclose(patches[1, 0], [0, 1, 4, 5])
+
+    def test_batched_gradients_reach_all_parameters(self, rng):
+        model = TinyViT(seed=5, depth=1)
+        logits = model(rng.normal(size=(2, 16, 16)))
+        (logits * logits).sum().backward()
+        missing = [
+            name for name, p in model.named_parameters() if p.grad is None
+        ]
+        assert missing == []
+
 
 class TestTinyBERT:
     def test_forward_logits_shape(self):
@@ -187,6 +256,32 @@ class TestTinyBERT:
     def test_gradients_reach_all_parameters(self):
         model = TinyBERT(seq_len=6, depth=1, seed=1)
         logits = model(np.array([0, 1, 2, 3, 4, 5]))
+        (logits * logits).sum().backward()
+        missing = [
+            name for name, p in model.named_parameters() if p.grad is None
+        ]
+        assert missing == []
+
+    def test_batched_forward_matches_per_sequence(self):
+        model = TinyBERT(seq_len=6, depth=1, seed=2)
+        tokens = np.random.default_rng(0).integers(0, 32, size=(4, 6))
+        with no_grad():
+            batched = model(tokens).data
+            assert batched.shape == (4, 2)
+            for i in range(4):
+                assert np.allclose(batched[i], model(tokens[i]).data, atol=1e-12)
+
+    def test_batched_sequence_length_validated(self):
+        model = TinyBERT(seq_len=10)
+        with pytest.raises(ValueError):
+            model(np.zeros((3, 9), dtype=int))
+        with pytest.raises(ValueError):
+            model(np.zeros((2, 3, 10), dtype=int))
+
+    def test_batched_gradients_reach_all_parameters(self):
+        model = TinyBERT(seq_len=6, depth=1, seed=3)
+        tokens = np.random.default_rng(1).integers(0, 32, size=(3, 6))
+        logits = model(tokens)
         (logits * logits).sum().backward()
         missing = [
             name for name, p in model.named_parameters() if p.grad is None

@@ -43,6 +43,32 @@ class TestLinear:
         assert out.shape == (2, 5, 3)
         assert np.allclose(out.data, x @ layer.weight.data + layer.bias.data)
 
+    def test_1d_input(self):
+        rng = np.random.default_rng(4)
+        layer = Linear(6, 3, rng=rng)
+        x = rng.normal(size=6)
+        out = layer(Tensor(x))
+        assert out.shape == (3,)
+        assert np.allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_4d_input_broadcasts_weight(self):
+        rng = np.random.default_rng(5)
+        layer = Linear(6, 3, rng=rng)
+        x = rng.normal(size=(2, 3, 5, 6))
+        out = layer(Tensor(x))
+        assert out.shape == (2, 3, 5, 3)
+        assert np.allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_batched_weight_gradients_unbroadcast(self):
+        """Weight grads sum over the batch axes of the activations."""
+        rng = np.random.default_rng(6)
+        layer = Linear(4, 2, rng=rng)
+        x = rng.normal(size=(3, 5, 4))
+        layer(Tensor(x)).sum().backward()
+        assert layer.weight.grad.shape == (4, 2)
+        expected = x.reshape(-1, 4).T @ np.ones((15, 2))
+        assert np.allclose(layer.weight.grad, expected)
+
     def test_gradients_reach_parameters(self):
         layer = Linear(3, 2, rng=np.random.default_rng(3))
         out = layer(Tensor(np.ones((4, 3))))

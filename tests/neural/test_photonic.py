@@ -37,11 +37,29 @@ class TestIdealExecutor:
                 Tensor(rng.normal(size=(3, 6, 5))),
             )
 
-    def test_rank_mismatch_rejected(self, rng):
+    def test_mixed_rank_broadcasts(self, rng):
+        """3-D activations against a 2-D weight follow numpy semantics."""
+        executor = PhotonicExecutor.ideal()
+        a = rng.normal(size=(2, 4, 6))
+        b = rng.normal(size=(6, 5))
+        out = executor.matmul(Tensor(a), Tensor(b))
+        assert out.shape == (2, 4, 5)
+        assert np.array_equal(out.data, a @ b)
+
+    def test_four_dim_attention_stack(self, rng):
+        """[batch, heads, tokens, dim] stacks run in one call."""
+        executor = PhotonicExecutor.ideal()
+        a = rng.normal(size=(2, 3, 5, 4))
+        b = rng.normal(size=(2, 3, 4, 5))
+        out = executor.matmul(Tensor(a), Tensor(b))
+        assert out.shape == (2, 3, 5, 5)
+        assert np.array_equal(out.data, a @ b)
+
+    def test_vector_operands_rejected(self, rng):
         executor = PhotonicExecutor.ideal()
         with pytest.raises(ValueError):
             executor.matmul(
-                Tensor(rng.normal(size=(2, 4, 6))), Tensor(rng.normal(size=(6, 5)))
+                Tensor(rng.normal(size=(6,))), Tensor(rng.normal(size=(6, 5)))
             )
 
 

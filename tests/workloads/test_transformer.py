@@ -117,6 +117,20 @@ class TestGEMMTrace:
         without = gemm_trace(deit_tiny(), include_head=False)
         assert len(with_head) == len(without) + 1
 
+    def test_batch_size_scales_counts_and_macs(self):
+        single = gemm_trace(deit_tiny())
+        batched = gemm_trace(deit_tiny(), batch_size=8)
+        assert len(batched) == len(single)
+        for one, many in zip(single, batched):
+            assert many.name == one.name
+            assert many.count == 8 * one.count
+            assert (many.m, many.k, many.n) == (one.m, one.k, one.n)
+        assert total_macs(batched) == 8 * total_macs(single)
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            gemm_trace(deit_tiny(), batch_size=0)
+
     def test_macs_scale_with_model_size(self):
         t = total_macs(gemm_trace(deit_tiny()))
         s = total_macs(gemm_trace(deit_small()))
