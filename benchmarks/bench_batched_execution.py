@@ -24,6 +24,7 @@ Run directly (``python benchmarks/bench_batched_execution.py``) or via
 pytest-benchmark like the figure benchmarks.
 """
 
+import json
 import time
 
 import numpy as np
@@ -139,7 +140,11 @@ def equivalence_report() -> dict:
     return {"ideal_bit_exact": bit_exact, "noisy_max_rel_deviation": max_rel}
 
 
-def run(assert_speedup: bool = True, attempts: int = 3) -> dict:
+def run(
+    assert_speedup: bool = True,
+    attempts: int = 3,
+    out_path: str | None = None,
+) -> dict:
     equiv = equivalence_report()
     print("Numerical equivalence")
     print(f"  ideal batched path bit-exact with np.matmul : {equiv['ideal_bit_exact']}")
@@ -178,6 +183,10 @@ def run(assert_speedup: bool = True, attempts: int = 3) -> dict:
             f"{MIN_SPEEDUP:.0f}x floor"
         )
     headline["equivalence"] = equiv
+    if out_path is not None:
+        with open(out_path, "w") as handle:
+            json.dump(headline, handle, indent=2)
+        print(f"\nwrote {out_path}")
     return headline
 
 
@@ -189,9 +198,17 @@ def bench_batched_execution(benchmark):
 
 
 if __name__ == "__main__":
-    import sys
+    import argparse
 
-    # --report-only: print measurements without gating on the speedup
-    # floor (for CI runners with unpredictable scheduling); the
-    # numerical-equivalence assertions always apply.
-    run(assert_speedup="--report-only" not in sys.argv[1:])
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="skip the speedup floor for CI runners with unpredictable "
+        "scheduling (the numerical-equivalence assertions always apply)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="dump the headline numbers to this JSON path"
+    )
+    cli = parser.parse_args()
+    run(assert_speedup=not cli.report_only, out_path=cli.out)

@@ -8,7 +8,7 @@ chips"; batching requests and recomputing K/V are cited as remedies.
 This bench quantifies each claim with the roofline model.
 """
 
-from repro.analysis import analyze_decode, batch_to_saturate, render_table
+from repro.analysis import analyze_decode, render_table
 from repro.arch import lt_base, workload_latency
 from repro.workloads import gpt2_small, kv_cache_bytes, kv_recompute_trace, prefill_trace
 

@@ -1,0 +1,277 @@
+"""Multi-core sharded execution + batched training loop benchmark.
+
+Three sections, each with a hard equivalence gate and a measurement:
+
+* **Sharding equivalence** — for every ``num_cores`` in the scaling
+  sweep (including cores > batch and non-divisible shards) the ideal
+  sharded result must be *bit-identical* to the single-core batched
+  :meth:`DPTC.matmul`; the noisy sharded path must be reproducible
+  under a fixed seed and statistically consistent with single-core
+  execution.
+* **Scaling curve** — wall-clock of a noisy batched attention-shaped
+  stack for ``num_cores in {1, 2, 4, 8}`` (threaded shards; numpy
+  releases the GIL inside the kernels).  Parallel headroom follows the
+  host's CPU count — recorded in the artifact — so a 1-CPU runner
+  legitimately reports a flat curve; the curve is a trend record, not
+  a gate.
+* **Training loop** — the batched minibatch :func:`train_classifier`
+  versus the seed per-sample loop (preserved as
+  :func:`train_classifier_reference`): losses must agree to machine
+  precision on a deterministic executor, and the noisy noise-aware run
+  must show a measured speedup.
+
+Emits a ``BENCH_sharded.json`` artifact (``--out PATH`` to relocate)
+with every number printed, for the CI trend record.  ``--report-only``
+relaxes the *speedup* floors (CI runners schedule unpredictably); the
+numerical equivalence gates always apply.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core import DPTC, NoiseModel, ShardedDPTC
+from repro.neural import (
+    PhotonicExecutor,
+    TinyViT,
+    striped_image_dataset,
+    train_classifier,
+    train_classifier_reference,
+)
+
+#: Core counts of the scaling sweep (LT-B provisions 8 cores).
+CORE_COUNTS = (1, 2, 4, 8)
+
+#: Noisy attention-shaped workload for the scaling curve.
+SCALING_BATCH = 64
+SCALING_TOKENS = 32
+SCALING_DIM = 64
+
+#: Acceptance floor for the batched-over-per-sample training speedup.
+MIN_TRAIN_SPEEDUP = 2.0
+
+
+def _best_of(fn, repeats: int = 5, inner: int = 2) -> float:
+    """Best-of-N mean wall-clock of ``fn`` in seconds."""
+    fn()  # warm-up
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        samples.append((time.perf_counter() - start) / inner)
+    return min(samples)
+
+
+def sharding_equivalence() -> dict:
+    """Bit-exactness, edge-case, and reproducibility gates."""
+    rng = np.random.default_rng(0)
+    cases = {
+        "even": (rng.normal(size=(8, 6, 24)), rng.normal(size=(8, 24, 6))),
+        "non_divisible": (rng.normal(size=(7, 6, 24)), rng.normal(size=(7, 24, 6))),
+        "cores_gt_batch": (rng.normal(size=(3, 6, 24)), rng.normal(size=(3, 24, 6))),
+        "broadcast_weight": (rng.normal(size=(6, 5, 24)), rng.normal(size=(24, 4))),
+        "no_batch_axes": (rng.normal(size=(9, 24)), rng.normal(size=(24, 9))),
+    }
+    single = DPTC(noise=NoiseModel.ideal())
+    ideal_bit_exact = True
+    for a, b in cases.values():
+        reference = single.matmul(a, b)
+        for num_cores in CORE_COUNTS:
+            sharded = ShardedDPTC(num_cores=num_cores)
+            if not np.array_equal(sharded.matmul(a, b), reference):
+                ideal_bit_exact = False
+
+    noisy = ShardedDPTC(num_cores=4, noise=NoiseModel.paper_default())
+    a, b = cases["non_divisible"]
+    first = noisy.matmul(a, b, rng=np.random.default_rng(7))
+    second = noisy.matmul(a, b, rng=np.random.default_rng(7))
+    seeded_reproducible = bool(np.array_equal(first, second))
+
+    exact = np.matmul(a, b)
+    scale = np.linalg.norm(exact)
+    single_noisy = DPTC(noise=NoiseModel.paper_default())
+    errors = {}
+    for name, engine in (("single_core", single_noisy), ("sharded_4", noisy)):
+        draws = [
+            np.linalg.norm(
+                engine.matmul(a, b, rng=np.random.default_rng(100 + seed)) - exact
+            )
+            / scale
+            for seed in range(20)
+        ]
+        errors[name] = float(np.mean(draws))
+    consistent = bool(
+        abs(errors["sharded_4"] - errors["single_core"])
+        < 0.5 * errors["single_core"]
+    )
+    return {
+        "ideal_bit_exact": ideal_bit_exact,
+        "seeded_reproducible": seeded_reproducible,
+        "noise_mean_rel_error": errors,
+        "noise_statistics_consistent": consistent,
+    }
+
+
+def scaling_curve() -> list[dict]:
+    """Wall-clock of one noisy batched matmul per core count."""
+    rng = np.random.default_rng(1)
+    a = rng.normal(size=(SCALING_BATCH, SCALING_TOKENS, SCALING_DIM))
+    b = rng.normal(size=(SCALING_BATCH, SCALING_DIM, SCALING_TOKENS))
+    rows = []
+    base_ms = None
+    for num_cores in CORE_COUNTS:
+        engine = ShardedDPTC(num_cores=num_cores, noise=NoiseModel.paper_default())
+
+        def step():
+            engine.matmul(a, b, rng=np.random.default_rng(2))
+
+        elapsed_ms = _best_of(step) * 1e3
+        engine.close()
+        if base_ms is None:
+            base_ms = elapsed_ms
+        rows.append(
+            {
+                "num_cores": num_cores,
+                "ms": elapsed_ms,
+                "speedup_vs_1_core": base_ms / elapsed_ms,
+            }
+        )
+    return rows
+
+
+def training_equivalence() -> dict:
+    """Batched loop == seed per-sample loop on a deterministic executor."""
+    data = striped_image_dataset(n_samples=32, n_classes=4, seed=1)
+    batched = train_classifier(
+        TinyViT(n_classes=4, depth=1, seed=0), data, epochs=2, lr=5e-3, seed=0
+    )
+    reference = train_classifier_reference(
+        TinyViT(n_classes=4, depth=1, seed=0), data, epochs=2, lr=5e-3, seed=0
+    )
+    max_loss_deviation = float(
+        max(abs(x - y) for x, y in zip(batched.losses, reference.losses))
+    )
+    return {
+        "batched_losses": batched.losses,
+        "reference_losses": reference.losses,
+        "max_loss_deviation": max_loss_deviation,
+        "accuracy_match": batched.train_accuracy == reference.train_accuracy,
+    }
+
+
+def training_speedup(num_cores: int = 2) -> dict:
+    """Noise-aware minibatch training: batched loop vs. per-sample loop."""
+    data = striped_image_dataset(n_samples=32, n_classes=4, seed=2)
+
+    def run_batched() -> float:
+        model = TinyViT(
+            n_classes=4,
+            depth=1,
+            executor=PhotonicExecutor.paper_default(seed=0, num_cores=num_cores),
+            seed=0,
+        )
+        start = time.perf_counter()
+        train_classifier(model, data, epochs=1, lr=5e-3, seed=0)
+        return time.perf_counter() - start
+
+    def run_reference() -> float:
+        model = TinyViT(
+            n_classes=4,
+            depth=1,
+            executor=PhotonicExecutor.paper_default(seed=0),
+            seed=0,
+        )
+        start = time.perf_counter()
+        train_classifier_reference(model, data, epochs=1, lr=5e-3, seed=0)
+        return time.perf_counter() - start
+
+    batched_s = min(run_batched() for _ in range(3))
+    reference_s = min(run_reference() for _ in range(2))
+    return {
+        "workload": f"TinyViT noise-aware epoch, 32 samples, {num_cores} cores",
+        "batched_s": batched_s,
+        "per_sample_s": reference_s,
+        "speedup": reference_s / batched_s,
+    }
+
+
+def run(assert_speedup: bool = True, out_path: str = "BENCH_sharded.json") -> dict:
+    equiv = sharding_equivalence()
+    print("Sharding equivalence")
+    print(f"  ideal sharded bit-exact with single-core batched : {equiv['ideal_bit_exact']}")
+    print(f"  fixed seed reproduces per-core noise draws       : {equiv['seeded_reproducible']}")
+    print(
+        "  mean rel error single-core {single_core:.4f} vs sharded(4) {sharded_4:.4f}".format(
+            **equiv["noise_mean_rel_error"]
+        )
+    )
+    assert equiv["ideal_bit_exact"], "ideal sharded path must be bit-exact"
+    assert equiv["seeded_reproducible"], "sharded noise must be seed-reproducible"
+    assert equiv["noise_statistics_consistent"], "per-core noise statistics drifted"
+
+    train_equiv = training_equivalence()
+    print("\nBatched training loop equivalence (ideal executor)")
+    print(f"  max loss deviation vs per-sample loop : {train_equiv['max_loss_deviation']:.2e}")
+    assert train_equiv["max_loss_deviation"] < 1e-9, "training loops must agree"
+    assert train_equiv["accuracy_match"], "training accuracies must agree"
+
+    cpus = os.cpu_count() or 1
+    print("\nScaling curve (noisy batched matmul, "
+          f"[{SCALING_BATCH}x{SCALING_TOKENS}x{SCALING_DIM}] stack, "
+          f"{cpus} host CPU(s))")
+    scaling = scaling_curve()
+    for row in scaling:
+        print(
+            f"  {row['num_cores']} core(s): {row['ms']:7.2f} ms "
+            f"({row['speedup_vs_1_core']:.2f}x vs 1 core)"
+        )
+
+    train = training_speedup()
+    print(f"\nTraining loop: {train['workload']}")
+    print(
+        f"  batched {train['batched_s'] * 1e3:7.1f} ms | per-sample "
+        f"{train['per_sample_s'] * 1e3:7.1f} ms | speedup {train['speedup']:.1f}x "
+        f"(floor {MIN_TRAIN_SPEEDUP:.0f}x)"
+    )
+    if assert_speedup:
+        assert train["speedup"] >= MIN_TRAIN_SPEEDUP, (
+            f"batched training speedup {train['speedup']:.2f}x below the "
+            f"{MIN_TRAIN_SPEEDUP:.0f}x floor"
+        )
+
+    report = {
+        "host_cpus": cpus,
+        "equivalence": equiv,
+        "training_equivalence": train_equiv,
+        "scaling": scaling,
+        "training_speedup": train,
+    }
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"\nwrote {out_path}")
+    return report
+
+
+def bench_sharded_execution(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["training_speedup"] = result["training_speedup"]["speedup"]
+    benchmark.extra_info["scaling"] = result["scaling"]
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="skip the speedup floors (equivalence gates still apply)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_sharded.json", help="JSON artifact path"
+    )
+    cli = parser.parse_args()
+    run(assert_speedup=not cli.report_only, out_path=cli.out)

@@ -11,7 +11,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch import (
-    CATEGORIES,
     LighteningTransformer,
     LTEnergyModel,
     area_breakdown,
@@ -24,7 +23,6 @@ from repro.arch import (
     single_core,
     single_core_area_breakdown,
     single_core_power_breakdown,
-    workload_latency,
 )
 from repro.baselines import (
     MRRAccelerator,

@@ -21,6 +21,7 @@ from repro.arch.latency import workload_cycles, workload_latency
 from repro.arch.power import PowerBreakdown, power_breakdown
 from repro.core.dptc import DPTC
 from repro.core.noise import NoiseModel
+from repro.core.sharding import ShardedDPTC
 from repro.workloads.gemm import GEMMOp
 from repro.workloads.transformer import TransformerConfig, gemm_trace
 
@@ -56,17 +57,31 @@ class LighteningTransformer:
         config: architecture configuration (defaults to LT-B).
         noise: non-ideality bundle for functional execution (defaults
             to exact arithmetic; performance models are unaffected).
+        num_cores: DPTC cores the functional :meth:`matmul` shards a
+            batched product over.  ``None`` keeps the single logical
+            core; pass ``config.n_cores`` to execute on the full grid
+            the performance models already assume.  Ideal-path results
+            are bit-identical at every core count.
     """
 
     def __init__(
         self,
         config: AcceleratorConfig | None = None,
         noise: NoiseModel | None = None,
+        num_cores: int | None = None,
     ) -> None:
         self.config = config if config is not None else lt_base()
         self.noise = noise if noise is not None else NoiseModel.ideal()
         self.energy_model = LTEnergyModel(self.config)
-        self._dptc = DPTC(self.config.geometry, self.noise)
+        self.num_cores = 1 if num_cores is None else num_cores
+        if self.num_cores == 1:
+            self._dptc = DPTC(self.config.geometry, self.noise)
+        else:
+            self._dptc = ShardedDPTC(
+                num_cores=self.num_cores,
+                geometry=self.config.geometry,
+                noise=self.noise,
+            )
 
     # -- static design metrics ----------------------------------------------
     def area(self) -> AreaBreakdown:

@@ -72,7 +72,6 @@ def ddot_cell_area(config: AcceleratorConfig) -> float:
 def area_breakdown(config: AcceleratorConfig) -> AreaBreakdown:
     """Full-chip area breakdown for an accelerator configuration."""
     lib = config.library
-    geometry = config.geometry
 
     dac = config.n_dacs * lib.dac.area
     adc = config.n_adcs * lib.adc.area

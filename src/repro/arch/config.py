@@ -18,7 +18,6 @@ combs.  The derivations follow Fig. 4 of the paper:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field, replace
 
 from repro.core.dptc import DPTCGeometry

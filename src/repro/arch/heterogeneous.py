@@ -16,7 +16,6 @@ square GEMMs prefer the balanced 12x12x12 core.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 

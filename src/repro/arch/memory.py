@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.units import MW, PJ, UM2
+from repro.units import PJ, UM2
 
 #: Default subarray granularity (the paper follows [10] with 32 KB).
 DEFAULT_BANK_BYTES = 32 * 1024

@@ -31,7 +31,6 @@ from repro.baselines.base import (
 )
 from repro.baselines.mrr import MRRAccelerator
 from repro.devices.library import DeviceLibrary, default_library
-from repro.units import UM2
 from repro.workloads.gemm import GEMMOp
 
 #: Routing/spacing overhead on the laid-out MZI mesh.

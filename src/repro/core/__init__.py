@@ -5,6 +5,10 @@
 * :class:`DPTC` / :class:`DPTCGeometry` — the crossbar tensor core that
   performs one-shot matrix-matrix multiplication with intra-core operand
   sharing.
+* :class:`ShardedDPTC` — a grid of DPTC cores executing one batched
+  matmul as leading-axis shards (the multi-core scaling axis of the
+  accelerator), each core with its own RNG stream and calibration
+  state.
 * Noise and dispersion models of Sec. III-C, shared by the accuracy
   studies and the circuit-level validation.
 """
@@ -26,6 +30,7 @@ from repro.core.noise import (
     NoiseModel,
     SystematicNoise,
 )
+from repro.core.sharding import ShardedDPTC, shard_bounds
 
 __all__ = [
     "CalibratedDPTC",
@@ -42,7 +47,9 @@ __all__ = [
     "DispersionProfile",
     "EncodingNoise",
     "NoiseModel",
+    "ShardedDPTC",
     "SystematicNoise",
     "analytic_output",
     "dispersion_profile",
+    "shard_bounds",
 ]

@@ -1,0 +1,202 @@
+"""Multi-core sharded execution of batched DPTC matmuls (Sec. IV).
+
+The accelerator is not one DPTC but a grid of them — LT-B provisions
+4 tiles x 2 cores — and its throughput comes from spreading a
+transformer's GEMM stacks across that grid.  :class:`ShardedDPTC`
+models exactly that for the functional execution path: a batched
+``[..., m, d] x [..., d, n]`` matmul is split along the leading batch
+axis into contiguous shards, one per core, and every core executes its
+shard through its *own* :class:`DPTC` instance.
+
+Per-core state is genuinely per-core:
+
+* each core is a separate :class:`DPTC` (or :class:`CalibratedDPTC`)
+  object, so dispersion profiles, channel caches, and calibration state
+  never alias between cores;
+* each core draws noise from its own RNG stream, spawned from the call's
+  generator by core index (``rng.spawn``), so noise statistics stay
+  per-core and a fixed seed reproduces the exact same per-core draws
+  regardless of which cores end up with work.
+
+On the ideal path every shard reduces to ``np.matmul`` on a contiguous
+slice, so the concatenated result is *bit-identical* to the single-core
+batched call (and to ``np.matmul`` itself).  Under noise the sharded
+result matches the single-core engine distributionally — each core is
+its own physical device with its own stochastic encoding, exactly as in
+hardware.
+
+Shards are executed on a thread pool (numpy releases the GIL inside the
+heavy kernels); results are reassembled in shard order, so the output
+never depends on thread scheduling.
+"""
+
+from __future__ import annotations
+
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.dptc import DPTC, DPTCGeometry
+from repro.core.noise import NoiseModel
+from repro.optics.wdm import WDMGrid
+
+
+def shard_bounds(batch: int, num_shards: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` bounds splitting ``batch`` items.
+
+    ``np.array_split`` semantics: the first ``batch % num_shards`` shards
+    get one extra item; when ``num_shards > batch`` the trailing shards
+    are empty (those cores simply idle).
+    """
+    if batch < 0:
+        raise ValueError(f"batch must be >= 0, got {batch}")
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    base, extra = divmod(batch, num_shards)
+    bounds = []
+    start = 0
+    for index in range(num_shards):
+        stop = start + base + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+class ShardedDPTC:
+    """N DPTC cores executing one batched matmul as leading-axis shards.
+
+    Drop-in for :class:`DPTC` on the ``matmul(a, b, rng=...)`` surface;
+    with ``num_cores=1`` it degenerates to a single core (plus the
+    per-core stream-spawning discipline, kept uniform across core
+    counts so results depend only on the seed and the core index).
+
+    Args:
+        num_cores: cores to spread the batch over.
+        geometry / noise / grid: forwarded to every core.
+        core_cls: core implementation, e.g. :class:`CalibratedDPTC`;
+            each core gets its own instance (own calibration state).
+        parallel: run shards on a thread pool (numpy kernels release
+            the GIL); sequential execution gives identical results.
+    """
+
+    def __init__(
+        self,
+        num_cores: int = 1,
+        geometry: DPTCGeometry | None = None,
+        noise: NoiseModel | None = None,
+        grid: WDMGrid | None = None,
+        core_cls: type[DPTC] = DPTC,
+        parallel: bool = True,
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+        self.num_cores = num_cores
+        self.cores = [core_cls(geometry, noise, grid) for _ in range(num_cores)]
+        self.geometry = self.cores[0].geometry
+        self.noise = self.cores[0].noise
+        self.grid = self.cores[0].grid
+        self.parallel = parallel
+        self._pool: ThreadPoolExecutor | None = None
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; pool is recreated lazily)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _workers(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_cores, thread_name_prefix="dptc-core"
+            )
+            # Release the worker threads when this engine is collected;
+            # the finalizer holds the pool, not self, so no cycle.
+            weakref.finalize(self, self._pool.shutdown, wait=False)
+        return self._pool
+
+    def tile_matmul(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """One-shot single-tile product; a single tile occupies one core."""
+        return self.cores[0].tile_matmul(a, b, rng=rng)
+
+    def _spawn_streams(self, rng: np.random.Generator | None) -> list:
+        """One independent child stream per core (stable by core index)."""
+        if self.noise.is_ideal:
+            return [None] * self.num_cores
+        if rng is None:
+            rng = np.random.default_rng()
+        return rng.spawn(self.num_cores)
+
+    @staticmethod
+    def _shard_operand(
+        x: np.ndarray, batch_rank: int, start: int, stop: int
+    ) -> np.ndarray:
+        """Slice the shard's rows out of one operand.
+
+        An operand only participates in the split when it actually
+        carries the leading batch axis (full batch rank and size > 1);
+        broadcast operands — a shared 2-D weight, or a size-1 leading
+        axis — are passed whole, so each core encodes them once for its
+        shard, mirroring the crossbar's operand sharing.
+        """
+        if x.ndim - 2 == batch_rank and x.shape[0] > 1:
+            return x[start:stop]
+        return x
+
+    def matmul(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Batched ``a @ b`` sharded across the cores.
+
+        The broadcast batch shape's leading axis is split into
+        ``num_cores`` contiguous shards; cores with an empty shard idle
+        (their RNG streams are still reserved, so per-core draws are
+        reproducible independently of the batch size).  Inputs with no
+        batch axes run whole on core 0.
+        """
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        out_shape = DPTC._broadcast_out_shape(a.shape, b.shape)
+        batch = out_shape[:-2]
+        streams = self._spawn_streams(rng)
+        # <= 1 covers the zero-size batch axis too: core 0 returns the
+        # empty stack exactly like the single-core engine.
+        if not batch or batch[0] <= 1 or self.num_cores == 1:
+            return self.cores[0].matmul(a, b, rng=streams[0])
+
+        batch_rank = len(batch)
+        jobs = []  # (core, stream, a_shard, b_shard)
+        for core, stream, (start, stop) in zip(
+            self.cores, streams, shard_bounds(batch[0], self.num_cores)
+        ):
+            if start == stop:
+                continue
+            jobs.append(
+                (
+                    core,
+                    stream,
+                    self._shard_operand(a, batch_rank, start, stop),
+                    self._shard_operand(b, batch_rank, start, stop),
+                )
+            )
+        # batch[0] >= 2 and num_cores >= 2 here, so there are always at
+        # least two non-empty shards.
+        def run(job) -> np.ndarray:
+            core, stream, a_shard, b_shard = job
+            return core.matmul(a_shard, b_shard, rng=stream)
+
+        if self.parallel:
+            results = list(self._workers().map(run, jobs))
+        else:
+            results = [run(job) for job in jobs]
+        out = np.concatenate(results, axis=0)
+        assert out.shape == out_shape
+        return out

@@ -47,7 +47,13 @@ from repro.neural.quantization import (
     quantize_array,
 )
 from repro.neural.text import CLS_TOKEN_ID, TinyBERT
-from repro.neural.train import Adam, TrainingResult, evaluate, train_classifier
+from repro.neural.train import (
+    Adam,
+    TrainingResult,
+    evaluate,
+    train_classifier,
+    train_classifier_reference,
+)
 from repro.neural.vision import TinyViT
 
 __all__ = [
@@ -94,4 +100,5 @@ __all__ = [
     "striped_image_dataset",
     "token_order_dataset",
     "train_classifier",
+    "train_classifier_reference",
 ]

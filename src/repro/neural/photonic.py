@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.dptc import DPTC, DPTCGeometry
 from repro.core.noise import NoiseModel
+from repro.core.sharding import ShardedDPTC
 from repro.neural.autograd import Tensor
 from repro.neural.quantization import QuantConfig, fake_quantize
 
@@ -31,20 +32,32 @@ class PhotonicExecutor:
         quant: weight/activation precision; ``None`` disables
             quantization (full-precision floats on an ideal core).
         rng: noise sampling stream (seed for reproducibility).
+        num_cores: DPTC cores to shard batched matmuls over.  1 keeps
+            the single-core engine; >1 splits the leading batch axis
+            across a :class:`ShardedDPTC` grid (bit-identical on the
+            ideal path, per-core noise streams otherwise).
     """
 
     geometry: DPTCGeometry = field(default_factory=DPTCGeometry)
     noise: NoiseModel = field(default_factory=NoiseModel.ideal)
     quant: QuantConfig | None = field(default_factory=QuantConfig.int4)
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    num_cores: int = 1
 
     def __post_init__(self) -> None:
-        self._dptc = DPTC(self.geometry, self.noise)
+        if self.num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {self.num_cores}")
+        if self.num_cores == 1:
+            self._dptc = DPTC(self.geometry, self.noise)
+        else:
+            self._dptc = ShardedDPTC(
+                num_cores=self.num_cores, geometry=self.geometry, noise=self.noise
+            )
 
     @classmethod
-    def ideal(cls) -> "PhotonicExecutor":
+    def ideal(cls, num_cores: int = 1) -> "PhotonicExecutor":
         """Exact digital arithmetic (no quantization, no noise)."""
-        return cls(noise=NoiseModel.ideal(), quant=None)
+        return cls(noise=NoiseModel.ideal(), quant=None, num_cores=num_cores)
 
     @classmethod
     def digital_reference(cls, quant: QuantConfig | None = None) -> "PhotonicExecutor":
@@ -56,12 +69,14 @@ class PhotonicExecutor:
         cls,
         quant: QuantConfig | None = None,
         seed: int | None = None,
+        num_cores: int = 1,
     ) -> "PhotonicExecutor":
         """Quantized execution with the paper's full noise model."""
         return cls(
             noise=NoiseModel.paper_default(),
             quant=quant or QuantConfig.int4(),
             rng=np.random.default_rng(seed),
+            num_cores=num_cores,
         )
 
     def matmul(self, a: Tensor, b: Tensor, weight_operand: int | None = None) -> Tensor:
@@ -88,8 +103,12 @@ class PhotonicExecutor:
                 if weight_operand == 1
                 else self.quant.activation_bits
             )
-            a = fake_quantize(a, bits_a)
-            b = fake_quantize(b, bits_b)
+            # Per-matrix scales: each [m, d] slice of a stacked operand
+            # gets its own grid (like the DPTC's per-matrix beta), so
+            # batched execution quantizes each sample exactly as the
+            # per-sample path would — no cross-batch scale coupling.
+            a = fake_quantize(a, bits_a, per_matrix=True)
+            b = fake_quantize(b, bits_b, per_matrix=True)
 
         out_data = self._execute(a.data, b.data)
 

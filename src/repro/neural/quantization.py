@@ -44,24 +44,44 @@ def quantization_levels(bits: int) -> int:
     return 2 ** (bits - 1) - 1
 
 
-def quantize_array(values: np.ndarray, bits: int) -> np.ndarray:
-    """Symmetric uniform quantization with a per-tensor max-abs scale.
+def quantize_array(
+    values: np.ndarray, bits: int, per_matrix: bool = False
+) -> np.ndarray:
+    """Symmetric uniform quantization with a max-abs scale.
 
     Values are snapped to ``scale * {-(2^(b-1)-1), ..., 2^(b-1)-1}``.
-    A zero tensor is returned unchanged.
+    A zero tensor (or, per-matrix, a zero slice) is returned unchanged.
+
+    Args:
+        values: array of any rank.
+        bits: grid precision.
+        per_matrix: scale each trailing ``[m, n]`` slice of a stacked
+            tensor independently, mirroring the per-matrix ``beta``
+            normalisation the DPTC applies to each encoded operand.
+            This keeps a batch of activations decoupled — sample ``i``'s
+            grid never depends on sample ``j`` — so batched execution
+            quantizes exactly like per-sample execution.  2-D inputs
+            are unaffected.
     """
     values = np.asarray(values, dtype=float)
     levels = quantization_levels(bits)
-    max_abs = np.max(np.abs(values)) if values.size else 0.0
-    if max_abs == 0.0:
+    if not values.size:
         return values.copy()
-    scale = max_abs / levels
+    if per_matrix and values.ndim > 2:
+        max_abs = np.max(np.abs(values), axis=(-2, -1), keepdims=True)
+        # Zero slices survive any scale: 0 rounds to 0 at every grid.
+        scale = np.where(max_abs == 0.0, 1.0, max_abs) / levels
+    else:
+        max_abs = np.max(np.abs(values))
+        if max_abs == 0.0:
+            return values.copy()
+        scale = max_abs / levels
     return np.clip(np.round(values / scale), -levels, levels) * scale
 
 
-def fake_quantize(tensor: Tensor, bits: int) -> Tensor:
+def fake_quantize(tensor: Tensor, bits: int, per_matrix: bool = False) -> Tensor:
     """Quantize in the forward pass, straight-through in the backward."""
-    quantized = quantize_array(tensor.data, bits)
+    quantized = quantize_array(tensor.data, bits, per_matrix=per_matrix)
 
     def backward(grad: np.ndarray) -> None:
         if tensor.requires_grad:

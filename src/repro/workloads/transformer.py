@@ -10,6 +10,7 @@ so the Table V rows (MHA / FFN / All) can be regenerated.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 
 from repro.workloads.gemm import (
@@ -134,6 +135,7 @@ def gemm_trace(
     config: TransformerConfig,
     include_head: bool = True,
     batch_size: int = 1,
+    num_cores: int = 1,
 ) -> list[GEMMOp]:
     """GEMM operations of one batched inference, in execution order.
 
@@ -149,9 +151,18 @@ def gemm_trace(
             photonic call; for the trace this multiplies every op's
             instance count (weights are shared across the batch, so use
             ``batch_size=1`` when counting parameters).
+        num_cores: shard each op's instance stack across this many DPTC
+            cores and return the *critical-path* (largest) per-core
+            slice: instance counts become ``ceil(count / num_cores)``.
+            The whole-grid latency model already divides tile counts by
+            ``config.n_cores``; this knob instead yields the trace one
+            core of a :class:`~repro.core.sharding.ShardedDPTC`-style
+            batch split executes.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if num_cores < 1:
+        raise ValueError(f"num_cores must be >= 1, got {num_cores}")
     seq = config.seq_len
     dim = config.dim
     ops: list[GEMMOp] = []
@@ -244,6 +255,10 @@ def gemm_trace(
             )
     if batch_size > 1:
         ops = [replace(op, count=op.count * batch_size) for op in ops]
+    if num_cores > 1:
+        ops = [
+            replace(op, count=max(1, math.ceil(op.count / num_cores))) for op in ops
+        ]
     return ops
 
 

@@ -4,7 +4,6 @@ The reference-model trainings are cached per process, so the first test
 to touch them pays the (~30 s) training cost once.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -1,7 +1,5 @@
 """Tests for EXPERIMENTS.md report generation."""
 
-from pathlib import Path
-
 import pytest
 
 from repro.analysis.report import architecture_sections, generate

@@ -82,3 +82,38 @@ class TestFunctionalExecution:
         out = acc.matmul_through_dataflow(a, b, rng=rng)
         rel = np.linalg.norm(out - a @ b) / np.linalg.norm(a @ b)
         assert 0.0 < rel < 0.4
+
+
+class TestMultiCoreExecution:
+    def test_full_grid_ideal_bit_exact(self):
+        """Sharding over config.n_cores leaves ideal results bit-identical."""
+        config = lt_base()
+        single = LighteningTransformer(config)
+        grid = LighteningTransformer(config, num_cores=config.n_cores)
+        assert grid.num_cores == 8
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(12, 20, 30))
+        b = rng.normal(size=(12, 30, 10))
+        assert np.array_equal(grid.matmul(a, b), single.matmul(a, b))
+
+    def test_noisy_grid_reproducible(self):
+        acc = LighteningTransformer(
+            lt_base(), noise=NoiseModel.paper_default(), num_cores=4
+        )
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(6, 24, 36))
+        b = rng.normal(size=(6, 36, 24))
+        first = acc.matmul(a, b, rng=np.random.default_rng(13))
+        second = acc.matmul(a, b, rng=np.random.default_rng(13))
+        assert np.array_equal(first, second)
+
+    def test_dataflow_path_still_works_with_grid(self):
+        acc = LighteningTransformer(lt_base(), num_cores=4)
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=(13, 25))
+        b = rng.normal(size=(25, 17))
+        assert np.allclose(acc.matmul_through_dataflow(a, b), a @ b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LighteningTransformer(lt_base(), num_cores=0)

@@ -10,7 +10,7 @@ from repro.arch import (
     single_core,
     single_core_area_breakdown,
 )
-from repro.units import MM2, UM2
+from repro.units import UM2
 
 
 class TestTableIVTotals:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.arch.heterogeneous import (
-    ShapeEvaluation,
     candidate_shapes,
     evaluate_shape,
     mvm_engine,

@@ -5,8 +5,6 @@ not just the paper's: energy additivity, monotonicity in problem size,
 and that every optimization knob only ever helps.
 """
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

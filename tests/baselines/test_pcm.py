@@ -88,15 +88,12 @@ class TestTableIShape:
         lt = LighteningTransformer(lt_base(4)).run(trace)
         assert pcm.run(trace).energy_joules > lt.energy_joules
 
-    def test_pcm_between_mrr_and_mzi_on_attention_latency(self, pcm):
-        """Reprogramming is slower than MRR streaming but the one-shot MM
-        keeps PCM ahead of the fully reconfiguration-bound MZI."""
-        from repro.baselines import MZIAccelerator
-
+    def test_pcm_reprogramming_slower_than_mrr_on_attention(self, pcm):
+        """Dynamic attention forces PCM cell reprogramming every product,
+        so PCM trails MRR's streaming execution on these ops."""
         attention = [
             op for op in gemm_trace(deit_tiny()) if op.module == MODULE_ATTENTION
         ]
         mrr_latency = MRRAccelerator(bits=4).run(attention).latency
-        mzi_latency = MZIAccelerator(bits=4).run(attention).latency
         pcm_latency = pcm.run(attention).latency
         assert pcm_latency > mrr_latency

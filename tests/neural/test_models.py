@@ -13,7 +13,6 @@ from repro.neural import (
     TinyBERT,
     TinyViT,
     no_grad,
-    softmax,
 )
 
 

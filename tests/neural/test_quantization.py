@@ -92,6 +92,53 @@ class TestQuantizeArray:
             assert np.max(np.abs(values - quantized)) <= step / 2 + 1e-12
 
 
+class TestPerMatrixQuantization:
+    """Per-matrix scales decouple the slices of a stacked activation."""
+
+    def test_slices_quantized_independently(self):
+        rng = np.random.default_rng(0)
+        stack = rng.normal(size=(5, 4, 6))
+        stack[2] *= 40.0  # one outlier sample must not coarsen the rest
+        whole = quantize_array(stack, 4, per_matrix=True)
+        for index in range(5):
+            assert np.array_equal(whole[index], quantize_array(stack[index], 4))
+
+    def test_batch_invariance(self):
+        """A sample's grid never depends on its batch neighbours."""
+        rng = np.random.default_rng(1)
+        stack = rng.normal(size=(6, 3, 4))
+        full = quantize_array(stack, 4, per_matrix=True)
+        half = quantize_array(stack[:3], 4, per_matrix=True)
+        assert np.array_equal(full[:3], half)
+
+    def test_zero_slice_preserved(self):
+        stack = np.ones((3, 2, 2))
+        stack[1] = 0.0
+        out = quantize_array(stack, 4, per_matrix=True)
+        assert np.array_equal(out[1], np.zeros((2, 2)))
+        assert np.array_equal(out[0], stack[0])
+
+    def test_two_dim_unaffected(self):
+        values = np.random.default_rng(2).normal(size=(4, 6))
+        assert np.array_equal(
+            quantize_array(values, 4, per_matrix=True), quantize_array(values, 4)
+        )
+
+    def test_executor_batched_matches_per_sample(self):
+        """A quantized batched matmul equals its per-sample slices."""
+        from repro.neural import PhotonicExecutor
+
+        executor = PhotonicExecutor.digital_reference()
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(4, 3, 6))
+        a[1] *= 25.0
+        w = rng.normal(size=(6, 5))
+        batched = executor.matmul(Tensor(a), Tensor(w), weight_operand=1)
+        for index in range(4):
+            single = executor.matmul(Tensor(a[index]), Tensor(w), weight_operand=1)
+            assert np.array_equal(batched.data[index], single.data)
+
+
 class TestFakeQuantize:
     def test_forward_quantizes(self):
         t = Tensor(np.linspace(-1, 1, 100))

@@ -6,7 +6,6 @@ import pytest
 from repro.neural import (
     Adam,
     Dataset,
-    Linear,
     PhotonicExecutor,
     Tensor,
     TinyBERT,
@@ -15,6 +14,7 @@ from repro.neural import (
     striped_image_dataset,
     token_order_dataset,
     train_classifier,
+    train_classifier_reference,
 )
 
 
@@ -128,6 +128,55 @@ class TestTrainingLoop:
             train_classifier(model, data, epochs=0)
 
 
+class TestBatchedLoopEquivalence:
+    """The batched minibatch loop reproduces the seed per-sample loop."""
+
+    def test_vit_losses_match_reference_exactly(self):
+        data = striped_image_dataset(n_samples=24, n_classes=4, seed=1)
+        batched = train_classifier(
+            TinyViT(n_classes=4, depth=1, seed=0), data, epochs=2, lr=5e-3, seed=0
+        )
+        reference = train_classifier_reference(
+            TinyViT(n_classes=4, depth=1, seed=0), data, epochs=2, lr=5e-3, seed=0
+        )
+        assert batched.losses == pytest.approx(reference.losses, abs=1e-10)
+        assert batched.train_accuracy == reference.train_accuracy
+
+    def test_bert_losses_match_reference_exactly(self):
+        data = token_order_dataset(n_samples=24, seq_len=8, seed=2)
+        batched = train_classifier(
+            TinyBERT(seq_len=8, depth=1, seed=0), data, epochs=2, lr=5e-3, seed=0
+        )
+        reference = train_classifier_reference(
+            TinyBERT(seq_len=8, depth=1, seed=0), data, epochs=2, lr=5e-3, seed=0
+        )
+        assert batched.losses == pytest.approx(reference.losses, abs=1e-10)
+
+    def test_ragged_final_minibatch(self):
+        """Dataset size not divisible by batch_size trains fine."""
+        data = striped_image_dataset(n_samples=19, n_classes=2, seed=4)
+        result = train_classifier(
+            TinyViT(n_classes=2, depth=1, seed=0),
+            data,
+            epochs=1,
+            batch_size=8,
+            seed=0,
+        )
+        assert len(result.losses) == 1
+
+    def test_sharded_executor_training_runs(self):
+        """Noise-aware training through a multi-core sharded executor."""
+        data = striped_image_dataset(n_samples=24, n_classes=2, seed=3)
+        model = TinyViT(
+            n_classes=2,
+            depth=1,
+            executor=PhotonicExecutor.paper_default(seed=0, num_cores=2),
+            seed=0,
+        )
+        result = train_classifier(model, data, epochs=2, lr=5e-3, seed=0)
+        assert result.losses[-1] < result.losses[0]
+
+
 class TestEvaluate:
     def test_evaluate_restores_training_mode(self):
         data = striped_image_dataset(n_samples=5, n_classes=2)
@@ -140,3 +189,18 @@ class TestEvaluate:
         data = striped_image_dataset(n_samples=8, n_classes=2)
         model = TinyViT(n_classes=2, depth=1)
         assert 0.0 <= evaluate(model, data) <= 1.0
+
+    def test_batched_matches_per_sample_accuracy(self):
+        data = striped_image_dataset(n_samples=11, n_classes=2, seed=6)
+        model = TinyViT(n_classes=2, depth=1, seed=0)
+        model.eval()
+        correct = sum(
+            int(np.argmax(model(inputs).data) == label)
+            for inputs, label in zip(data.inputs, data.labels)
+        )
+        assert evaluate(model, data, batch_size=4) == correct / len(data)
+
+    def test_evaluate_validation(self):
+        data = striped_image_dataset(n_samples=4, n_classes=2)
+        with pytest.raises(ValueError):
+            evaluate(TinyViT(n_classes=2, depth=1), data, batch_size=0)

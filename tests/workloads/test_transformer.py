@@ -131,6 +131,33 @@ class TestGEMMTrace:
         with pytest.raises(ValueError):
             gemm_trace(deit_tiny(), batch_size=0)
 
+    def test_num_cores_shards_instance_counts(self):
+        """num_cores yields the critical-path per-core slice of the trace."""
+        import math
+
+        whole = gemm_trace(deit_tiny(), batch_size=8)
+        per_core = gemm_trace(deit_tiny(), batch_size=8, num_cores=4)
+        assert len(per_core) == len(whole)
+        for one, shard in zip(whole, per_core):
+            assert shard.name == one.name
+            assert shard.count == math.ceil(one.count / 4)
+            assert (shard.m, shard.k, shard.n) == (one.m, one.k, one.n)
+
+    def test_num_cores_never_drops_an_op(self):
+        """Ops with count < num_cores still appear once per core slice."""
+        per_core = gemm_trace(deit_tiny(), num_cores=64)
+        assert all(op.count >= 1 for op in per_core)
+        assert {op.name for op in per_core} == {
+            op.name for op in gemm_trace(deit_tiny())
+        }
+
+    def test_num_cores_one_is_identity(self):
+        assert gemm_trace(deit_tiny(), num_cores=1) == gemm_trace(deit_tiny())
+
+    def test_num_cores_validated(self):
+        with pytest.raises(ValueError):
+            gemm_trace(deit_tiny(), num_cores=0)
+
     def test_macs_scale_with_model_size(self):
         t = total_macs(gemm_trace(deit_tiny()))
         s = total_macs(gemm_trace(deit_small()))
