@@ -43,6 +43,7 @@ from repro.arch.energy import (
 )
 from repro.arch.latency import (
     CoreLatency,
+    accumulation_cycles,
     core_path_latency,
     effective_throughput_ops,
     gemm_cycles,
@@ -105,6 +106,7 @@ __all__ = [
     "TileAssignment",
     "area_breakdown",
     "candidate_shapes",
+    "accumulation_cycles",
     "core_path_latency",
     "ddot_cell_area",
     "evaluate_shape",

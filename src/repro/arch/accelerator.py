@@ -62,6 +62,13 @@ class LighteningTransformer:
             core; pass ``config.n_cores`` to execute on the full grid
             the performance models already assume.  Ideal-path results
             are bit-identical at every core count.
+        shard_axis: how the functional grid splits a product —
+            ``"batch"`` (leading batch axis, concatenated shards) or
+            ``"contraction"`` (per-core K-slabs with digital
+            partial-sum accumulation after photodetection, the Sec. IV
+            dataflow).
+        backend: ``"thread"`` or ``"process"`` shard execution;
+            bit-equal for equal seeds.
     """
 
     def __init__(
@@ -69,19 +76,38 @@ class LighteningTransformer:
         config: AcceleratorConfig | None = None,
         noise: NoiseModel | None = None,
         num_cores: int | None = None,
+        shard_axis: str = "batch",
+        backend: str = "thread",
     ) -> None:
         self.config = config if config is not None else lt_base()
         self.noise = noise if noise is not None else NoiseModel.ideal()
         self.energy_model = LTEnergyModel(self.config)
         self.num_cores = 1 if num_cores is None else num_cores
-        if self.num_cores == 1:
+        self.shard_axis = shard_axis
+        self.backend = backend
+        if self.num_cores == 1 and shard_axis == "batch" and backend == "thread":
             self._dptc = DPTC(self.config.geometry, self.noise)
         else:
+            # ShardedDPTC validates shard_axis/backend; num_cores == 1
+            # with non-default knobs still degenerates to the plain
+            # batched engine, just through the sharded front-end.
             self._dptc = ShardedDPTC(
                 num_cores=self.num_cores,
                 geometry=self.config.geometry,
                 noise=self.noise,
+                shard_axis=shard_axis,
+                backend=backend,
             )
+
+    def close(self) -> None:
+        """Release the sharded engine's worker pool (no-op single-core).
+
+        Process-backed grids hold spawned worker processes; without an
+        explicit close they are only released when the engine is
+        garbage-collected (weakref finalizer).
+        """
+        if isinstance(self._dptc, ShardedDPTC):
+            self._dptc.close()
 
     # -- static design metrics ----------------------------------------------
     def area(self) -> AreaBreakdown:

@@ -227,6 +227,12 @@ class LTEnergyModel:
         )
         accum_traffic = op.output_elements * bytes_per * 2.0 * digital_accums
         energy += accum_traffic * memory.operand_feed_energy_per_byte
+        # Cross-core partial-sum accumulation (contraction sharding):
+        # merging the k_splits per-core partials costs one read + one
+        # write of the output word per digital add (Sec. IV dataflow).
+        if op.k_splits > 1:
+            cross_core_traffic = op.accumulation_adds * bytes_per * 2.0
+            energy += cross_core_traffic * memory.operand_feed_energy_per_byte
         energy += op.output_elements * bytes_per * memory.output_store_energy_per_byte
         return energy
 

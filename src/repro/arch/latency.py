@@ -69,9 +69,29 @@ def gemm_tile_count(config: AcceleratorConfig, op: GEMMOp) -> int:
     return tiles_m * tiles_d * tiles_n * op.count
 
 
+def accumulation_cycles(op: GEMMOp) -> int:
+    """Exposed digital partial-sum accumulation cycles of one GEMM op.
+
+    When the contraction is sharded over cores (``op.k_splits > 1``)
+    the per-core partial products are merged by a digital adder tree
+    after photodetection (Sec. IV dataflow).  The tree is pipelined
+    behind the compute stream, so only its drain — one cycle per tree
+    level, ``ceil(log2(k_splits))`` — is exposed once per op.  An
+    unsplit contraction costs nothing.
+    """
+    if op.k_splits <= 1:
+        return 0
+    return math.ceil(math.log2(op.k_splits))
+
+
 def gemm_cycles(config: AcceleratorConfig, op: GEMMOp) -> int:
-    """Clock cycles to run one GEMM op on the whole accelerator."""
-    return math.ceil(gemm_tile_count(config, op) / config.n_cores)
+    """Clock cycles to run one GEMM op on the whole accelerator.
+
+    Compute tiles distributed over the core grid, plus the exposed
+    digital accumulation drain for contraction-sharded ops.
+    """
+    compute = math.ceil(gemm_tile_count(config, op) / config.n_cores)
+    return compute + accumulation_cycles(op)
 
 
 def workload_cycles(config: AcceleratorConfig, ops: Iterable[GEMMOp]) -> int:

@@ -6,9 +6,10 @@
   performs one-shot matrix-matrix multiplication with intra-core operand
   sharing.
 * :class:`ShardedDPTC` — a grid of DPTC cores executing one batched
-  matmul as leading-axis shards (the multi-core scaling axis of the
-  accelerator), each core with its own RNG stream and calibration
-  state.
+  matmul as leading-batch-axis shards or contraction (K-axis) slabs
+  with digital partial-sum accumulation (the multi-core scaling axes
+  of the accelerator), each core with its own RNG stream and
+  calibration state, on a thread- or process-pool backend.
 * Noise and dispersion models of Sec. III-C, shared by the accuracy
   studies and the circuit-level validation.
 """
@@ -30,12 +31,23 @@ from repro.core.noise import (
     NoiseModel,
     SystematicNoise,
 )
-from repro.core.sharding import ShardedDPTC, shard_bounds
+from repro.core.sharding import (
+    BACKENDS,
+    SHARD_AXES,
+    DigitalAccumulator,
+    ShardedDPTC,
+    contraction_slabs,
+    shard_bounds,
+)
 
 __all__ = [
+    "BACKENDS",
     "CalibratedDPTC",
     "DDot",
     "DPTC",
+    "DigitalAccumulator",
+    "SHARD_AXES",
+    "contraction_slabs",
     "additive_correction",
     "channel_gains",
     "dispersion_error_reduction",

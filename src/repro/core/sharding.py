@@ -3,10 +3,17 @@
 The accelerator is not one DPTC but a grid of them — LT-B provisions
 4 tiles x 2 cores — and its throughput comes from spreading a
 transformer's GEMM stacks across that grid.  :class:`ShardedDPTC`
-models exactly that for the functional execution path: a batched
-``[..., m, d] x [..., d, n]`` matmul is split along the leading batch
-axis into contiguous shards, one per core, and every core executes its
-shard through its *own* :class:`DPTC` instance.
+models that for the functional execution path along *either* axis of
+the paper's dataflow:
+
+* ``shard_axis="batch"`` — a batched ``[..., m, d] x [..., d, n]``
+  matmul is split along the leading batch axis into contiguous shards,
+  one per core; results are concatenated in shard order.
+* ``shard_axis="contraction"`` — every core executes a contiguous
+  ``[..., m, d/N] x [..., d/N, n]`` K-slab of the *same* matrix
+  product through its own DPTC, and the per-core partial products are
+  summed by a :class:`DigitalAccumulator`, mirroring the paper's
+  post-photodetection digital partial-sum accumulation.
 
 Per-core state is genuinely per-core:
 
@@ -16,30 +23,66 @@ Per-core state is genuinely per-core:
 * each core draws noise from its own RNG stream, spawned from the call's
   generator by core index (``rng.spawn``), so noise statistics stay
   per-core and a fixed seed reproduces the exact same per-core draws
-  regardless of which cores end up with work.
+  regardless of which cores end up with work, which backend runs them,
+  or how the scheduler interleaves them.
 
-On the ideal path every shard reduces to ``np.matmul`` on a contiguous
-slice, so the concatenated result is *bit-identical* to the single-core
-batched call (and to ``np.matmul`` itself).  Under noise the sharded
-result matches the single-core engine distributionally — each core is
-its own physical device with its own stochastic encoding, exactly as in
+**Exactness contract.**  On the ideal path the sharded result is
+*bit-identical* to the single-core batched call (and to ``np.matmul``)
+for both shard axes.  For the batch axis this is free — shards are
+disjoint slices.  For the contraction axis it is a statement about the
+*digital* accumulator: in hardware the per-slab partial products leave
+the photodetectors through the ADC as fixed-point words and the digital
+adder tree sums them exactly (integer addition is associative).  A
+float64 model can only honour that exactness by not reassociating the
+contraction — summing independently *rounded* float64 slab products
+would inject ~1e-16 reassociation error that the exact fixed-point
+accumulation does not have.  The ideal path therefore evaluates the
+exact product in one full-contraction ``np.matmul`` on core 0, while
+the noisy path performs genuine per-core K-slab execution plus
+core-order digital accumulation (there the reassociation sits far
+below the modelled noise floor).  Under noise the sharded result
+matches the single-core engine distributionally — each core is its own
+physical device with its own stochastic encoding, exactly as in
 hardware.
 
-Shards are executed on a thread pool (numpy releases the GIL inside the
-heavy kernels); results are reassembled in shard order, so the output
-never depends on thread scheduling.
+**Backends.**  ``backend="thread"`` runs shards on a thread pool
+(numpy releases the GIL inside the heavy kernels).  ``backend=
+"process"`` runs them on a :class:`~concurrent.futures.
+ProcessPoolExecutor` for true parallelism on multi-CPU hosts: the
+per-core constructor arguments are pickled once per worker (pool
+initializer), workers rebuild their :class:`DPTC` replicas
+deterministically on first use, and jobs carry the pre-spawned per-core
+RNG stream — so thread, process, and sequential execution of the same
+seed are bit-equal and independent of scheduling.  The pool uses the
+``spawn`` start method, which behaves identically on every platform
+and never forks a threaded parent.  Results are reassembled in shard
+(core) order, so the output never depends on the backend or schedule.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import weakref
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
 from repro.core.dptc import DPTC, DPTCGeometry
 from repro.core.noise import NoiseModel
 from repro.optics.wdm import WDMGrid
+
+#: Supported sharding axes: leading batch axis or the contraction (K) axis.
+SHARD_AXES = ("batch", "contraction")
+
+#: Supported shard-execution backends.
+BACKENDS = ("thread", "process")
+
+#: Start method for the process backend.  ``spawn`` is deliberately
+#: chosen over the Linux default ``fork``: it behaves identically on
+#: every platform, never forks a parent that already runs pool threads,
+#: and makes worker state reconstruction explicit (the initializer),
+#: which is what keeps seeded runs scheduler-independent.
+_MP_START_METHOD = "spawn"
 
 
 def shard_bounds(batch: int, num_shards: int) -> list[tuple[int, int]]:
@@ -63,21 +106,108 @@ def shard_bounds(batch: int, num_shards: int) -> list[tuple[int, int]]:
     return bounds
 
 
+def contraction_slabs(
+    x: np.ndarray, num_shards: int, axis: int
+) -> list[np.ndarray]:
+    """Contiguous slabs of ``x`` along ``axis``, one per shard.
+
+    The K-axis companion of :func:`shard_bounds`: slab ``i`` holds
+    ``x[..., start_i:stop_i, ...]`` (``shard_bounds`` split along
+    ``axis``), so concatenating the slabs along ``axis`` reproduces
+    ``x`` exactly and ``num_shards`` greater than the axis length
+    yields empty trailing slabs.  Slabs are views, not copies.
+    """
+    x = np.asarray(x)
+    if not -x.ndim <= axis < x.ndim:
+        raise ValueError(f"axis {axis} out of range for ndim {x.ndim}")
+    slabs = []
+    index: list[slice] = [slice(None)] * x.ndim
+    for start, stop in shard_bounds(x.shape[axis], num_shards):
+        index[axis] = slice(start, stop)
+        slabs.append(x[tuple(index)])
+    return slabs
+
+
+class DigitalAccumulator:
+    """Post-photodetection digital partial-sum accumulation (Sec. IV).
+
+    After each core's photodetectors and ADCs produce a partial product
+    for its contraction slab, the digital accumulator sums the partials
+    — in core order, matching the adder tree's deterministic reduction.
+    This is the float64 stand-in for the hardware's exact fixed-point
+    accumulation; see the module docstring for why the *ideal* path
+    bypasses it in favour of one exact full-contraction product.
+    """
+
+    @staticmethod
+    def accumulate(partials: list[np.ndarray]) -> np.ndarray:
+        """Sum per-core partial products in core order."""
+        if not partials:
+            raise ValueError("need at least one partial product")
+        out = np.array(partials[0], dtype=float, copy=True)
+        for partial in partials[1:]:
+            out += partial
+        return out
+
+
+# -- process-backend worker state -----------------------------------------
+#
+# Each worker process rebuilds its DPTC replicas from constructor
+# arguments shipped once via the pool initializer (pickled once per
+# worker).  Construction is deterministic, and every job carries the
+# core index plus that core's pre-spawned RNG stream, so results depend
+# only on (seed, core index, operands) — never on which worker happens
+# to execute which core.
+
+_WORKER_FACTORY: tuple | None = None
+_WORKER_CORES: dict[int, DPTC] = {}
+
+
+def _process_worker_init(
+    core_cls: type[DPTC],
+    geometry: DPTCGeometry,
+    noise: NoiseModel,
+    grid: WDMGrid,
+) -> None:
+    global _WORKER_FACTORY
+    _WORKER_FACTORY = (core_cls, geometry, noise, grid)
+    _WORKER_CORES.clear()
+
+
+def _process_worker_run(job: tuple) -> np.ndarray:
+    core_index, a, b, stream = job
+    core = _WORKER_CORES.get(core_index)
+    if core is None:
+        if _WORKER_FACTORY is None:
+            raise RuntimeError("process worker used before initialization")
+        core_cls, geometry, noise, grid = _WORKER_FACTORY
+        core = core_cls(geometry, noise, grid)
+        _WORKER_CORES[core_index] = core
+    return core.matmul(a, b, rng=stream)
+
+
 class ShardedDPTC:
-    """N DPTC cores executing one batched matmul as leading-axis shards.
+    """N DPTC cores executing one batched matmul as shards.
 
     Drop-in for :class:`DPTC` on the ``matmul(a, b, rng=...)`` surface;
-    with ``num_cores=1`` it degenerates to a single core (plus the
-    per-core stream-spawning discipline, kept uniform across core
-    counts so results depend only on the seed and the core index).
+    with ``num_cores=1`` it degenerates to the plain single-core
+    batched engine for either shard axis (plus the per-core
+    stream-spawning discipline, kept uniform across core counts so
+    results depend only on the seed and the core index).
 
     Args:
-        num_cores: cores to spread the batch over.
+        num_cores: cores to spread the work over.
         geometry / noise / grid: forwarded to every core.
         core_cls: core implementation, e.g. :class:`CalibratedDPTC`;
             each core gets its own instance (own calibration state).
-        parallel: run shards on a thread pool (numpy kernels release
-            the GIL); sequential execution gives identical results.
+        parallel: run shards on the worker pool; sequential execution
+            (``parallel=False``) gives bit-identical results.
+        shard_axis: ``"batch"`` splits the leading batch axis into
+            contiguous per-core shards; ``"contraction"`` splits the
+            K axis into contiguous per-core slabs whose partial
+            products are digitally accumulated in core order.
+        backend: ``"thread"`` (default) or ``"process"``; see the
+            module docstring.  Bit-equal for equal seeds.
     """
 
     def __init__(
@@ -88,31 +218,63 @@ class ShardedDPTC:
         grid: WDMGrid | None = None,
         core_cls: type[DPTC] = DPTC,
         parallel: bool = True,
+        shard_axis: str = "batch",
+        backend: str = "thread",
     ) -> None:
         if num_cores < 1:
             raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+        if shard_axis not in SHARD_AXES:
+            raise ValueError(
+                f"shard_axis must be one of {SHARD_AXES}, got {shard_axis!r}"
+            )
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         self.num_cores = num_cores
+        self.shard_axis = shard_axis
+        self.backend = backend
+        self.core_cls = core_cls
         self.cores = [core_cls(geometry, noise, grid) for _ in range(num_cores)]
         self.geometry = self.cores[0].geometry
         self.noise = self.cores[0].noise
         self.grid = self.cores[0].grid
         self.parallel = parallel
-        self._pool: ThreadPoolExecutor | None = None
+        self._pool: Executor | None = None
+        self._finalizer: weakref.finalize | None = None
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; pool is recreated lazily)."""
+        """Shut down the worker pool (idempotent; pool is recreated lazily).
+
+        Releases thread *and* process pools alike and detaches the
+        garbage-collection finalizer, so no executor outlives an
+        explicitly closed engine.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
 
-    def _workers(self) -> ThreadPoolExecutor:
+    def _workers(self) -> Executor:
         if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.num_cores, thread_name_prefix="dptc-core"
+            if self.backend == "process":
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.num_cores,
+                    mp_context=multiprocessing.get_context(_MP_START_METHOD),
+                    initializer=_process_worker_init,
+                    initargs=(self.core_cls, self.geometry, self.noise, self.grid),
+                )
+            else:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.num_cores, thread_name_prefix="dptc-core"
+                )
+            # Release the workers when this engine is collected; the
+            # finalizer holds the pool, not self, so no cycle.
+            self._finalizer = weakref.finalize(
+                self, self._pool.shutdown, wait=False
             )
-            # Release the worker threads when this engine is collected;
-            # the finalizer holds the pool, not self, so no cycle.
-            weakref.finalize(self, self._pool.shutdown, wait=False)
         return self._pool
 
     def tile_matmul(
@@ -125,7 +287,13 @@ class ShardedDPTC:
         return self.cores[0].tile_matmul(a, b, rng=rng)
 
     def _spawn_streams(self, rng: np.random.Generator | None) -> list:
-        """One independent child stream per core (stable by core index)."""
+        """One independent child stream per core (stable by core index).
+
+        ``SeedSequence`` spawning is prefix-stable: child ``i`` of a
+        fresh generator is the same stream for *any* ``num_cores > i``,
+        so growing the core grid never perturbs the draws of the cores
+        that already existed.
+        """
         if self.noise.is_ideal:
             return [None] * self.num_cores
         if rng is None:
@@ -136,7 +304,7 @@ class ShardedDPTC:
     def _shard_operand(
         x: np.ndarray, batch_rank: int, start: int, stop: int
     ) -> np.ndarray:
-        """Slice the shard's rows out of one operand.
+        """Slice the shard's rows out of one operand (batch axis).
 
         An operand only participates in the split when it actually
         carries the leading batch axis (full batch rank and size > 1);
@@ -148,6 +316,22 @@ class ShardedDPTC:
             return x[start:stop]
         return x
 
+    def _run_jobs(self, jobs: list[tuple]) -> list[np.ndarray]:
+        """Execute ``(core_index, a, b, stream)`` jobs, results in job order."""
+        if not self.parallel:
+            return [
+                self.cores[index].matmul(a, b, rng=stream)
+                for index, a, b, stream in jobs
+            ]
+        if self.backend == "process":
+            return list(self._workers().map(_process_worker_run, jobs))
+
+        def run(job: tuple) -> np.ndarray:
+            index, a, b, stream = job
+            return self.cores[index].matmul(a, b, rng=stream)
+
+        return list(self._workers().map(run, jobs))
+
     def matmul(
         self,
         a: np.ndarray,
@@ -156,15 +340,25 @@ class ShardedDPTC:
     ) -> np.ndarray:
         """Batched ``a @ b`` sharded across the cores.
 
-        The broadcast batch shape's leading axis is split into
-        ``num_cores`` contiguous shards; cores with an empty shard idle
-        (their RNG streams are still reserved, so per-core draws are
-        reproducible independently of the batch size).  Inputs with no
-        batch axes run whole on core 0.
+        Dispatches on :attr:`shard_axis`; cores with an empty shard or
+        slab idle (their RNG streams are still reserved, so per-core
+        draws are reproducible independently of the problem size).
         """
         a = np.asarray(a, dtype=float)
         b = np.asarray(b, dtype=float)
         out_shape = DPTC._broadcast_out_shape(a.shape, b.shape)
+        if self.shard_axis == "contraction":
+            return self._matmul_contraction(a, b, out_shape, rng)
+        return self._matmul_batch(a, b, out_shape, rng)
+
+    def _matmul_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        out_shape: tuple[int, ...],
+        rng: np.random.Generator | None,
+    ) -> np.ndarray:
+        """Leading-batch-axis sharding (concatenate in shard order)."""
         batch = out_shape[:-2]
         streams = self._spawn_streams(rng)
         # <= 1 covers the zero-size batch axis too: core 0 returns the
@@ -173,30 +367,62 @@ class ShardedDPTC:
             return self.cores[0].matmul(a, b, rng=streams[0])
 
         batch_rank = len(batch)
-        jobs = []  # (core, stream, a_shard, b_shard)
-        for core, stream, (start, stop) in zip(
-            self.cores, streams, shard_bounds(batch[0], self.num_cores)
+        jobs = []  # (core_index, a_shard, b_shard, stream)
+        for index, (start, stop) in enumerate(
+            shard_bounds(batch[0], self.num_cores)
         ):
             if start == stop:
                 continue
             jobs.append(
                 (
-                    core,
-                    stream,
+                    index,
                     self._shard_operand(a, batch_rank, start, stop),
                     self._shard_operand(b, batch_rank, start, stop),
+                    streams[index],
                 )
             )
         # batch[0] >= 2 and num_cores >= 2 here, so there are always at
         # least two non-empty shards.
-        def run(job) -> np.ndarray:
-            core, stream, a_shard, b_shard = job
-            return core.matmul(a_shard, b_shard, rng=stream)
-
-        if self.parallel:
-            results = list(self._workers().map(run, jobs))
-        else:
-            results = [run(job) for job in jobs]
+        results = self._run_jobs(jobs)
         out = np.concatenate(results, axis=0)
+        assert out.shape == out_shape
+        return out
+
+    def _matmul_contraction(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        out_shape: tuple[int, ...],
+        rng: np.random.Generator | None,
+    ) -> np.ndarray:
+        """Contraction-axis sharding with digital partial-sum accumulation.
+
+        Core ``i`` executes the contiguous K-slab ``a[..., ki:ki+1] @
+        b[..., ki:ki+1, :]`` on its own DPTC with its own RNG stream;
+        the :class:`DigitalAccumulator` then sums the partial products
+        in core order.  The ideal path evaluates the exact
+        full-contraction product on core 0 instead — the accumulator is
+        exact in hardware, and reassociating a float64 contraction is
+        not (see the module docstring) — which keeps ideal results
+        bit-identical to ``np.matmul`` at every core count, divisible
+        or not.
+        """
+        d = a.shape[-1]
+        streams = self._spawn_streams(rng)
+        if self.noise.is_ideal or self.num_cores == 1 or d <= 1:
+            # Ideal: exact digital accumulation == the exact product.
+            # num_cores == 1 (or a single-element contraction): the
+            # plain batched engine, one slab on core 0 / stream 0.
+            return self.cores[0].matmul(a, b, rng=streams[0])
+
+        a_slabs = contraction_slabs(a, self.num_cores, axis=-1)
+        b_slabs = contraction_slabs(b, self.num_cores, axis=-2)
+        jobs = [  # (core_index, a_slab, b_slab, stream)
+            (index, a_slab, b_slab, streams[index])
+            for index, (a_slab, b_slab) in enumerate(zip(a_slabs, b_slabs))
+            if a_slab.shape[-1] > 0  # num_cores > d: trailing cores idle
+        ]
+        partials = self._run_jobs(jobs)
+        out = DigitalAccumulator.accumulate(partials)
         assert out.shape == out_shape
         return out

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.dptc import DPTC, DPTCGeometry
 from repro.core.noise import NoiseModel
-from repro.core.sharding import ShardedDPTC
+from repro.core.sharding import BACKENDS, SHARD_AXES, ShardedDPTC
 from repro.neural.autograd import Tensor
 from repro.neural.quantization import QuantConfig, fake_quantize
 
@@ -33,9 +33,16 @@ class PhotonicExecutor:
             quantization (full-precision floats on an ideal core).
         rng: noise sampling stream (seed for reproducibility).
         num_cores: DPTC cores to shard batched matmuls over.  1 keeps
-            the single-core engine; >1 splits the leading batch axis
-            across a :class:`ShardedDPTC` grid (bit-identical on the
-            ideal path, per-core noise streams otherwise).
+            the single-core engine (``shard_axis``/``backend`` are then
+            inert); >1 shards across a :class:`ShardedDPTC` grid
+            (bit-identical on the ideal path, per-core noise streams
+            otherwise).
+        shard_axis: ``"batch"`` splits the leading batch axis across
+            the cores; ``"contraction"`` splits the K axis, with
+            digital partial-sum accumulation after photodetection.
+        backend: ``"thread"`` or ``"process"`` shard execution;
+            bit-equal for equal seeds, process gives true parallelism
+            on multi-CPU hosts.
     """
 
     geometry: DPTCGeometry = field(default_factory=DPTCGeometry)
@@ -43,21 +50,54 @@ class PhotonicExecutor:
     quant: QuantConfig | None = field(default_factory=QuantConfig.int4)
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
     num_cores: int = 1
+    shard_axis: str = "batch"
+    backend: str = "thread"
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:
             raise ValueError(f"num_cores must be >= 1, got {self.num_cores}")
+        if self.shard_axis not in SHARD_AXES:
+            raise ValueError(
+                f"shard_axis must be one of {SHARD_AXES}, got {self.shard_axis!r}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
         if self.num_cores == 1:
+            # Degenerate grid: the plain batched engine (a ShardedDPTC
+            # with one core computes the same thing through the same
+            # code path; skip the pool machinery entirely).
             self._dptc = DPTC(self.geometry, self.noise)
         else:
             self._dptc = ShardedDPTC(
-                num_cores=self.num_cores, geometry=self.geometry, noise=self.noise
+                num_cores=self.num_cores,
+                geometry=self.geometry,
+                noise=self.noise,
+                shard_axis=self.shard_axis,
+                backend=self.backend,
             )
 
+    def close(self) -> None:
+        """Release the sharded engine's worker pool (no-op single-core)."""
+        if isinstance(self._dptc, ShardedDPTC):
+            self._dptc.close()
+
     @classmethod
-    def ideal(cls, num_cores: int = 1) -> "PhotonicExecutor":
+    def ideal(
+        cls,
+        num_cores: int = 1,
+        shard_axis: str = "batch",
+        backend: str = "thread",
+    ) -> "PhotonicExecutor":
         """Exact digital arithmetic (no quantization, no noise)."""
-        return cls(noise=NoiseModel.ideal(), quant=None, num_cores=num_cores)
+        return cls(
+            noise=NoiseModel.ideal(),
+            quant=None,
+            num_cores=num_cores,
+            shard_axis=shard_axis,
+            backend=backend,
+        )
 
     @classmethod
     def digital_reference(cls, quant: QuantConfig | None = None) -> "PhotonicExecutor":
@@ -70,6 +110,8 @@ class PhotonicExecutor:
         quant: QuantConfig | None = None,
         seed: int | None = None,
         num_cores: int = 1,
+        shard_axis: str = "batch",
+        backend: str = "thread",
     ) -> "PhotonicExecutor":
         """Quantized execution with the paper's full noise model."""
         return cls(
@@ -77,6 +119,8 @@ class PhotonicExecutor:
             quant=quant or QuantConfig.int4(),
             rng=np.random.default_rng(seed),
             num_cores=num_cores,
+            shard_axis=shard_axis,
+            backend=backend,
         )
 
     def matmul(self, a: Tensor, b: Tensor, weight_operand: int | None = None) -> Tensor:

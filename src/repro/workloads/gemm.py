@@ -41,6 +41,13 @@ class GEMMOp:
         dynamic: True when *both* operands are runtime activations
             (attention); False when one operand is a static weight.
         count: number of identical instances (e.g. heads x layers).
+        k_splits: number of contraction slabs whose per-core partial
+            products are digitally accumulated after photodetection
+            (Sec. IV dataflow).  1 means the full contraction runs on
+            one core — no cross-core accumulation.  When > 1, ``k`` is
+            the *per-core* (largest) slab length and the latency/energy
+            models charge the extra adder-tree cycles and partial-sum
+            traffic.
     """
 
     name: str
@@ -50,12 +57,15 @@ class GEMMOp:
     module: str = MODULE_PROJECTION
     dynamic: bool = False
     count: int = 1
+    k_splits: int = 1
 
     def __post_init__(self) -> None:
         if min(self.m, self.k, self.n) < 1:
             raise ValueError(f"GEMM dims must be >= 1, got {(self.m, self.k, self.n)}")
         if self.count < 1:
             raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.k_splits < 1:
+            raise ValueError(f"k_splits must be >= 1, got {self.k_splits}")
         if self.module not in ALL_MODULES:
             raise ValueError(
                 f"unknown module {self.module!r}; expected one of {ALL_MODULES}"
@@ -82,6 +92,16 @@ class GEMMOp:
     @property
     def operand_b_elements(self) -> int:
         return self.k * self.n * self.count
+
+    @property
+    def accumulation_adds(self) -> int:
+        """Digital adds merging the ``k_splits`` partial products.
+
+        Reducing ``k_splits`` partials to one output takes
+        ``k_splits - 1`` adds per output element; zero when the
+        contraction is unsplit.
+        """
+        return (self.k_splits - 1) * self.m * self.n * self.count
 
     @property
     def static_weight_elements(self) -> int:

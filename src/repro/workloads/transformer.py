@@ -136,6 +136,7 @@ def gemm_trace(
     include_head: bool = True,
     batch_size: int = 1,
     num_cores: int = 1,
+    shard_axis: str = "batch",
 ) -> list[GEMMOp]:
     """GEMM operations of one batched inference, in execution order.
 
@@ -151,18 +152,30 @@ def gemm_trace(
             photonic call; for the trace this multiplies every op's
             instance count (weights are shared across the batch, so use
             ``batch_size=1`` when counting parameters).
-        num_cores: shard each op's instance stack across this many DPTC
-            cores and return the *critical-path* (largest) per-core
-            slice: instance counts become ``ceil(count / num_cores)``.
-            The whole-grid latency model already divides tile counts by
+        num_cores: shard each op across this many DPTC cores and return
+            the *critical-path* (largest) per-core slice.  The
+            whole-grid latency model already divides tile counts by
             ``config.n_cores``; this knob instead yields the trace one
             core of a :class:`~repro.core.sharding.ShardedDPTC`-style
-            batch split executes.
+            split executes.
+        shard_axis: which axis the per-core slice cuts, matching the
+            functional engine's knob.  ``"batch"`` shards each op's
+            instance stack: counts become ``ceil(count / num_cores)``.
+            ``"contraction"`` shards each op's K axis: ``k`` becomes
+            the largest contiguous slab ``ceil(k / num_cores)`` and
+            ``k_splits`` records how many slabs (at most ``k``) feed
+            the digital partial-sum accumulator, so the latency/energy
+            models see the K-split tile counts *and* the extra digital
+            accumulation work.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     if num_cores < 1:
         raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+    if shard_axis not in ("batch", "contraction"):
+        raise ValueError(
+            f"shard_axis must be 'batch' or 'contraction', got {shard_axis!r}"
+        )
     seq = config.seq_len
     dim = config.dim
     ops: list[GEMMOp] = []
@@ -256,9 +269,24 @@ def gemm_trace(
     if batch_size > 1:
         ops = [replace(op, count=op.count * batch_size) for op in ops]
     if num_cores > 1:
-        ops = [
-            replace(op, count=max(1, math.ceil(op.count / num_cores))) for op in ops
-        ]
+        if shard_axis == "contraction":
+            # Critical-path per-core slice of the K split: the largest
+            # contiguous slab (shard_bounds front-loads the remainder),
+            # with k_splits recording how many slabs the digital
+            # accumulator merges (cores beyond k idle).
+            ops = [
+                replace(
+                    op,
+                    k=math.ceil(op.k / num_cores),
+                    k_splits=min(num_cores, op.k),
+                )
+                for op in ops
+            ]
+        else:
+            ops = [
+                replace(op, count=max(1, math.ceil(op.count / num_cores)))
+                for op in ops
+            ]
     return ops
 
 

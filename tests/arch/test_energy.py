@@ -179,3 +179,44 @@ class TestArchOptimizationEffects:
         report = LTEnergyModel(lt_base(4)).workload_energy(trace)
         share = report.by_category[CAT_DATA_MOVEMENT] / report.total
         assert 0.0 < share < 0.45
+
+
+class TestCrossCoreAccumulationEnergy:
+    """k_splits > 1 charges the digital partial-sum merge (Sec. IV)."""
+
+    def test_accumulation_adds_property(self):
+        assert GEMMOp("x", 4, 12, 5, count=3).accumulation_adds == 0
+        op = GEMMOp("x", 4, 12, 5, count=3, k_splits=4)
+        assert op.accumulation_adds == 3 * 4 * 5 * 3
+
+    def test_k_splits_validated(self):
+        with pytest.raises(ValueError):
+            GEMMOp("x", 4, 12, 5, k_splits=0)
+
+    def test_split_op_costs_extra_data_movement(self):
+        model = LTEnergyModel(lt_base(4))
+        base = GEMMOp("x", 48, 36, 48)
+        split = GEMMOp("x", 48, 36, 48, k_splits=4)
+        base_dm = model.gemm_energy(base).by_category[CAT_DATA_MOVEMENT]
+        split_dm = model.gemm_energy(split).by_category[CAT_DATA_MOVEMENT]
+        assert split_dm > base_dm
+        # Partial-sum traffic grows with the number of merged slabs.
+        more = GEMMOp("x", 48, 36, 48, k_splits=8)
+        assert model.gemm_energy(more).by_category[CAT_DATA_MOVEMENT] > split_dm
+
+    def test_contraction_trace_charges_the_merge(self):
+        """The per-core contraction trace pays less total energy than
+        the whole trace (smaller K slab) but its data movement includes
+        the cross-core accumulation term."""
+        model = LTEnergyModel(lt_base(4))
+        per_core = gemm_trace(deit_tiny(), num_cores=4, shard_axis="contraction")
+        stripped = [
+            GEMMOp(op.name, op.m, op.k, op.n, op.module, op.dynamic, op.count)
+            for op in per_core
+        ]
+        with_merge = model.workload_energy(per_core)
+        without_merge = model.workload_energy(stripped)
+        assert (
+            with_merge.by_category[CAT_DATA_MOVEMENT]
+            > without_merge.by_category[CAT_DATA_MOVEMENT]
+        )

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.arch import (
+    accumulation_cycles,
     core_path_latency,
     effective_throughput_ops,
     gemm_cycles,
@@ -72,6 +73,41 @@ class TestGEMMCycleCounting:
     def test_workload_cycles_sum(self, cfg):
         ops = [GEMMOp("a", 12, 12, 12), GEMMOp("b", 12, 12, 12)]
         assert workload_cycles(cfg, ops) == 2
+
+
+class TestDigitalAccumulationCycles:
+    """Contraction sharding exposes the adder-tree drain (Sec. IV)."""
+
+    def test_unsplit_contraction_costs_nothing(self):
+        assert accumulation_cycles(GEMMOp("x", 12, 12, 12)) == 0
+        assert accumulation_cycles(GEMMOp("x", 12, 12, 12, k_splits=1)) == 0
+
+    @pytest.mark.parametrize(
+        "k_splits,expected", [(2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4)]
+    )
+    def test_tree_depth(self, k_splits, expected):
+        op = GEMMOp("x", 12, 12, 12, k_splits=k_splits)
+        assert accumulation_cycles(op) == expected
+
+    def test_gemm_cycles_include_the_drain(self):
+        cfg = lt_base()
+        base = GEMMOp("x", 24, 12, 48)
+        split = GEMMOp("x", 24, 12, 48, k_splits=4)
+        assert gemm_cycles(cfg, split) == gemm_cycles(cfg, base) + 2
+
+    def test_contraction_trace_latency_exceeds_pure_tile_share(self):
+        """The per-core K-slab trace pays fewer compute cycles than the
+        whole trace but always pays the accumulation drain on top."""
+        cfg = lt_base()
+        whole = gemm_trace(deit_tiny())
+        per_core = gemm_trace(deit_tiny(), num_cores=4, shard_axis="contraction")
+        drain = sum(accumulation_cycles(op) for op in per_core)
+        assert drain > 0
+        assert workload_cycles(cfg, per_core) < workload_cycles(cfg, whole)
+        pure_tiles = sum(
+            gemm_cycles(cfg, op) - accumulation_cycles(op) for op in per_core
+        )
+        assert workload_cycles(cfg, per_core) == pure_tiles + drain
 
 
 class TestTableVLatency:

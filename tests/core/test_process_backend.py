@@ -1,0 +1,143 @@
+"""Tests for the process-pool shard backend.
+
+The contract: ``backend="process"`` executes shards on a
+``ProcessPoolExecutor`` whose workers rebuild their per-core DPTC
+replicas deterministically (constructor args pickled once per worker
+via the pool initializer), and every job carries the core's pre-spawned
+RNG stream — so for equal seeds the process backend is *bit-equal* to
+the thread backend and to sequential execution, independent of which
+worker runs which core.  ``close()`` releases both pool types and
+detaches the garbage-collection finalizer.
+
+Process pools are slow to spin up (spawn start method), so the
+workloads here are tiny and engines are reused where possible.
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.core import CalibratedDPTC, NoiseModel, ShardedDPTC
+
+
+def operands(seed, a_shape, b_shape):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=a_shape), rng.normal(size=b_shape)
+
+
+@pytest.fixture(scope="module", params=["batch", "contraction"])
+def process_engine(request):
+    """One noisy 2-core process-backed engine per shard axis."""
+    engine = ShardedDPTC(
+        num_cores=2,
+        noise=NoiseModel.paper_default(),
+        shard_axis=request.param,
+        backend="process",
+    )
+    yield engine
+    engine.close()
+
+
+class TestBitEquality:
+    def test_process_matches_thread_and_sequential(self, process_engine):
+        a, b = operands(0, (4, 5, 13), (4, 13, 5))
+        thread = ShardedDPTC(
+            num_cores=2,
+            noise=NoiseModel.paper_default(),
+            shard_axis=process_engine.shard_axis,
+        )
+        sequential = ShardedDPTC(
+            num_cores=2,
+            noise=NoiseModel.paper_default(),
+            shard_axis=process_engine.shard_axis,
+            parallel=False,
+        )
+        out_p = process_engine.matmul(a, b, rng=np.random.default_rng(7))
+        out_t = thread.matmul(a, b, rng=np.random.default_rng(7))
+        out_s = sequential.matmul(a, b, rng=np.random.default_rng(7))
+        thread.close()
+        assert np.array_equal(out_p, out_t)
+        assert np.array_equal(out_p, out_s)
+
+    def test_repeated_runs_reproducible(self, process_engine):
+        a, b = operands(1, (4, 5, 13), (4, 13, 5))
+        first = process_engine.matmul(a, b, rng=np.random.default_rng(3))
+        second = process_engine.matmul(a, b, rng=np.random.default_rng(3))
+        assert np.array_equal(first, second)
+
+    def test_ideal_path_bit_exact(self, process_engine):
+        """Ideal noise never reaches the pool but the engine front-end
+        must stay exact regardless of backend."""
+        a, b = operands(2, (4, 5, 13), (4, 13, 5))
+        engine = ShardedDPTC(
+            num_cores=2, shard_axis=process_engine.shard_axis, backend="process"
+        )
+        assert np.array_equal(engine.matmul(a, b), np.matmul(a, b))
+        engine.close()
+
+
+class TestWorkerStateReconstruction:
+    def test_calibrated_core_cls_rebuilt_in_workers(self):
+        """core_cls ships to the workers: a CalibratedDPTC grid run on
+        the process backend matches the thread backend bit-for-bit."""
+        noise = NoiseModel.paper_default()
+        a, b = operands(3, (4, 5, 13), (4, 13, 5))
+        process = ShardedDPTC(
+            num_cores=2, noise=noise, core_cls=CalibratedDPTC, backend="process"
+        )
+        thread = ShardedDPTC(
+            num_cores=2, noise=noise, core_cls=CalibratedDPTC, backend="thread"
+        )
+        out_p = process.matmul(a, b, rng=np.random.default_rng(9))
+        out_t = thread.matmul(a, b, rng=np.random.default_rng(9))
+        process.close()
+        thread.close()
+        assert np.array_equal(out_p, out_t)
+
+
+class TestPoolLifecycle:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_close_releases_pool_and_finalizer(self, backend):
+        engine = ShardedDPTC(
+            num_cores=2, noise=NoiseModel.paper_default(), backend=backend
+        )
+        a, b = operands(4, (4, 3, 12), (4, 12, 3))
+        engine.matmul(a, b, rng=np.random.default_rng(0))
+        assert engine._pool is not None
+        assert engine._finalizer is not None and engine._finalizer.alive
+        finalizer = engine._finalizer
+        engine.close()
+        assert engine._pool is None
+        assert engine._finalizer is None
+        assert not finalizer.alive  # detached: nothing left to leak
+        engine.close()  # idempotent
+
+    def test_finalizer_shuts_down_dropped_engine(self):
+        """An engine dropped without close() releases its pool via the
+        weakref finalizer (no leaked executors)."""
+        engine = ShardedDPTC(num_cores=2, noise=NoiseModel.paper_default())
+        a, b = operands(5, (4, 3, 12), (4, 12, 3))
+        engine.matmul(a, b, rng=np.random.default_rng(0))
+        pool = engine._pool
+        finalizer = engine._finalizer
+        assert finalizer.alive
+        del engine
+        gc.collect()
+        assert not finalizer.alive  # finalizer ran at collection
+        assert pool._shutdown
+
+    def test_pool_recreated_after_close(self):
+        engine = ShardedDPTC(
+            num_cores=2, noise=NoiseModel.paper_default(), backend="thread"
+        )
+        a, b = operands(6, (4, 3, 12), (4, 12, 3))
+        first = engine.matmul(a, b, rng=np.random.default_rng(1))
+        engine.close()
+        again = engine.matmul(a, b, rng=np.random.default_rng(1))
+        assert np.array_equal(first, again)
+        engine.close()
+
+    def test_backend_validation(self):
+        with pytest.raises(ValueError):
+            ShardedDPTC(num_cores=2, backend="greenlet")

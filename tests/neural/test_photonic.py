@@ -105,6 +105,64 @@ class TestShardedExecutor:
             PhotonicExecutor(num_cores=0)
 
 
+class TestContractionAndBackendKnobs:
+    """shard_axis / backend thread through to the ShardedDPTC grid."""
+
+    def test_contraction_grid_built(self):
+        from repro.core import ShardedDPTC
+
+        executor = PhotonicExecutor.ideal(num_cores=4, shard_axis="contraction")
+        assert isinstance(executor._dptc, ShardedDPTC)
+        assert executor._dptc.shard_axis == "contraction"
+
+    @pytest.mark.parametrize("num_cores", [1, 2, 4])
+    def test_contraction_ideal_bit_exact(self, rng, num_cores):
+        executor = PhotonicExecutor.ideal(num_cores=num_cores, shard_axis="contraction")
+        a = rng.normal(size=(5, 4, 25))  # d=25: non-divisible splits
+        b = rng.normal(size=(5, 25, 3))
+        out = executor.matmul(Tensor(a), Tensor(b))
+        assert np.array_equal(out.data, a @ b)
+
+    def test_noisy_contraction_reproducible(self, rng):
+        a = Tensor(rng.normal(size=(6, 4, 25)))
+        b = Tensor(rng.normal(size=(6, 25, 4)))
+        first = PhotonicExecutor.paper_default(
+            seed=3, num_cores=4, shard_axis="contraction"
+        ).matmul(a, b)
+        second = PhotonicExecutor.paper_default(
+            seed=3, num_cores=4, shard_axis="contraction"
+        ).matmul(a, b)
+        assert np.array_equal(first.data, second.data)
+
+    def test_single_core_ignores_knobs_with_plain_dptc(self):
+        from repro.core import DPTC
+
+        executor = PhotonicExecutor.ideal(shard_axis="contraction", backend="process")
+        assert isinstance(executor._dptc, DPTC)
+
+    def test_backend_knob_recorded(self):
+        executor = PhotonicExecutor.ideal(num_cores=2, backend="process")
+        assert executor._dptc.backend == "process"
+        executor.close()
+
+    def test_close_is_safe_on_single_core(self):
+        PhotonicExecutor.ideal().close()
+
+    def test_close_releases_sharded_pool(self, rng):
+        executor = PhotonicExecutor.paper_default(seed=0, num_cores=2)
+        a = Tensor(rng.normal(size=(4, 3, 12)))
+        b = Tensor(rng.normal(size=(4, 12, 3)))
+        executor.matmul(a, b)
+        executor.close()
+        assert executor._dptc._pool is None
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            PhotonicExecutor(shard_axis="tile")
+        with pytest.raises(ValueError):
+            PhotonicExecutor(backend="mpi")
+
+
 class TestDigitalReference:
     def test_applies_quantization_only(self, rng):
         executor = PhotonicExecutor.digital_reference(QuantConfig.int4())

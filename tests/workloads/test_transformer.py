@@ -158,6 +158,52 @@ class TestGEMMTrace:
         with pytest.raises(ValueError):
             gemm_trace(deit_tiny(), num_cores=0)
 
+    def test_contraction_shard_splits_k(self):
+        """shard_axis='contraction' yields the per-core K-slab critical
+        path: k becomes the largest slab, k_splits records the split,
+        counts stay whole (every core sees every instance)."""
+        import math
+
+        whole = gemm_trace(deit_tiny(), batch_size=4)
+        per_core = gemm_trace(
+            deit_tiny(), batch_size=4, num_cores=4, shard_axis="contraction"
+        )
+        assert len(per_core) == len(whole)
+        for one, slab in zip(whole, per_core):
+            assert slab.name == one.name
+            assert slab.count == one.count
+            assert (slab.m, slab.n) == (one.m, one.n)
+            assert slab.k == math.ceil(one.k / 4)
+            assert slab.k_splits == min(4, one.k)
+
+    def test_contraction_shard_cores_beyond_k_idle(self):
+        """num_cores > k: slab length 1, k_splits capped at k."""
+        per_core = gemm_trace(deit_tiny(), num_cores=4096, shard_axis="contraction")
+        for op in per_core:
+            assert op.k == 1
+            assert op.k_splits <= 4096
+        whole = {op.name: op for op in gemm_trace(deit_tiny())}
+        for op in per_core:
+            assert op.k_splits == whole[op.name].k
+
+    def test_batch_shard_leaves_k_whole(self):
+        """The default batch axis never touches k or k_splits."""
+        for op in gemm_trace(deit_tiny(), batch_size=8, num_cores=4):
+            assert op.k_splits == 1
+        for one, shard in zip(
+            gemm_trace(deit_tiny()), gemm_trace(deit_tiny(), num_cores=4)
+        ):
+            assert shard.k == one.k
+
+    def test_contraction_shard_single_core_is_identity(self):
+        assert gemm_trace(
+            deit_tiny(), num_cores=1, shard_axis="contraction"
+        ) == gemm_trace(deit_tiny())
+
+    def test_shard_axis_validated(self):
+        with pytest.raises(ValueError):
+            gemm_trace(deit_tiny(), num_cores=2, shard_axis="tile")
+
     def test_macs_scale_with_model_size(self):
         t = total_macs(gemm_trace(deit_tiny()))
         s = total_macs(gemm_trace(deit_small()))

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Enforce a line-coverage floor on the photonic core package.
+
+Reads a Cobertura-style ``coverage.xml`` (as written by ``pytest
+--cov=repro --cov-report=xml``) and fails when the aggregate line
+coverage of the files under the given prefix (default
+``repro/core/``) drops below the floor.
+
+The core engines are the trust anchors of the repo — every benchmark
+gate and every model result flows through them — so their coverage is
+gated in CI while the rest of the tree is only reported.  Lines that
+execute inside process-pool *workers* (the ``backend="process"``
+shard path) are invisible to the parent-process collector; the floor
+accounts for that.
+
+Usage:
+    python tools/check_core_coverage.py coverage.xml --floor 85
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import xml.etree.ElementTree as ET
+
+
+def core_line_coverage(xml_path: str, prefix: str) -> tuple[int, int, dict]:
+    """(covered, total, per-file) line counts for files under ``prefix``."""
+    tree = ET.parse(xml_path)
+    per_file: dict[str, tuple[int, int]] = {}
+    for cls in tree.iter("class"):
+        filename = (cls.get("filename") or "").replace("\\", "/")
+        if prefix not in filename:
+            continue
+        covered = total = 0
+        for line in cls.iter("line"):
+            total += 1
+            if int(line.get("hits", "0")) > 0:
+                covered += 1
+        if total:
+            old_covered, old_total = per_file.get(filename, (0, 0))
+            per_file[filename] = (old_covered + covered, old_total + total)
+    covered = sum(c for c, _ in per_file.values())
+    total = sum(t for _, t in per_file.values())
+    return covered, total, per_file
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="path to coverage.xml")
+    parser.add_argument(
+        "--prefix",
+        default="repro/core/",
+        help="path fragment selecting the gated files (default: repro/core/)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=85.0,
+        help="minimum aggregate line coverage percent (default: 85)",
+    )
+    args = parser.parse_args(argv)
+
+    covered, total, per_file = core_line_coverage(args.report, args.prefix)
+    if total == 0:
+        print(f"error: no files matching {args.prefix!r} in {args.report}")
+        return 2
+
+    for filename in sorted(per_file):
+        file_covered, file_total = per_file[filename]
+        pct = 100.0 * file_covered / file_total
+        print(f"  {filename:40s} {file_covered:4d}/{file_total:4d}  {pct:5.1f}%")
+    pct = 100.0 * covered / total
+    print(f"{args.prefix} line coverage: {covered}/{total} = {pct:.1f}% "
+          f"(floor {args.floor:.1f}%)")
+    if pct < args.floor:
+        print("FAIL: core coverage below the floor")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
