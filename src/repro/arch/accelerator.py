@@ -109,6 +109,13 @@ class LighteningTransformer:
         if isinstance(self._dptc, ShardedDPTC):
             self._dptc.close()
 
+    def __enter__(self) -> "LighteningTransformer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Pool-owning accelerators can be used in `with` blocks.
+        self.close()
+
     # -- static design metrics ----------------------------------------------
     def area(self) -> AreaBreakdown:
         """Chip area breakdown (Fig. 7)."""

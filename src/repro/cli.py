@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli run    [--config lt-b|lt-l] [--bits N] [--model NAME]
     python -m repro.cli compare [--bits N] [--model NAME]
     python -m repro.cli report [--skip-accuracy]
+    python -m repro.cli serve-bench [--model tiny-vit|tiny-bert] [--requests N]
 
 Models: deit-t, deit-s, deit-b, bert-base, bert-large.
 """
@@ -159,6 +160,93 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Small serving-demo architectures (fast enough for interactive runs).
+SERVE_MODELS = ("tiny-vit", "tiny-bert")
+
+
+def _serve_setup(args: argparse.Namespace):
+    """(servable, payloads) for the serve-bench workload."""
+    import numpy as np
+
+    from repro.neural.photonic import PhotonicExecutor
+    from repro.serving import TextServable, VisionServable
+    from repro.workloads.transformer import KIND_TEXT, servable_model
+
+    rng = np.random.default_rng(args.seed)
+    executor = PhotonicExecutor.ideal(num_cores=args.num_cores)
+    if args.model == "tiny-vit":
+        config = TransformerConfig(
+            "serve-tiny-vit", depth=1, dim=32, heads=2, seq_len=17,
+            mlp_ratio=2.0, n_classes=4, patch_size=4, image_size=16,
+            in_channels=1,
+        )
+        model = servable_model(config, executor=executor, seed=args.seed)
+        servable = VisionServable(model)
+        payloads = [rng.normal(size=(16, 16)) for _ in range(args.requests)]
+    else:
+        config = TransformerConfig(
+            "serve-tiny-bert", depth=1, dim=32, heads=2, seq_len=17,
+            mlp_ratio=2.0, kind=KIND_TEXT, n_classes=2,
+        )
+        model = servable_model(config, executor=executor, seed=args.seed)
+        servable = TextServable(model, pad_id=0)
+        payloads = [
+            rng.integers(1, 32, size=int(rng.integers(1, 17)))
+            for _ in range(args.requests)
+        ]
+    return servable, payloads
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Dynamic-batching serving benchmark (open- and closed-loop load)."""
+    import numpy as np
+
+    from repro.serving import (
+        ServingEngine,
+        poisson_gaps,
+        run_closed_loop,
+        run_open_loop,
+    )
+
+    if args.requests < 1:
+        raise SystemExit("serve-bench: --requests must be >= 1")
+    if args.rate <= 0:
+        raise SystemExit("serve-bench: --rate must be > 0")
+    if args.users < 1 or args.rounds < 1:
+        raise SystemExit("serve-bench: --users and --rounds must be >= 1")
+    servable, payloads = _serve_setup(args)
+    rng = np.random.default_rng(args.seed + 1)
+    gaps = poisson_gaps(len(payloads), 1.0 / args.rate, rng)
+    rows = []
+    with ServingEngine(
+        servable,
+        max_batch_size=args.max_batch_size,
+        max_wait_us=args.max_wait_us,
+        queue_depth=max(64, args.requests),
+        close_executor=True,
+    ) as engine:
+        rows.append(run_open_loop(engine, payloads, gaps))
+        users = min(args.users, len(payloads))
+        rows.append(run_closed_loop(engine, payloads[:users], rounds=args.rounds))
+        occupancy = engine.metrics.batch_occupancy()
+    for row in rows:
+        row.setdefault("concurrency", "-")
+    print(
+        render_table(
+            rows,
+            title=(
+                f"serve-bench {args.model}: max_batch_size={args.max_batch_size}, "
+                f"max_wait_us={args.max_wait_us:g}, rate={args.rate:g} req/s"
+            ),
+        )
+    )
+    print(
+        "batch occupancy: "
+        + ", ".join(f"{size}x{count}" for size, count in occupancy.items())
+    )
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -202,6 +290,23 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="check every headline claim against the paper"
     )
     p_verify.set_defaults(func=cmd_verify)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="dynamic-batching serving benchmark (open/closed-loop load)",
+    )
+    p_serve.add_argument("--model", choices=SERVE_MODELS, default="tiny-vit")
+    p_serve.add_argument("--requests", type=int, default=32)
+    p_serve.add_argument("--max-batch-size", type=int, default=8)
+    p_serve.add_argument("--max-wait-us", type=float, default=2_000.0)
+    p_serve.add_argument(
+        "--rate", type=float, default=2_000.0, help="open-loop arrival rate (req/s)"
+    )
+    p_serve.add_argument("--users", type=int, default=4, help="closed-loop users")
+    p_serve.add_argument("--rounds", type=int, default=2, help="closed-loop rounds")
+    p_serve.add_argument("--num-cores", type=int, default=1)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.set_defaults(func=cmd_serve_bench)
 
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_report.add_argument("--output", default="EXPERIMENTS.md")

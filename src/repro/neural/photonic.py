@@ -83,6 +83,14 @@ class PhotonicExecutor:
         if isinstance(self._dptc, ShardedDPTC):
             self._dptc.close()
 
+    def __enter__(self) -> "PhotonicExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Pool-owning executors can be used in `with` blocks (the
+        # serving worker relies on this for lifecycle management).
+        self.close()
+
     @classmethod
     def ideal(
         cls,

@@ -90,6 +90,9 @@ class TinyBERT(Module):
         tokens = self.token_embed(batch_ids) + self.pos_embed
         for block in self.blocks:
             tokens = block(tokens)
-        cls = self.norm(tokens)[:, 0]  # [batch, dim]
-        logits = self.head(cls)
+        # Per-sample head GEMV ([batch, 1, dim] stack): keeps each
+        # sequence's rounding and quantization scale independent of its
+        # batch mates — the serving bit-equality gate relies on this.
+        cls = self.norm(tokens)[:, 0:1]  # [batch, 1, dim]
+        logits = self.head(cls).reshape(batch_ids.shape[0], -1)
         return logits.reshape(logits.shape[-1]) if single else logits

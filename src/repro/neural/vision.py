@@ -120,6 +120,10 @@ class TinyViT(Module):
         tokens = tokens + self.pos_embed
         for block in self.blocks:
             tokens = block(tokens)
-        cls = self.norm(tokens)[:, 0]  # [batch, dim]
-        logits = self.head(cls)
+        # Per-sample head GEMV: the [batch, 1, dim] stack keeps every
+        # sample's rounding and quantization scale independent of its
+        # batch mates (a 2-D [batch, dim] GEMM picks batch-size-dependent
+        # BLAS kernels), which the serving bit-equality gate relies on.
+        cls = self.norm(tokens)[:, 0:1]  # [batch, 1, dim]
+        logits = self.head(cls).reshape(tokens.shape[0], -1)
         return logits.reshape(logits.shape[-1]) if single else logits

@@ -1,0 +1,100 @@
+"""Dynamic batching: coalescing queued requests under a wait policy.
+
+The paper's Sec. VI-B decode analysis shows that small latency-sensitive
+requests leave the photonic core idle unless they are batched; the
+:class:`DynamicBatcher` implements the standard dynamic-batching policy
+that closes that gap: take up to ``max_batch_size`` requests, but never
+hold the oldest request longer than ``max_wait_us`` — the knob that
+trades batch occupancy (throughput) against queueing latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.request import InferenceRequest, RequestQueue
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Coalescing policy of the serving engine.
+
+    Attributes:
+        max_batch_size: hard occupancy cap of one coalesced batch (maps
+            onto the leading batch axis the photonic engine shards).
+        max_wait_us: microseconds the *oldest* queued request may wait
+            for the batch to fill before it is dispatched partially
+            full.  0 dispatches whatever is queued immediately.
+    """
+
+    max_batch_size: int = 8
+    max_wait_us: float = 1_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {self.max_wait_us}")
+
+    @property
+    def wait_s(self) -> float:
+        """The wait budget in clock seconds."""
+        return self.max_wait_us * 1e-6
+
+
+class DynamicBatcher:
+    """Coalesces queue entries into batches under a :class:`BatchingPolicy`.
+
+    Two consumption modes over the same policy logic:
+
+    * :meth:`next_batch` — blocking; used by the wall-clock worker
+      thread.  Waits for the first request, then waits until either the
+      batch fills or the oldest request's wait budget expires.
+    * :meth:`collect` — non-blocking; used in manual-stepping mode
+      (simulated clock).  Returns a batch only when the policy says one
+      is due at the clock's current instant (or when forced).
+    """
+
+    def __init__(self, queue: RequestQueue, policy: BatchingPolicy, clock) -> None:
+        self.queue = queue
+        self.policy = policy
+        self.clock = clock
+
+    def _due_locked(self, now: float) -> bool:
+        """Policy check; caller holds the queue mutex (queue non-empty)."""
+        items = self.queue._items
+        if len(items) >= self.policy.max_batch_size:
+            return True
+        return now - items[0].arrival >= self.policy.wait_s
+
+    def next_batch(self) -> list[InferenceRequest] | None:
+        """Block until a batch is due; ``None`` once closed and drained."""
+        queue = self.queue
+        with queue.not_empty:
+            while True:
+                items = queue._items
+                if not items:
+                    if queue.closed:
+                        return None
+                    queue.not_empty.wait()
+                    continue
+                if queue.closed or self._due_locked(self.clock.now()):
+                    # A closing queue drains immediately: pending work
+                    # still completes, it just stops waiting for company.
+                    return queue.pop_locked(self.policy.max_batch_size)
+                remaining = (
+                    items[0].arrival + self.policy.wait_s - self.clock.now()
+                )
+                queue.not_empty.wait(remaining)
+
+    def collect(self, *, force: bool = False) -> list[InferenceRequest]:
+        """Non-blocking pop of one due batch (empty list when none is)."""
+        queue = self.queue
+        with queue.mutex:
+            if not queue._items:
+                return []
+            if force or queue.closed or self._due_locked(self.clock.now()):
+                return queue.pop_locked(self.policy.max_batch_size)
+            return []

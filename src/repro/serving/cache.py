@@ -1,0 +1,203 @@
+"""Session cache: prompt memoization + KV-cache accounting.
+
+Two concerns the serving layer needs from one component:
+
+* **Prompt memoization** — repeated prompts (identical ``cache_key``)
+  are served straight from an LRU store of previously computed
+  activations, skipping the photonic core entirely.  A byte budget
+  bounds the store; least-recently-used entries are evicted.
+* **KV-session accounting** — decode-shaped workloads
+  (:mod:`repro.workloads.llm`) keep per-request K/V state between
+  steps.  Sessions store the functional per-step K/V vectors the
+  :class:`~repro.serving.servable.DecodeServable` attends over, and
+  their byte accounting is *defined* as
+  :func:`repro.workloads.llm.kv_cache_bytes` at the session's current
+  context length, so the serving layer and the Sec. VI-B analysis can
+  never disagree about cache footprints.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.workloads.llm import DecoderConfig, kv_cache_bytes
+
+#: Sentinel distinguishing "no entry" from a cached ``None``.
+MISS = object()
+
+
+@dataclass
+class Session:
+    """Per-request decode state (one generation stream)."""
+
+    session_id: str
+    prompt_len: int = 0
+    #: K/V vectors appended by decode steps (prompt tokens are modelled
+    #: as zero-state; see ``DecodeServable``).
+    keys: list[np.ndarray] = field(default_factory=list)
+    values: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def context_len(self) -> int:
+        """Tokens of attendable context (prompt + generated)."""
+        return self.prompt_len + len(self.keys)
+
+
+class SessionCache:
+    """LRU activation memoizer + KV-session ledger.
+
+    Args:
+        config: decoder architecture the KV accounting is sized for;
+            required for the session API, optional for pure memoization.
+        capacity_bytes: LRU budget of the memo store (``None`` =
+            unbounded).  Entries larger than the whole budget are not
+            admitted.
+        kv_bits: K/V element precision used by the byte accounting
+            (the paper's decode analysis defaults to int8).
+    """
+
+    def __init__(
+        self,
+        config: DecoderConfig | None = None,
+        *,
+        capacity_bytes: int | None = None,
+        kv_bits: int = 8,
+    ) -> None:
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise ValueError(f"capacity_bytes must be >= 0, got {capacity_bytes}")
+        self.config = config
+        self.capacity_bytes = capacity_bytes
+        self.kv_bits = kv_bits
+        self._memo: OrderedDict[Any, tuple[Any, int]] = OrderedDict()
+        self._memo_bytes = 0
+        self._sessions: dict[str, Session] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        # get() runs on submitter threads while put() runs on the
+        # worker; the LRU order, byte ledger, and counters share a lock
+        # (reentrant: stats() reads the session ledger through it too).
+        self._lock = threading.RLock()
+
+    # -- prompt memoization --------------------------------------------------
+    def get(self, key: Any) -> Any:
+        """Cached value for ``key`` or the :data:`MISS` sentinel."""
+        with self._lock:
+            entry = self._memo.get(key, MISS)
+            if entry is MISS:
+                self.misses += 1
+                return MISS
+            self._memo.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def put(self, key: Any, value: Any, nbytes: int | None = None) -> None:
+        """Store ``value``; evict LRU entries past the byte budget."""
+        if nbytes is None:
+            nbytes = int(value.nbytes) if isinstance(value, np.ndarray) else 0
+        if self.capacity_bytes is not None and nbytes > self.capacity_bytes:
+            return  # would evict the whole store and still not fit
+        with self._lock:
+            if key in self._memo:
+                self._memo_bytes -= self._memo.pop(key)[1]
+            self._memo[key] = (value, nbytes)
+            self._memo_bytes += nbytes
+            if self.capacity_bytes is not None:
+                while self._memo_bytes > self.capacity_bytes and len(self._memo) > 1:
+                    _, (_, evicted_bytes) = self._memo.popitem(last=False)
+                    self._memo_bytes -= evicted_bytes
+                    self.evictions += 1
+
+    @property
+    def memo_entries(self) -> int:
+        with self._lock:
+            return len(self._memo)
+
+    @property
+    def memo_bytes(self) -> int:
+        with self._lock:
+            return self._memo_bytes
+
+    # -- KV sessions ---------------------------------------------------------
+    def _require_config(self) -> DecoderConfig:
+        if self.config is None:
+            raise ValueError(
+                "KV accounting needs a DecoderConfig; construct the cache "
+                "with SessionCache(config)"
+            )
+        return self.config
+
+    def open_session(self, session_id: str, prompt_len: int = 0) -> Session:
+        if prompt_len < 0:
+            raise ValueError(f"prompt_len must be >= 0, got {prompt_len}")
+        with self._lock:
+            if session_id in self._sessions:
+                raise ValueError(f"session {session_id!r} already open")
+            session = Session(session_id=session_id, prompt_len=prompt_len)
+            self._sessions[session_id] = session
+            return session
+
+    def session(self, session_id: str) -> Session:
+        with self._lock:
+            try:
+                return self._sessions[session_id]
+            except KeyError:
+                raise KeyError(f"no open session {session_id!r}") from None
+
+    def has_session(self, session_id: str) -> bool:
+        with self._lock:
+            return session_id in self._sessions
+
+    def append_kv(self, session_id: str, k: np.ndarray, v: np.ndarray) -> int:
+        """Append one decode step's K/V; returns the new context length."""
+        with self._lock:
+            session = self.session(session_id)
+            session.keys.append(np.asarray(k, dtype=float))
+            session.values.append(np.asarray(v, dtype=float))
+            return session.context_len
+
+    def context_len(self, session_id: str) -> int:
+        return self.session(session_id).context_len
+
+    def session_bytes(self, session_id: str) -> int:
+        """KV footprint of one session — by definition
+        ``kv_cache_bytes(config, context_len, kv_bits)``."""
+        session = self.session(session_id)
+        if session.context_len == 0:
+            return 0
+        return kv_cache_bytes(
+            self._require_config(), session.context_len, bits=self.kv_bits
+        )
+
+    def total_kv_bytes(self) -> int:
+        with self._lock:
+            return sum(self.session_bytes(sid) for sid in self._sessions)
+
+    def close_session(self, session_id: str) -> int:
+        """Drop a session; returns the bytes it was holding."""
+        with self._lock:
+            freed = self.session_bytes(session_id)
+            del self._sessions[session_id]
+            return freed
+
+    @property
+    def open_sessions(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # -- observability -------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "memo_entries": self.memo_entries,
+            "memo_bytes": self.memo_bytes,
+            "open_sessions": self.open_sessions,
+            "total_kv_bytes": self.total_kv_bytes() if self.config else 0,
+        }

@@ -1,0 +1,52 @@
+"""Time sources for the serving subsystem.
+
+The batching policy (``max_wait_us``) and every latency metric are
+defined against a *clock*, not against ``time`` directly, so the whole
+request-to-batch pipeline can run under two regimes:
+
+* :class:`WallClock` — real monotonic time; the production regime, used
+  by the background worker thread and the load generators.
+* :class:`SimulatedClock` — virtual time advanced explicitly by the
+  caller.  Tests drive the engine synchronously (``ServingEngine.step``)
+  and advance the clock by exact amounts, so batching deadlines and
+  latency percentiles are bit-deterministic and no test ever sleeps.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class WallClock:
+    """Real monotonic time (seconds)."""
+
+    #: Real clocks may be waited on; the engine runs a background thread.
+    real = True
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class SimulatedClock:
+    """Manually-advanced virtual time (seconds).
+
+    The engine never blocks on a simulated clock: batching runs in
+    manual-stepping mode and deadlines are evaluated against ``now()``
+    at each step, so a test controls exactly which requests fall inside
+    a coalescing window.
+    """
+
+    real = False
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward (monotonicity is enforced) and return it."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock backwards ({seconds})")
+        self._now += float(seconds)
+        return self._now

@@ -1,0 +1,277 @@
+"""The serving engine: request admission -> dynamic batch -> photonic run.
+
+:class:`ServingEngine` is the worker loop that turns concurrent
+``submit()`` calls into coalesced photonic batches.  Two execution
+regimes share every code path except the loop driver:
+
+* **Wall-clock mode** (default): ``start()`` launches a background
+  worker thread that blocks on the :class:`DynamicBatcher` and executes
+  batches as they become due.  ``submit()`` applies backpressure
+  through the bounded queue.
+* **Manual mode** (a :class:`~repro.serving.clock.SimulatedClock`):
+  no thread, no sleeps.  Tests call :meth:`step` /
+  :meth:`run_until_idle` to drive the same batching + execution logic
+  deterministically.
+
+The engine inherits the photonic execution configuration from whatever
+executor the servable's model was built with — ``num_cores``,
+``shard_axis`` and ``backend`` (PR 2-3) all apply to the coalesced
+``[batch, ...]`` stacks unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.neural.autograd import no_grad
+from repro.serving.batcher import BatchingPolicy, DynamicBatcher
+from repro.serving.cache import MISS, SessionCache
+from repro.serving.clock import WallClock
+from repro.serving.metrics import Metrics
+from repro.serving.request import (
+    EngineClosed,
+    InferenceRequest,
+    RequestHandle,
+    RequestQueue,
+    ServingError,
+)
+from repro.serving.servable import Servable
+
+
+def _isolated(value: Any) -> Any:
+    """A copy of array values, so cache entries never alias results."""
+    return value.copy() if isinstance(value, np.ndarray) else value
+
+
+class ServingEngine:
+    """Dynamic-batching inference server over a :class:`Servable`.
+
+    Args:
+        servable: the model adapter executing coalesced batches.
+        policy: batching policy; or pass ``max_batch_size`` /
+            ``max_wait_us`` directly.
+        queue_depth: bound of the admission queue (backpressure).
+        clock: time source.  A real clock (default) enables the
+            background worker thread; a simulated clock selects manual
+            stepping and never sleeps.
+        cache: optional :class:`SessionCache` consulted at submit time
+            for ``cache_key`` memoization (hits bypass the queue).
+        metrics: recorder; a fresh :class:`Metrics` by default.
+        close_executor: close the servable's photonic executor (its
+            sharded worker pools) when the engine closes.
+    """
+
+    def __init__(
+        self,
+        servable: Servable,
+        *,
+        policy: BatchingPolicy | None = None,
+        max_batch_size: int | None = None,
+        max_wait_us: float | None = None,
+        queue_depth: int = 64,
+        clock=None,
+        cache: SessionCache | None = None,
+        metrics: Metrics | None = None,
+        close_executor: bool = False,
+    ) -> None:
+        if policy is None:
+            policy = BatchingPolicy(
+                max_batch_size=8 if max_batch_size is None else max_batch_size,
+                max_wait_us=1_000.0 if max_wait_us is None else max_wait_us,
+            )
+        elif max_batch_size is not None or max_wait_us is not None:
+            raise ValueError("pass either policy or the individual knobs, not both")
+        self.servable = servable
+        self.policy = policy
+        self.clock = clock if clock is not None else WallClock()
+        self.manual = not getattr(self.clock, "real", True)
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._close_executor = close_executor
+        self._queue = RequestQueue(queue_depth)
+        self._batcher = DynamicBatcher(self._queue, policy, self.clock)
+        self._thread: threading.Thread | None = None
+        self._lifecycle = threading.Lock()
+        self._closed = False
+        self._next_id = 0
+        self._id_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "ServingEngine":
+        """Launch the worker thread (no-op in manual mode / if running)."""
+        with self._lifecycle:
+            if self._closed:
+                raise EngineClosed("engine already closed")
+            if not self.manual and self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._worker, name="serving-engine", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def __enter__(self) -> "ServingEngine":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop accepting work; finish (or fail) what is queued.
+
+        ``drain=True`` completes every pending request before shutdown;
+        ``drain=False`` fails pending handles with :class:`EngineClosed`.
+        Idempotent.  Closes the servable's executor if requested at
+        construction.
+        """
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+            self._thread = None
+        if not drain:
+            for request in self._queue.drain_pending():
+                request.handle._fail(EngineClosed("engine closed before execution"))
+                self.metrics.record_failures()
+        self._queue.close()  # worker drains the remainder, then exits
+        if thread is not None:
+            thread.join()
+        elif drain:
+            self._run_pending()
+        if self._close_executor:
+            executor = getattr(self.servable, "executor", None)
+            if executor is None:
+                executor = getattr(
+                    getattr(self.servable, "model", None), "executor", None
+                )
+            if executor is not None:
+                executor.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- submission ----------------------------------------------------------
+    def submit(
+        self,
+        payload: Any,
+        *,
+        cache_key: Any = None,
+        session_id: str | None = None,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> RequestHandle:
+        """Admit one request; returns its Future-style handle.
+
+        ``cache_key`` consults the engine's :class:`SessionCache` first:
+        a hit resolves the handle immediately without queueing.  When
+        the bounded queue is full, wall-clock submissions block (the
+        backpressure path) unless ``block=False`` / ``timeout`` says to
+        raise :class:`~repro.serving.request.QueueFull`; manual-mode
+        submissions never block (there is no concurrent consumer).
+        """
+        if self._closed:
+            raise EngineClosed("engine is closed")
+        with self._id_lock:
+            request_id = self._next_id
+            self._next_id += 1
+        arrival = self.clock.now()
+        handle = RequestHandle(request_id, arrival)
+        # Consult the cache before prepare(): hits skip validation and
+        # padding entirely — the memoization path stays allocation-free.
+        if cache_key is not None and self.cache is not None:
+            hit = self.cache.get(cache_key)
+            if hit is not MISS:
+                handle._resolve(
+                    _isolated(hit),
+                    started=arrival,
+                    finished=arrival,
+                    batch_size=0,
+                    cache_hit=True,
+                )
+                self.metrics.record_request(handle)
+                return handle
+        prepared = self.servable.prepare(payload)
+        request = InferenceRequest(
+            payload=prepared,
+            handle=handle,
+            arrival=arrival,
+            cache_key=cache_key,
+            session_id=session_id,
+            request_id=request_id,
+        )
+        self._queue.put(request, block=block and not self.manual, timeout=timeout)
+        return handle
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet dispatched into a batch."""
+        return len(self._queue)
+
+    # -- manual stepping (simulated clock) -----------------------------------
+    def step(self, *, force: bool = True) -> int:
+        """Collect and execute one batch; returns its size (0 if none).
+
+        ``force=False`` respects the batching policy at the clock's
+        current instant — the batch is dispatched only if it is full or
+        the oldest request's wait budget has expired.
+        """
+        batch = self._batcher.collect(force=force)
+        if batch:
+            self._execute(batch)
+        return len(batch)
+
+    def run_until_idle(self) -> int:
+        """Step until the queue is empty; returns requests processed."""
+        processed = 0
+        while True:
+            n = self.step(force=True)
+            if n == 0:
+                return processed
+            processed += n
+
+    def _run_pending(self) -> None:
+        """Drain-on-close for manual mode (close() holds the lifecycle)."""
+        while self.step(force=True):
+            pass
+
+    # -- worker --------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            batch = self._batcher.next_batch()
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _execute(self, batch: list[InferenceRequest]) -> None:
+        started = self.clock.now()
+        try:
+            with no_grad():
+                outputs = self.servable.execute(batch)
+            if len(outputs) != len(batch):
+                raise ServingError(
+                    f"servable returned {len(outputs)} outputs for a "
+                    f"batch of {len(batch)}"
+                )
+        except Exception as error:  # noqa: BLE001 - failures go to handles
+            finished = self.clock.now()
+            for request in batch:
+                request.handle._fail(
+                    error, started=started, finished=finished, batch_size=len(batch)
+                )
+            self.metrics.record_failures(len(batch))
+            return
+        finished = self.clock.now()
+        self.metrics.record_batch(len(batch))
+        for request, output in zip(batch, outputs):
+            if request.cache_key is not None and self.cache is not None:
+                # Store an isolated copy: the requester's result array
+                # must never alias the cache entry (or later hits).
+                self.cache.put(request.cache_key, _isolated(output))
+            request.handle._resolve(
+                output, started=started, finished=finished, batch_size=len(batch)
+            )
+            self.metrics.record_request(request.handle)

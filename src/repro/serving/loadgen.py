@@ -1,0 +1,143 @@
+"""Load generators for the serving engine (benchmark + CLI harness).
+
+Two canonical arrival patterns:
+
+* **Open-loop Poisson** — requests arrive on a schedule drawn from an
+  exponential inter-arrival distribution, independent of completions
+  (the regime that exposes queueing and batching behaviour; seeded so a
+  benchmark's arrival process is reproducible).
+* **Closed-loop** — ``concurrency`` synthetic users each submit, wait
+  for the result, and immediately submit again for ``rounds`` turns
+  (the regime that measures sustainable service rate under think-time
+  zero).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.serving.engine import ServingEngine
+
+
+def poisson_gaps(
+    n: int, mean_gap_s: float, rng: np.random.Generator
+) -> np.ndarray:
+    """``n`` exponential inter-arrival gaps with the given mean (seconds)."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if mean_gap_s < 0:
+        raise ValueError(f"mean_gap_s must be >= 0, got {mean_gap_s}")
+    if mean_gap_s == 0:
+        return np.zeros(n)
+    return rng.exponential(mean_gap_s, size=n)
+
+
+def _handle_stats(handles: Sequence) -> dict:
+    if not handles:
+        return {
+            "latency_p50_ms": 0.0,
+            "latency_p95_ms": 0.0,
+            "latency_p99_ms": 0.0,
+            "queue_wait_p50_ms": 0.0,
+            "mean_batch_size": 0.0,
+        }
+    latencies = [h.latency for h in handles]
+    waits = [h.queue_wait for h in handles]
+    occupancy = [h.batch_size for h in handles if h.batch_size]
+    return {
+        "latency_p50_ms": float(np.percentile(latencies, 50) * 1e3),
+        "latency_p95_ms": float(np.percentile(latencies, 95) * 1e3),
+        "latency_p99_ms": float(np.percentile(latencies, 99) * 1e3),
+        "queue_wait_p50_ms": float(np.percentile(waits, 50) * 1e3),
+        "mean_batch_size": float(np.mean(occupancy)) if occupancy else 0.0,
+    }
+
+
+def run_open_loop(
+    engine: ServingEngine,
+    payloads: Sequence[Any],
+    gaps: Sequence[float],
+    *,
+    submit_kwargs: Callable[[int], dict] | None = None,
+) -> dict:
+    """Open-loop run: submit on the arrival schedule, wait for all.
+
+    ``gaps[i]`` is the pause before submitting ``payloads[i]``.  Returns
+    throughput over the full makespan (first submit to last completion)
+    plus latency percentiles from the request handles.
+    """
+    if len(payloads) != len(gaps):
+        raise ValueError(
+            f"{len(payloads)} payloads vs {len(gaps)} arrival gaps"
+        )
+    handles = []
+    start = time.perf_counter()
+    for i, (payload, gap) in enumerate(zip(payloads, gaps)):
+        if gap > 0:
+            time.sleep(gap)
+        kwargs = submit_kwargs(i) if submit_kwargs is not None else {}
+        handles.append(engine.submit(payload, **kwargs))
+    for handle in handles:
+        handle.result(timeout=60.0)
+    elapsed = time.perf_counter() - start
+    return {
+        "pattern": "open-loop-poisson",
+        "requests": len(handles),
+        "elapsed_s": elapsed,
+        "throughput_rps": len(handles) / elapsed if elapsed > 0 else 0.0,
+        **_handle_stats(handles),
+    }
+
+
+def run_closed_loop(
+    engine: ServingEngine,
+    payloads: Sequence[Any],
+    *,
+    rounds: int = 4,
+    submit_kwargs: Callable[[int], dict] | None = None,
+) -> dict:
+    """Closed-loop run: ``len(payloads)`` users in submit-wait-repeat.
+
+    Each user ``i`` submits ``payloads[i]`` ``rounds`` times, waiting
+    for each result before the next submission.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    handles_per_user: list[list] = [[] for _ in payloads]
+    errors: list[BaseException] = []
+
+    def user(i: int, payload: Any) -> None:
+        try:
+            for _ in range(rounds):
+                kwargs = submit_kwargs(i) if submit_kwargs is not None else {}
+                handle = engine.submit(payload, **kwargs)
+                handle.result(timeout=60.0)
+                handles_per_user[i].append(handle)
+        except BaseException as error:  # noqa: BLE001 - surfaced to caller
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=user, args=(i, payload), daemon=True)
+        for i, payload in enumerate(payloads)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    handles = [handle for user_handles in handles_per_user for handle in user_handles]
+    return {
+        "pattern": "closed-loop",
+        "concurrency": len(payloads),
+        "requests": len(handles),
+        "elapsed_s": elapsed,
+        "throughput_rps": len(handles) / elapsed if elapsed > 0 else 0.0,
+        **_handle_stats(handles),
+    }

@@ -1,0 +1,154 @@
+"""Serving observability: throughput, latency percentiles, occupancy.
+
+Every number is derived from request timestamps stamped by the engine's
+clock, so under a simulated clock the whole snapshot — including the
+p50/p95/p99 latencies — is bit-deterministic and testable without a
+single sleep.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.request import RequestHandle
+
+#: Percentiles of the latency summaries.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Timing of one completed request."""
+
+    arrival: float
+    started: float
+    finished: float
+    batch_size: int
+    cache_hit: bool
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.arrival
+
+    @property
+    def queue_wait(self) -> float:
+        return self.started - self.arrival
+
+
+def _summary(values: list[float]) -> dict[str, float]:
+    """mean/p50/p95/p99 of a latency series (zeros when empty)."""
+    if not values:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+    arr = np.asarray(values, dtype=float)
+    p50, p95, p99 = np.percentile(arr, PERCENTILES)
+    return {
+        "mean": float(arr.mean()),
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
+    }
+
+
+class Metrics:
+    """Thread-safe recorder the :class:`ServingEngine` reports into."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[RequestRecord] = []
+        self._batch_sizes: Counter[int] = Counter()
+        self._failed = 0
+
+    # -- engine side ---------------------------------------------------------
+    def record_request(self, handle: RequestHandle) -> None:
+        """Record a resolved (successful) request from its handle."""
+        record = RequestRecord(
+            arrival=handle.arrival,
+            started=handle.started if handle.started is not None else handle.arrival,
+            finished=handle.finished
+            if handle.finished is not None
+            else handle.arrival,
+            batch_size=handle.batch_size or 0,
+            cache_hit=handle.cache_hit,
+        )
+        with self._lock:
+            self._records.append(record)
+
+    def record_batch(self, size: int) -> None:
+        """Record one executed batch's occupancy."""
+        with self._lock:
+            self._batch_sizes[size] += 1
+
+    def record_failures(self, count: int = 1) -> None:
+        with self._lock:
+            self._failed += count
+
+    # -- read side -----------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def failed(self) -> int:
+        with self._lock:
+            return self._failed
+
+    @property
+    def cache_hits(self) -> int:
+        with self._lock:
+            return sum(1 for record in self._records if record.cache_hit)
+
+    def throughput(self) -> float:
+        """Completed requests per second of observed span.
+
+        Span runs from the earliest arrival to the latest completion; a
+        degenerate span (single instant) reports 0.
+        """
+        with self._lock:
+            records = list(self._records)
+        if not records:
+            return 0.0
+        span = max(r.finished for r in records) - min(r.arrival for r in records)
+        if span <= 0:
+            return 0.0
+        return len(records) / span
+
+    def latency_summary(self) -> dict[str, float]:
+        with self._lock:
+            values = [record.latency for record in self._records]
+        return _summary(values)
+
+    def queue_wait_summary(self) -> dict[str, float]:
+        with self._lock:
+            values = [record.queue_wait for record in self._records]
+        return _summary(values)
+
+    def batch_occupancy(self) -> dict[int, int]:
+        """Histogram: batch size -> number of batches executed."""
+        with self._lock:
+            return dict(sorted(self._batch_sizes.items()))
+
+    def mean_occupancy(self) -> float:
+        with self._lock:
+            total = sum(size * n for size, n in self._batch_sizes.items())
+            batches = sum(self._batch_sizes.values())
+        return total / batches if batches else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-able summary of everything recorded so far."""
+        return {
+            "completed": self.completed,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "throughput_rps": self.throughput(),
+            "latency_s": self.latency_summary(),
+            "queue_wait_s": self.queue_wait_summary(),
+            "batch_occupancy": {
+                str(size): count for size, count in self.batch_occupancy().items()
+            },
+            "mean_batch_occupancy": self.mean_occupancy(),
+        }

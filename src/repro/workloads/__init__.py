@@ -26,12 +26,14 @@ from repro.workloads.global_sparse import (
 )
 from repro.workloads.llm import (
     DecoderConfig,
+    decode_servable,
     decode_trace,
     gpt2_large,
     gpt2_medium,
     gpt2_small,
     kv_cache_bytes,
     kv_recompute_trace,
+    pad_prompts,
     prefill_trace,
 )
 from repro.workloads.sparse import (
@@ -56,6 +58,7 @@ from repro.workloads.transformer import (
     deit_tiny,
     gemm_trace,
     model_parameters,
+    servable_model,
 )
 
 __all__ = [
@@ -63,7 +66,10 @@ __all__ = [
     "DecoderConfig",
     "GEMMOp",
     "GlobalWindowPattern",
+    "decode_servable",
     "decode_trace",
+    "pad_prompts",
+    "servable_model",
     "sparse_attention_with_globals",
     "gpt2_large",
     "gpt2_medium",

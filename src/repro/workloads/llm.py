@@ -131,6 +131,61 @@ def kv_cache_bytes(
     return math.ceil(per_token * context_len * batch * bits / 8)
 
 
+def pad_prompts(
+    prompts: "list",
+    *,
+    pad_id: int = 0,
+    length: int | None = None,
+) -> "tuple":
+    """Coalesce ragged token prompts into one ``[batch, length]`` array.
+
+    The serving batcher's padding policy for prompt batches: right-pad
+    every prompt with ``pad_id`` to a *fixed* target length (the batch
+    maximum by default, a model's fixed sequence length when given), so
+    shorter prompts ride in the same batch as longer ones.  Returns the
+    padded array and the original lengths (for un-padding outputs).
+    """
+    import numpy as np
+
+    if not prompts:
+        raise ValueError("need at least one prompt")
+    arrays = [np.asarray(p, dtype=int) for p in prompts]
+    for arr in arrays:
+        if arr.ndim != 1 or arr.shape[0] < 1:
+            raise ValueError(f"prompts must be non-empty 1-D, got shape {arr.shape}")
+    lengths = [arr.shape[0] for arr in arrays]
+    target = max(lengths) if length is None else length
+    if max(lengths) > target:
+        raise ValueError(
+            f"prompt of length {max(lengths)} exceeds pad target {target}"
+        )
+    padded = np.full((len(arrays), target), pad_id, dtype=int)
+    for i, arr in enumerate(arrays):
+        padded[i, : arr.shape[0]] = arr
+    return padded, lengths
+
+
+def decode_servable(
+    config: DecoderConfig,
+    *,
+    executor=None,
+    cache=None,
+    seed: int = 0,
+):
+    """Serving entry point: a decode-step servable for this decoder.
+
+    Returns a :class:`~repro.serving.servable.DecodeServable` — batched
+    photonic GEMV projections (the :func:`decode_trace` shapes) with
+    per-session digital attention and
+    :class:`~repro.serving.cache.SessionCache` KV accounting that is
+    consistent with :func:`kv_cache_bytes` by construction.
+    """
+    # Lazy import: workloads stays importable without the serving layer.
+    from repro.serving.servable import DecodeServable
+
+    return DecodeServable(config, executor=executor, cache=cache, seed=seed)
+
+
 def kv_recompute_trace(config: DecoderConfig, context_len: int) -> list[GEMMOp]:
     """Extra GEMMs when K/V are recomputed instead of cached.
 

@@ -293,3 +293,65 @@ def gemm_trace(
 def model_parameters(config: TransformerConfig) -> int:
     """Approximate parameter count (weights of all GEMM layers)."""
     return sum(op.static_weight_elements for op in gemm_trace(config))
+
+
+def servable_model(
+    config: TransformerConfig,
+    *,
+    executor=None,
+    vocab_size: int = 32,
+    seed: int = 0,
+):
+    """Functional serving entry point: a model matching this architecture.
+
+    Builds the noise-aware functional model the serving subsystem wraps
+    — :class:`~repro.neural.vision.TinyViT` for vision configs,
+    :class:`~repro.neural.text.TinyBERT` for text configs — with this
+    config's depth/dim/heads/sequence geometry, sharing one photonic
+    ``executor`` across every matmul.  Use small custom configs for
+    interactive serving; the paper-scale zoo entries build but execute
+    slowly on CPU.
+
+    Args:
+        config: architecture to instantiate (vision configs must be
+            single-channel: the functional patch embedding consumes
+            ``[H, W]`` images).
+        executor: shared :class:`~repro.neural.photonic.PhotonicExecutor`
+            (defaults to the model's own ideal executor).
+        vocab_size: token vocabulary for text configs.
+        seed: weight-initialisation seed (equal seeds give bit-identical
+            models — the serving equivalence gate relies on this).
+    """
+    # Lazy import: workloads stays an analytic layer; only this entry
+    # point pulls in the functional neural stack.
+    from repro.neural.text import TinyBERT
+    from repro.neural.vision import TinyViT
+
+    if config.kind == KIND_VISION:
+        if config.in_channels != 1:
+            raise ValueError(
+                "servable vision models are single-channel; got "
+                f"in_channels={config.in_channels}"
+            )
+        return TinyViT(
+            image_size=config.image_size,
+            patch_size=config.patch_size,
+            dim=config.dim,
+            depth=config.depth,
+            heads=config.heads,
+            n_classes=config.n_classes,
+            mlp_ratio=config.mlp_ratio,
+            executor=executor,
+            seed=seed,
+        )
+    return TinyBERT(
+        vocab_size=vocab_size,
+        seq_len=config.seq_len,
+        dim=config.dim,
+        depth=config.depth,
+        heads=config.heads,
+        n_classes=config.n_classes,
+        mlp_ratio=config.mlp_ratio,
+        executor=executor,
+        seed=seed,
+    )

@@ -190,3 +190,16 @@ class TestContractionShardedExecution:
         assert acc._dptc._pool is None
         # Single-core facade: close is a safe no-op.
         LighteningTransformer(lt_base()).close()
+
+
+class TestContextManager:
+    def test_with_block_returns_the_accelerator(self):
+        with LighteningTransformer() as accelerator:
+            assert accelerator.config.name == "LT-B"
+
+    def test_exit_closes_the_sharded_pool(self):
+        with LighteningTransformer(num_cores=2) as accelerator:
+            a = np.ones((4, 2, 3))
+            b = np.ones((4, 3, 2))
+            assert np.array_equal(accelerator.matmul(a, b), a @ b)
+        accelerator.close()  # already closed by __exit__; stays a no-op

@@ -239,3 +239,23 @@ class TestStraightThroughGradients:
         b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
         executor.matmul(a, b).sum().backward()
         assert a.grad is not None and b.grad is not None
+
+
+class TestContextManager:
+    def test_with_block_returns_the_executor(self):
+        with PhotonicExecutor.ideal() as executor:
+            a = Tensor(np.ones((2, 3)))
+            b = Tensor(np.ones((3, 2)))
+            assert np.array_equal(executor.matmul(a, b).data, np.full((2, 2), 3.0))
+
+    def test_exit_closes_the_sharded_pool(self):
+        with PhotonicExecutor.ideal(num_cores=2) as executor:
+            a = Tensor(np.ones((4, 2, 3)))
+            b = Tensor(np.ones((4, 3, 2)))
+            executor.matmul(a, b)
+        executor.close()  # already closed by __exit__; stays a no-op
+
+    def test_exit_propagates_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with PhotonicExecutor.ideal(num_cores=2):
+                raise RuntimeError("boom")

@@ -1,0 +1,138 @@
+"""Tests for the dynamic batching policy and coalescing logic."""
+
+import threading
+
+import pytest
+
+from repro.serving import (
+    BatchingPolicy,
+    DynamicBatcher,
+    RequestQueue,
+    SimulatedClock,
+    WallClock,
+)
+from tests.serving.test_queue import make_request
+
+
+class TestBatchingPolicy:
+    def test_defaults(self):
+        policy = BatchingPolicy()
+        assert policy.max_batch_size == 8
+        assert policy.wait_s == pytest.approx(1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_wait_us=-1.0)
+
+    def test_wait_conversion(self):
+        assert BatchingPolicy(max_wait_us=2_500.0).wait_s == pytest.approx(2.5e-3)
+
+
+class TestCollect:
+    """Manual (simulated-clock) coalescing."""
+
+    def make(self, max_batch_size=4, max_wait_us=1_000.0):
+        clock = SimulatedClock()
+        queue = RequestQueue(maxsize=32)
+        policy = BatchingPolicy(max_batch_size, max_wait_us)
+        return DynamicBatcher(queue, policy, clock), queue, clock
+
+    def test_empty_queue_yields_nothing(self):
+        batcher, _, _ = self.make()
+        assert batcher.collect() == []
+        assert batcher.collect(force=True) == []
+
+    def test_full_batch_dispatches_immediately(self):
+        batcher, queue, clock = self.make(max_batch_size=3)
+        for i in range(5):
+            queue.put(make_request(i, arrival=clock.now()))
+        batch = batcher.collect()
+        assert [r.payload for r in batch] == [0, 1, 2]
+
+    def test_partial_batch_waits_for_the_budget(self):
+        batcher, queue, clock = self.make(max_batch_size=4, max_wait_us=1_000.0)
+        queue.put(make_request(0, arrival=clock.now()))
+        queue.put(make_request(1, arrival=clock.now()))
+        assert batcher.collect() == []
+        clock.advance(0.5e-3)
+        assert batcher.collect() == [], "wait budget not yet expired"
+        clock.advance(0.6e-3)
+        batch = batcher.collect()
+        assert [r.payload for r in batch] == [0, 1]
+
+    def test_budget_counts_from_the_oldest_request(self):
+        batcher, queue, clock = self.make(max_batch_size=4, max_wait_us=1_000.0)
+        queue.put(make_request(0, arrival=clock.now()))
+        clock.advance(0.9e-3)
+        queue.put(make_request(1, arrival=clock.now()))
+        clock.advance(0.2e-3)  # oldest is now 1.1 ms old, newest 0.2 ms
+        batch = batcher.collect()
+        assert [r.payload for r in batch] == [0, 1]
+
+    def test_zero_wait_dispatches_whatever_is_queued(self):
+        batcher, queue, clock = self.make(max_batch_size=8, max_wait_us=0.0)
+        queue.put(make_request(0, arrival=clock.now()))
+        assert [r.payload for r in batcher.collect()] == [0]
+
+    def test_force_overrides_the_policy(self):
+        batcher, queue, clock = self.make(max_batch_size=8, max_wait_us=10_000.0)
+        queue.put(make_request(0, arrival=clock.now()))
+        assert batcher.collect() == []
+        assert [r.payload for r in batcher.collect(force=True)] == [0]
+
+    def test_closed_queue_drains_immediately(self):
+        batcher, queue, clock = self.make(max_batch_size=8, max_wait_us=10_000.0)
+        queue.put(make_request(0, arrival=clock.now()))
+        queue.close()
+        assert [r.payload for r in batcher.collect()] == [0]
+
+
+class TestNextBatch:
+    """Blocking (wall-clock) coalescing used by the worker thread."""
+
+    def make(self, max_batch_size=4, max_wait_us=500.0):
+        clock = WallClock()
+        queue = RequestQueue(maxsize=32)
+        policy = BatchingPolicy(max_batch_size, max_wait_us)
+        return DynamicBatcher(queue, policy, clock), queue, clock
+
+    def collect_in_thread(self, batcher, results):
+        def worker():
+            results.append(batcher.next_batch())
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        return thread
+
+    def test_returns_none_once_closed_and_empty(self):
+        batcher, queue, _ = self.make()
+        queue.close()
+        assert batcher.next_batch() is None
+
+    def test_drains_pending_work_after_close(self):
+        batcher, queue, clock = self.make(max_batch_size=8, max_wait_us=60e6)
+        queue.put(make_request(0, arrival=clock.now()))
+        queue.close()
+        assert [r.payload for r in batcher.next_batch()] == [0]
+        assert batcher.next_batch() is None
+
+    def test_full_batch_wakes_the_worker(self):
+        batcher, queue, clock = self.make(max_batch_size=2, max_wait_us=60e6)
+        results = []
+        thread = self.collect_in_thread(batcher, results)
+        queue.put(make_request(0, arrival=clock.now()))
+        queue.put(make_request(1, arrival=clock.now()))
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert [r.payload for r in results[0]] == [0, 1]
+
+    def test_wait_budget_expiry_dispatches_partial_batch(self):
+        batcher, queue, clock = self.make(max_batch_size=8, max_wait_us=2_000.0)
+        results = []
+        thread = self.collect_in_thread(batcher, results)
+        queue.put(make_request(0, arrival=clock.now()))
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert [r.payload for r in results[0]] == [0]

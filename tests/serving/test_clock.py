@@ -1,0 +1,36 @@
+"""Tests for the serving time sources."""
+
+import pytest
+
+from repro.serving import SimulatedClock, WallClock
+
+
+class TestWallClock:
+    def test_is_real_and_monotonic(self):
+        clock = WallClock()
+        assert clock.real
+        first = clock.now()
+        assert clock.now() >= first
+
+
+class TestSimulatedClock:
+    def test_starts_at_origin(self):
+        assert SimulatedClock().now() == 0.0
+        assert SimulatedClock(start=2.5).now() == 2.5
+
+    def test_is_virtual(self):
+        assert not SimulatedClock().real
+
+    def test_advance_is_exact(self):
+        clock = SimulatedClock()
+        assert clock.advance(1.5e-3) == 1.5e-3
+        clock.advance(0.5e-3)
+        assert clock.now() == 2.0e-3
+
+    def test_zero_advance_allowed(self):
+        clock = SimulatedClock(start=1.0)
+        assert clock.advance(0.0) == 1.0
+
+    def test_rejects_backwards_travel(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1.0)

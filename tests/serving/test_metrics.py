@@ -1,0 +1,86 @@
+"""Tests for the serving metrics recorder (deterministic, no sleeps)."""
+
+import numpy as np
+import pytest
+
+from repro.serving import Metrics, RequestHandle
+
+
+def resolved_handle(
+    arrival: float,
+    started: float,
+    finished: float,
+    batch_size: int = 1,
+    cache_hit: bool = False,
+) -> RequestHandle:
+    handle = RequestHandle(0, arrival)
+    handle._resolve(
+        None,
+        started=started,
+        finished=finished,
+        batch_size=batch_size,
+        cache_hit=cache_hit,
+    )
+    return handle
+
+
+class TestMetrics:
+    def test_empty_snapshot_is_all_zero(self):
+        snapshot = Metrics().snapshot()
+        assert snapshot["completed"] == 0
+        assert snapshot["throughput_rps"] == 0.0
+        assert snapshot["latency_s"] == {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        assert snapshot["batch_occupancy"] == {}
+
+    def test_latency_and_wait_summaries(self):
+        metrics = Metrics()
+        # Queue waits 1/2/3 ms; each batch runs for 1 ms.
+        for i, wait in enumerate((1e-3, 2e-3, 3e-3)):
+            metrics.record_request(
+                resolved_handle(arrival=i, started=i + wait, finished=i + wait + 1e-3)
+            )
+        latency = metrics.latency_summary()
+        assert latency["p50"] == pytest.approx(3e-3)
+        assert latency["mean"] == pytest.approx(np.mean([2e-3, 3e-3, 4e-3]))
+        wait = metrics.queue_wait_summary()
+        assert wait["p50"] == pytest.approx(2e-3)
+
+    def test_throughput_spans_arrival_to_completion(self):
+        metrics = Metrics()
+        metrics.record_request(resolved_handle(arrival=0.0, started=0.0, finished=1.0))
+        metrics.record_request(resolved_handle(arrival=1.0, started=1.5, finished=2.0))
+        assert metrics.throughput() == 1.0  # 2 requests over a 2 s span
+
+    def test_degenerate_span_reports_zero(self):
+        metrics = Metrics()
+        metrics.record_request(resolved_handle(arrival=1.0, started=1.0, finished=1.0))
+        assert metrics.throughput() == 0.0
+
+    def test_occupancy_histogram(self):
+        metrics = Metrics()
+        for size in (4, 2, 4, 1):
+            metrics.record_batch(size)
+        assert metrics.batch_occupancy() == {1: 1, 2: 1, 4: 2}
+        assert metrics.mean_occupancy() == (4 + 2 + 4 + 1) / 4
+
+    def test_cache_hits_and_failures(self):
+        metrics = Metrics()
+        metrics.record_request(
+            resolved_handle(0.0, 0.0, 0.0, batch_size=0, cache_hit=True)
+        )
+        metrics.record_request(resolved_handle(0.0, 0.0, 1.0))
+        metrics.record_failures(3)
+        assert metrics.cache_hits == 1
+        assert metrics.completed == 2
+        assert metrics.failed == 3
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        metrics = Metrics()
+        metrics.record_batch(2)
+        metrics.record_request(resolved_handle(0.0, 0.5, 1.0, batch_size=2))
+        snapshot = metrics.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["batch_occupancy"] == {"2": 1}
+        assert snapshot["mean_batch_occupancy"] == 2.0

@@ -1,0 +1,104 @@
+"""Tests for the bounded request queue (admission + backpressure)."""
+
+import threading
+
+import pytest
+
+from repro.serving import (
+    EngineClosed,
+    InferenceRequest,
+    QueueFull,
+    RequestHandle,
+    RequestQueue,
+)
+
+
+def make_request(i: int, arrival: float = 0.0) -> InferenceRequest:
+    return InferenceRequest(
+        payload=i,
+        handle=RequestHandle(i, arrival),
+        arrival=arrival,
+        request_id=i,
+    )
+
+
+class TestRequestQueue:
+    def test_fifo_order(self):
+        queue = RequestQueue(maxsize=8)
+        for i in range(5):
+            queue.put(make_request(i))
+        with queue.mutex:
+            batch = queue.pop_locked(3)
+        assert [r.payload for r in batch] == [0, 1, 2]
+        with queue.mutex:
+            rest = queue.pop_locked(10)
+        assert [r.payload for r in rest] == [3, 4]
+        assert len(queue) == 0
+
+    def test_validates_maxsize(self):
+        with pytest.raises(ValueError):
+            RequestQueue(maxsize=0)
+
+    def test_nonblocking_put_raises_when_full(self):
+        queue = RequestQueue(maxsize=2)
+        queue.put(make_request(0))
+        queue.put(make_request(1))
+        with pytest.raises(QueueFull):
+            queue.put(make_request(2), block=False)
+        assert len(queue) == 2
+
+    def test_timeout_put_raises_when_still_full(self):
+        queue = RequestQueue(maxsize=1)
+        queue.put(make_request(0))
+        with pytest.raises(QueueFull):
+            queue.put(make_request(1), timeout=0.01)
+
+    def test_blocking_put_waits_for_capacity(self):
+        queue = RequestQueue(maxsize=1)
+        queue.put(make_request(0))
+        done = threading.Event()
+
+        def producer():
+            queue.put(make_request(1))
+            done.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert not done.wait(0.05), "producer should be blocked on backpressure"
+        with queue.mutex:
+            queue.pop_locked(1)
+        assert done.wait(5.0), "producer should resume once a slot frees"
+        thread.join(timeout=5.0)
+        assert len(queue) == 1
+
+    def test_put_after_close_raises(self):
+        queue = RequestQueue(maxsize=2)
+        queue.close()
+        assert queue.closed
+        with pytest.raises(EngineClosed):
+            queue.put(make_request(0))
+
+    def test_close_wakes_blocked_producer(self):
+        queue = RequestQueue(maxsize=1)
+        queue.put(make_request(0))
+        errors = []
+
+        def producer():
+            try:
+                queue.put(make_request(1))
+            except EngineClosed as error:
+                errors.append(error)
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5.0)
+        assert len(errors) == 1
+
+    def test_drain_pending_empties_the_queue(self):
+        queue = RequestQueue(maxsize=4)
+        for i in range(3):
+            queue.put(make_request(i))
+        pending = queue.drain_pending()
+        assert [r.payload for r in pending] == [0, 1, 2]
+        assert len(queue) == 0

@@ -80,3 +80,26 @@ class TestParsing:
     def test_bad_model_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--model", "gpt-17"])
+
+
+class TestServeBenchCommand:
+    def test_tiny_vit_load(self, capsys):
+        assert main([
+            "serve-bench", "--model", "tiny-vit", "--requests", "6",
+            "--max-batch-size", "4", "--users", "2", "--rounds", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "open-loop-poisson" in out
+        assert "closed-loop" in out
+        assert "batch occupancy" in out
+
+    def test_tiny_bert_ragged_prompts(self, capsys):
+        assert main([
+            "serve-bench", "--model", "tiny-bert", "--requests", "5",
+            "--max-batch-size", "8", "--users", "2", "--rounds", "1",
+        ]) == 0
+        assert "serve-bench tiny-bert" in capsys.readouterr().out
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--model", "gpt-17"])

@@ -1,20 +1,22 @@
 #!/usr/bin/env python
-"""Enforce a line-coverage floor on the photonic core package.
+"""Enforce line-coverage floors on the gated packages.
 
 Reads a Cobertura-style ``coverage.xml`` (as written by ``pytest
 --cov=repro --cov-report=xml``) and fails when the aggregate line
-coverage of the files under the given prefix (default
-``repro/core/``) drops below the floor.
+coverage of the files under a gated prefix drops below its floor.
 
 The core engines are the trust anchors of the repo — every benchmark
-gate and every model result flows through them — so their coverage is
-gated in CI while the rest of the tree is only reported.  Lines that
-execute inside process-pool *workers* (the ``backend="process"``
-shard path) are invisible to the parent-process collector; the floor
-accounts for that.
+gate and every model result flows through them — and the serving
+subsystem is the request-facing layer on top, so both are gated in CI
+while the rest of the tree is only reported.  Lines that execute
+inside process-pool *workers* (the ``backend="process"`` shard path)
+are invisible to the parent-process collector; the floors account for
+that.
 
 Usage:
     python tools/check_core_coverage.py coverage.xml --floor 85
+    python tools/check_core_coverage.py coverage.xml \
+        --gate repro/core/=85 --gate repro/serving/=85
 """
 
 from __future__ import annotations
@@ -45,6 +47,37 @@ def core_line_coverage(xml_path: str, prefix: str) -> tuple[int, int, dict]:
     return covered, total, per_file
 
 
+def check_gate(xml_path: str, prefix: str, floor: float) -> int:
+    """Print and gate one prefix; 0 ok, 1 below floor, 2 no files."""
+    covered, total, per_file = core_line_coverage(xml_path, prefix)
+    if total == 0:
+        print(f"error: no files matching {prefix!r} in {xml_path}")
+        return 2
+
+    for filename in sorted(per_file):
+        file_covered, file_total = per_file[filename]
+        pct = 100.0 * file_covered / file_total
+        print(f"  {filename:40s} {file_covered:4d}/{file_total:4d}  {pct:5.1f}%")
+    pct = 100.0 * covered / total
+    print(f"{prefix} line coverage: {covered}/{total} = {pct:.1f}% "
+          f"(floor {floor:.1f}%)")
+    if pct < floor:
+        print(f"FAIL: {prefix} coverage below the floor")
+        return 1
+    print("OK")
+    return 0
+
+
+def parse_gate(spec: str) -> tuple[str, float]:
+    """``prefix=floor`` -> (prefix, floor)."""
+    prefix, sep, floor = spec.partition("=")
+    if not sep or not prefix:
+        raise argparse.ArgumentTypeError(
+            f"gate must look like 'repro/serving/=85', got {spec!r}"
+        )
+    return prefix, float(floor)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", help="path to coverage.xml")
@@ -59,25 +92,21 @@ def main(argv: list[str] | None = None) -> int:
         default=85.0,
         help="minimum aggregate line coverage percent (default: 85)",
     )
+    parser.add_argument(
+        "--gate",
+        action="append",
+        type=parse_gate,
+        metavar="PREFIX=FLOOR",
+        help="gate multiple packages (repeatable, e.g. --gate repro/core/=85 "
+        "--gate repro/serving/=85); overrides --prefix/--floor",
+    )
     args = parser.parse_args(argv)
 
-    covered, total, per_file = core_line_coverage(args.report, args.prefix)
-    if total == 0:
-        print(f"error: no files matching {args.prefix!r} in {args.report}")
-        return 2
-
-    for filename in sorted(per_file):
-        file_covered, file_total = per_file[filename]
-        pct = 100.0 * file_covered / file_total
-        print(f"  {filename:40s} {file_covered:4d}/{file_total:4d}  {pct:5.1f}%")
-    pct = 100.0 * covered / total
-    print(f"{args.prefix} line coverage: {covered}/{total} = {pct:.1f}% "
-          f"(floor {args.floor:.1f}%)")
-    if pct < args.floor:
-        print("FAIL: core coverage below the floor")
-        return 1
-    print("OK")
-    return 0
+    gates = args.gate if args.gate else [(args.prefix, args.floor)]
+    worst = 0
+    for prefix, floor in gates:
+        worst = max(worst, check_gate(args.report, prefix, floor))
+    return worst
 
 
 if __name__ == "__main__":
