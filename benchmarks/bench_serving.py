@@ -37,8 +37,10 @@ from repro.serving import (
     ServingEngine,
     SessionCache,
     SimulatedClock,
+    TenantSpec,
     TextServable,
     VisionServable,
+    multi_tenant_arrivals,
     poisson_gaps,
     run_closed_loop,
     run_open_loop,
@@ -239,6 +241,57 @@ def simulated_metrics() -> dict:
     return snapshot
 
 
+#: Multi-tenant decode mix (shared with bench_cluster.py's affinity
+#: section via repro.serving.multi_tenant_arrivals).
+MIX_TENANTS = (
+    TenantSpec("chat-a", rate_rps=2000.0, weights={"decode": 1.0}, sessions=3),
+    TenantSpec("chat-b", rate_rps=1000.0, weights={"decode": 1.0}, sessions=2),
+)
+
+
+def multi_tenant_mix() -> dict:
+    """Seeded multi-tenant decode arrivals through one manual engine.
+
+    The same generator drives ``bench_cluster.py``'s affinity section;
+    here the gate is determinism on a single engine: two replays of an
+    equal-seed mix must produce identical per-tenant counts and
+    bit-identical outputs.
+    """
+    decoder = DecoderConfig("bench-serve-mix", depth=2, dim=16, heads=2, mlp_ratio=2.0)
+
+    def replay():
+        arrivals = multi_tenant_arrivals(
+            MIX_TENANTS, horizon_s=10e-3, rng=np.random.default_rng(5)
+        )
+        engine = ServingEngine(
+            DecodeServable(decoder, seed=0),
+            max_batch_size=4,
+            max_wait_us=0.0,
+            queue_depth=len(arrivals),
+            clock=SimulatedClock(),
+        )
+        per_tenant: dict[str, int] = {}
+        outputs = []
+        with engine:
+            for arrival in arrivals:
+                payload = np.random.default_rng(arrival.index).normal(size=16)
+                handle = engine.submit(payload, session_id=arrival.session)
+                engine.step(force=True)
+                outputs.append(handle.result(timeout=0))
+                per_tenant[arrival.tenant] = per_tenant.get(arrival.tenant, 0) + 1
+        return per_tenant, outputs
+
+    (counts_a, outputs_a), (counts_b, outputs_b) = replay(), replay()
+    deterministic = counts_a == counts_b and all(
+        np.array_equal(a, b) for a, b in zip(outputs_a, outputs_b)
+    )
+    return {
+        "tenants": counts_a,
+        "requests": sum(counts_a.values()),
+        "deterministic": bool(deterministic),
+    }
+
+
 def run(assert_speedup: bool = True, out_path: str = "BENCH_serving.json") -> dict:
     equiv = batching_equivalence()
     print("Batching equivalence (dynamic batch == sequential, equal seeds)")
@@ -286,6 +339,13 @@ def run(assert_speedup: bool = True, out_path: str = "BENCH_serving.json") -> di
     )
     assert simulated["deterministic"], "simulated-clock metrics must be exact"
 
+    mix = multi_tenant_mix()
+    print(
+        f"\nMulti-tenant decode mix deterministic: {mix['deterministic']} "
+        f"({mix['requests']} requests, per-tenant {mix['tenants']})"
+    )
+    assert mix["deterministic"], "equal-seed tenant mixes must replay exactly"
+
     report = {
         "host_cpus": os.cpu_count() or 1,
         "equivalence": equiv,
@@ -293,6 +353,7 @@ def run(assert_speedup: bool = True, out_path: str = "BENCH_serving.json") -> di
         "batching_gain": gain,
         "closed_loop": closed,
         "simulated_metrics": simulated,
+        "multi_tenant_mix": mix,
     }
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2)

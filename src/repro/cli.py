@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli compare [--bits N] [--model NAME]
     python -m repro.cli report [--skip-accuracy]
     python -m repro.cli serve-bench [--model tiny-vit|tiny-bert] [--requests N]
+    python -m repro.cli cluster-bench [--replicas N] [--policy NAME] [--autoscale]
 
 Models: deit-t, deit-s, deit-b, bert-base, bert-large.
 """
@@ -247,6 +248,143 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Cluster-bench workloads: stateless vision or session-pinned decode.
+CLUSTER_MODELS = ("tiny-vit", "decode")
+
+
+def cmd_cluster_bench(args: argparse.Namespace) -> int:
+    """Multi-replica routing/autoscaling demo (simulated clock, no sleeps)."""
+    import numpy as np
+
+    from repro.cluster import (
+        AutoscalerPolicy,
+        ServiceModel,
+        ServingCluster,
+        run_virtual_open_loop,
+        run_virtual_schedule,
+    )
+    from repro.serving import (
+        DecodeServable,
+        SimulatedClock,
+        TenantSpec,
+        VisionServable,
+        multi_tenant_arrivals,
+    )
+    from repro.workloads.llm import DecoderConfig
+    from repro.workloads.transformer import servable_model
+
+    if args.replicas < 1:
+        raise SystemExit("cluster-bench: --replicas must be >= 1")
+    if args.requests < 1:
+        raise SystemExit("cluster-bench: --requests must be >= 1")
+    if args.rate <= 0:
+        raise SystemExit("cluster-bench: --rate must be > 0")
+
+    seed = args.seed
+    if args.model == "tiny-vit":
+        config = TransformerConfig(
+            "cluster-tiny-vit", depth=1, dim=32, heads=2, seq_len=17,
+            mlp_ratio=2.0, n_classes=4, patch_size=4, image_size=16,
+            in_channels=1,
+        )
+
+        def factory(replica_id: int):
+            from repro.neural.photonic import PhotonicExecutor
+
+            model = servable_model(
+                config, executor=PhotonicExecutor.ideal(), seed=seed
+            )
+            return VisionServable(model)
+    else:
+        decoder = DecoderConfig(
+            "cluster-decode", depth=2, dim=16, heads=2, mlp_ratio=2.0
+        )
+
+        def factory(replica_id: int):
+            return DecodeServable(decoder, seed=seed)
+
+    autoscaler = (
+        AutoscalerPolicy(
+            min_replicas=1,
+            max_replicas=args.replicas,
+            high_backlog=50.0,
+            low_backlog=0.5,
+            latency_slo_s=args.slo_ms * 1e-3,
+            cooldown_s=0.5e-3,
+        )
+        if args.autoscale
+        else None
+    )
+    cluster = ServingCluster(
+        factory,
+        replicas=1 if args.autoscale else args.replicas,
+        policy=args.policy,
+        max_batch_size=args.max_batch_size,
+        max_wait_us=args.max_wait_us,
+        queue_depth=max(64, args.requests),
+        clock=SimulatedClock(),
+        service_model=ServiceModel(
+            base_s=args.service_base_us * 1e-6,
+            per_request_s=args.service_per_request_us * 1e-6,
+        ),
+        autoscaler=autoscaler,
+    )
+    rng = np.random.default_rng(seed + 1)
+    with cluster:
+        if args.model == "tiny-vit":
+            payloads = [rng.normal(size=(16, 16)) for _ in range(args.requests)]
+            gaps = rng.exponential(1.0 / args.rate, size=args.requests)
+            report = run_virtual_open_loop(cluster, payloads, gaps)
+        else:
+            tenants = (
+                TenantSpec("chat-a", rate_rps=2 * args.rate / 3, sessions=4),
+                TenantSpec("chat-b", rate_rps=args.rate / 3, sessions=3),
+            )
+            arrivals = multi_tenant_arrivals(
+                tenants, horizon_s=args.requests / args.rate, rng=rng
+            )
+            report = run_virtual_schedule(
+                cluster,
+                arrivals,
+                lambda arrival: np.random.default_rng(arrival.index).normal(size=16),
+            )
+        report.pop("handles")
+        snapshot = cluster.snapshot()
+    print(
+        render_table(
+            [report],
+            title=(
+                f"cluster-bench {args.model}: policy={args.policy}, "
+                f"replicas={args.replicas}"
+                f"{' (autoscaled)' if args.autoscale else ''}, "
+                f"rate={args.rate:g} req/s (virtual time)"
+            ),
+        )
+    )
+    print(
+        "dispatches: "
+        + ", ".join(
+            f"replica-{rid}x{count}"
+            for rid, count in snapshot["dispatches"].items()
+        )
+    )
+    if args.model == "decode":
+        affinity = snapshot["affinity"]
+        print(
+            f"affinity: hit rate {affinity['hit_rate']:.3f} "
+            f"({affinity['hits']} hits / {affinity['misses']} misses), "
+            f"{snapshot['migrations']['count']} KV migrations "
+            f"({snapshot['migrations']['bytes']} bytes)"
+        )
+    for event in snapshot["events"]:
+        print(
+            f"event t={event['time'] * 1e3:8.3f} ms  {event['kind']:14s} "
+            f"replica-{event['replica_id']} (fleet {event['fleet_size']}): "
+            f"{event['reason']}"
+        )
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -307,6 +445,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--num-cores", type=int, default=1)
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.set_defaults(func=cmd_serve_bench)
+
+    p_cluster = sub.add_parser(
+        "cluster-bench",
+        help="multi-replica routing/autoscaling benchmark (virtual time)",
+    )
+    p_cluster.add_argument("--model", choices=CLUSTER_MODELS, default="tiny-vit")
+    p_cluster.add_argument("--replicas", type=int, default=3)
+    p_cluster.add_argument(
+        "--policy",
+        choices=("round_robin", "least_outstanding", "session_affinity"),
+        default="least_outstanding",
+    )
+    p_cluster.add_argument("--requests", type=int, default=48)
+    p_cluster.add_argument(
+        "--rate", type=float, default=8_000.0,
+        help="open-loop arrival rate (req/s, virtual time)",
+    )
+    p_cluster.add_argument("--max-batch-size", type=int, default=8)
+    p_cluster.add_argument("--max-wait-us", type=float, default=500.0)
+    p_cluster.add_argument(
+        "--service-base-us", type=float, default=1_000.0,
+        help="virtual per-batch base service time",
+    )
+    p_cluster.add_argument(
+        "--service-per-request-us", type=float, default=250.0,
+        help="virtual incremental service time per batched request",
+    )
+    p_cluster.add_argument(
+        "--autoscale", action="store_true",
+        help="start at 1 replica and let the SLO autoscaler grow to --replicas",
+    )
+    p_cluster.add_argument(
+        "--slo-ms", type=float, default=2.0,
+        help="p95 latency SLO for --autoscale (milliseconds)",
+    )
+    p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.set_defaults(func=cmd_cluster_bench)
 
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_report.add_argument("--output", default="EXPERIMENTS.md")

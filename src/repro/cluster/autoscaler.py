@@ -1,0 +1,123 @@
+"""SLO-driven autoscaling: grow and drain the fleet against load.
+
+The :class:`Autoscaler` evaluates two signals on every cluster step:
+
+* **Backlog** — mean outstanding work per healthy replica (queued plus
+  executing, plus virtual busyness under a service model).  Above
+  ``high_backlog`` the fleet scales up; below ``low_backlog`` it drains.
+* **Latency SLO** — the p95 of request latencies completed since the
+  previous evaluation, against ``latency_slo_s`` (optional).  A breach
+  forces a scale-up even when the backlog looks fine — the queue-depth
+  signal misses service-time inflation.
+
+Actions are rate-limited by ``cooldown_s`` and bounded by
+``min_replicas`` / ``max_replicas``.  Scale-down is graceful: the
+highest-id healthy replica starts DRAINING (deterministic choice) and is
+retired by the cluster once empty.  Every action lands in the
+:class:`~repro.cluster.metrics.ClusterMetrics` event log with its clock
+timestamp, so under a :class:`~repro.serving.clock.SimulatedClock` the
+whole scaling trajectory is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Bounds, watermarks, and pacing of the scaling loop."""
+
+    min_replicas: int = 1
+    max_replicas: int = 4
+    #: Scale up when mean outstanding per healthy replica exceeds this.
+    high_backlog: float = 4.0
+    #: Drain one replica when mean backlog falls below this.
+    low_backlog: float = 0.5
+    #: Optional p95 latency SLO (seconds) evaluated per window.
+    latency_slo_s: float | None = None
+    #: Minimum clock time between consecutive scaling actions.
+    cooldown_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError(f"min_replicas must be >= 1, got {self.min_replicas}")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError(
+                f"max_replicas ({self.max_replicas}) below "
+                f"min_replicas ({self.min_replicas})"
+            )
+        if self.low_backlog < 0 or self.high_backlog <= self.low_backlog:
+            raise ValueError(
+                f"need 0 <= low_backlog < high_backlog, got "
+                f"low={self.low_backlog}, high={self.high_backlog}"
+            )
+        if self.cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {self.cooldown_s}")
+        if self.latency_slo_s is not None and self.latency_slo_s <= 0:
+            raise ValueError(
+                f"latency_slo_s must be > 0, got {self.latency_slo_s}"
+            )
+
+
+class Autoscaler:
+    """Evaluates the policy against a cluster (driven by its step loop)."""
+
+    def __init__(self, policy: AutoscalerPolicy, cluster) -> None:
+        self.policy = policy
+        self.cluster = cluster
+        self._last_action_at = -float("inf")
+        self._record_index = 0
+
+    def evaluate(self, now: float) -> str | None:
+        """Apply at most one scaling action; returns its kind (or None).
+
+        Called by the cluster with its lock held (manual stepping) —
+        reads replica state directly and acts through the cluster's
+        ``_scale_up_locked`` / ``_begin_drain_locked`` internals.
+        """
+        policy = self.policy
+        # Cooldown gates *before* the latency window is consumed, so an
+        # SLO breach observed while suppressed is still acted on at the
+        # next eligible evaluation rather than silently discarded.
+        if now - self._last_action_at < policy.cooldown_s:
+            return None
+        latencies, self._record_index = self.cluster.metrics.latencies_since(
+            self._record_index
+        )
+        healthy = self.cluster._healthy_locked()
+        if not healthy:
+            return None
+        now_backlog = sum(r.load(now) for r in healthy) / len(healthy)
+        slo_breached = bool(
+            policy.latency_slo_s is not None
+            and latencies
+            and float(np.percentile(latencies, 95)) > policy.latency_slo_s
+        )
+        if (
+            now_backlog > policy.high_backlog or slo_breached
+        ) and len(healthy) < policy.max_replicas:
+            reason = (
+                f"p95 latency above SLO ({policy.latency_slo_s:g}s)"
+                if slo_breached and now_backlog <= policy.high_backlog
+                else f"backlog {now_backlog:.2f} > {policy.high_backlog:g}"
+            )
+            self.cluster._scale_up_locked(now, reason)
+            self._last_action_at = now
+            return "scale_up"
+        if (
+            not slo_breached
+            and now_backlog < policy.low_backlog
+            and len(healthy) > policy.min_replicas
+        ):
+            victim = max(healthy, key=lambda r: r.replica_id)
+            self.cluster._begin_drain_locked(
+                victim,
+                now,
+                f"backlog {now_backlog:.2f} < {policy.low_backlog:g}",
+            )
+            self._last_action_at = now
+            return "drain"
+        return None

@@ -1,0 +1,560 @@
+"""The cluster front-end: N serving-engine replicas behind one submit().
+
+:class:`ServingCluster` is the scale-out layer over
+:class:`~repro.serving.engine.ServingEngine`: a replica **factory**
+builds one servable per replica (each wrapping its own sharded photonic
+accelerator — build them with equal seeds and every replica computes
+bit-identical results), a :class:`~repro.cluster.router.Router` places
+each request under a pluggable policy, and an optional
+:class:`~repro.cluster.autoscaler.Autoscaler` grows/drains the fleet
+against backlog and latency-SLO signals.
+
+Correctness invariants the routing layer maintains:
+
+* **Bit-exactness.**  Per-request outputs are independent of batch
+  composition (the PR-4 servable invariant) and, with an equal-seed
+  factory, independent of *which* replica ran them.  Decode sessions
+  additionally require their steps to execute in order against their
+  own KV state — the router pins in-flight sessions and migrates
+  quiescent ones wholesale, so any policy is bit-identical to a single
+  sequential engine (``benchmarks/bench_cluster.py`` gates this).
+* **No lost handles.**  Failing a replica evicts its queued requests
+  and re-dispatches them to survivors; its sessions are re-homed with
+  their KV state.  Every submitted :class:`ClusterHandle` eventually
+  resolves or fails with the real error.
+
+Two execution regimes, like the engine underneath:
+
+* **Manual mode** (a :class:`~repro.serving.clock.SimulatedClock`):
+  :meth:`step` drives every replica deterministically, zero sleeps.  An
+  optional :class:`~repro.cluster.replica.ServiceModel` supplies
+  virtual per-batch service times, making fleet throughput, latency
+  percentiles, and autoscaler trajectories exact functions of the seed
+  — replicas overlap in *virtual* time, so the scaling curve needs no
+  wall-clock parallelism.
+* **Wall-clock mode**: each replica runs its own worker thread;
+  completions propagate through handle callbacks.  Call
+  :meth:`maintain` periodically (or :meth:`close`) to finalize drains.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.cluster.autoscaler import Autoscaler, AutoscalerPolicy
+from repro.cluster.metrics import ClusterEvent, ClusterMetrics, ClusterRecord
+from repro.cluster.replica import (
+    DRAINING,
+    FAILED,
+    HEALTHY,
+    STOPPED,
+    Replica,
+    ServiceModel,
+)
+from repro.cluster.router import NoHealthyReplica, Router, RoutingPolicy
+from repro.serving.batcher import BatchingPolicy
+from repro.serving.clock import WallClock
+from repro.serving.request import EngineClosed, RequestHandle, ServingError
+from repro.serving.servable import Servable
+
+
+class ClusterHandle(RequestHandle):
+    """Future-style view of one cluster request (routing-aware)."""
+
+    def __init__(self, request_id: int, arrival: float) -> None:
+        super().__init__(request_id, arrival)
+        self.replica_id: int | None = None  #: replica that served it
+        self.retries = 0  #: re-dispatch count (failover/retry)
+
+
+@dataclass
+class _InFlight:
+    """Cluster-side record of one dispatched request (re-routable)."""
+
+    handle: ClusterHandle
+    payload: Any
+    cache_key: Any = None
+    session_id: str | None = None
+    tenant: str | None = None
+    retries: int = field(default=0)
+
+
+class ServingCluster:
+    """Multi-replica serving with routing, failover, and autoscaling.
+
+    Args:
+        factory: ``factory(replica_id) -> Servable`` builder; called for
+            the initial fleet and every autoscaler scale-up.  Build with
+            a fixed seed for cross-replica bit-exactness.
+        replicas: initial fleet size.
+        policy: routing policy name (``round_robin`` /
+            ``least_outstanding`` / ``session_affinity``) or a
+            :class:`RoutingPolicy` instance.
+        batching / max_batch_size / max_wait_us: per-replica batching
+            policy (same knobs as :class:`ServingEngine`).
+        queue_depth: per-replica admission bound.  A full replica queue
+            surfaces :class:`~repro.serving.request.QueueFull` to the
+            submitter — cluster-level backpressure.
+        clock: shared time source; a :class:`SimulatedClock` selects
+            manual stepping.
+        service_model: virtual per-batch service times (manual mode
+            only).
+        autoscaler: an :class:`AutoscalerPolicy` to enable scaling.
+        max_retries: re-dispatches after a non-failover execution error
+            before the handle fails.
+        close_executors: close each servable's photonic executor when
+            its replica shuts down.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[int], Servable],
+        *,
+        replicas: int = 2,
+        policy: "str | RoutingPolicy" = "round_robin",
+        batching: BatchingPolicy | None = None,
+        max_batch_size: int | None = None,
+        max_wait_us: float | None = None,
+        queue_depth: int = 64,
+        clock=None,
+        service_model: ServiceModel | None = None,
+        autoscaler: AutoscalerPolicy | None = None,
+        max_retries: int = 1,
+        close_executors: bool = True,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"need at least 1 replica, got {replicas}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if batching is None:
+            batching = BatchingPolicy(
+                max_batch_size=8 if max_batch_size is None else max_batch_size,
+                max_wait_us=1_000.0 if max_wait_us is None else max_wait_us,
+            )
+        elif max_batch_size is not None or max_wait_us is not None:
+            raise ValueError("pass either batching or the individual knobs, not both")
+        self.factory = factory
+        self.batching = batching
+        self.queue_depth = queue_depth
+        self.clock = clock if clock is not None else WallClock()
+        self.manual = not getattr(self.clock, "real", True)
+        if service_model is not None and not self.manual:
+            raise ValueError(
+                "service_model needs a SimulatedClock (virtual time is "
+                "only defined in manual mode)"
+            )
+        self.service_model = service_model
+        self.max_retries = max_retries
+        self._close_executors = close_executors
+        self.metrics = ClusterMetrics()
+        self.router = Router(policy)
+        self._replicas: dict[int, Replica] = {}
+        self._next_replica_id = 0
+        self._next_request_id = 0
+        self._lock = threading.RLock()
+        self._running = False
+        self._closed = False
+        for _ in range(replicas):
+            self._add_replica_locked()
+        self.autoscaler = (
+            Autoscaler(autoscaler, self) if autoscaler is not None else None
+        )
+
+    # -- fleet management ----------------------------------------------------
+    def _add_replica_locked(self) -> Replica:
+        replica_id = self._next_replica_id
+        self._next_replica_id += 1
+        replica = Replica(
+            replica_id,
+            self.factory(replica_id),
+            policy=self.batching,
+            queue_depth=self.queue_depth,
+            clock=self.clock,
+            close_executor=self._close_executors,
+        )
+        self._replicas[replica_id] = replica
+        if self._running:
+            replica.engine.start()
+        return replica
+
+    def _healthy_locked(self) -> list[Replica]:
+        return sorted(
+            (r for r in self._replicas.values() if r.state == HEALTHY),
+            key=lambda r: r.replica_id,
+        )
+
+    def _scale_up_locked(self, now: float, reason: str) -> Replica:
+        replica = self._add_replica_locked()
+        self.metrics.record_event(
+            ClusterEvent(
+                now, "scale_up", replica.replica_id,
+                len(self._healthy_locked()), reason,
+            )
+        )
+        return replica
+
+    def _begin_drain_locked(self, replica: Replica, now: float, reason: str) -> None:
+        replica.start_drain()
+        self.metrics.record_event(
+            ClusterEvent(
+                now, "drain", replica.replica_id,
+                len(self._healthy_locked()), reason,
+            )
+        )
+
+    def add_replica(self, reason: str = "manual") -> Replica:
+        """Grow the fleet by one replica (records a scale_up event)."""
+        with self._lock:
+            if self._closed:
+                raise EngineClosed("cluster is closed")
+            return self._scale_up_locked(self.clock.now(), reason)
+
+    def drain_replica(self, replica_id: int, reason: str = "manual") -> None:
+        """Start a graceful drain (retired once its backlog is empty)."""
+        with self._lock:
+            self._begin_drain_locked(
+                self._replicas[replica_id], self.clock.now(), reason
+            )
+
+    @property
+    def replicas(self) -> dict[int, Replica]:
+        with self._lock:
+            return dict(self._replicas)
+
+    @property
+    def fleet_size(self) -> int:
+        """Healthy replicas (the autoscaler's notion of fleet size)."""
+        with self._lock:
+            return len(self._healthy_locked())
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted to replica queues but not yet dispatched."""
+        with self._lock:
+            return sum(
+                r.engine.pending for r in self._replicas.values() if r.alive
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "ServingCluster":
+        """Launch every replica's worker thread (no-op in manual mode)."""
+        with self._lock:
+            if self._closed:
+                raise EngineClosed("cluster already closed")
+            self._running = True
+            replicas = list(self._replicas.values())
+        for replica in replicas:
+            if replica.alive:
+                replica.engine.start()
+        return self
+
+    def __enter__(self) -> "ServingCluster":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self, *, drain: bool = True) -> None:
+        """Shut the fleet down; ``drain=False`` fails pending handles."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            replicas = sorted(self._replicas.values(), key=lambda r: r.replica_id)
+        for replica in replicas:
+            if not replica.engine.closed:
+                replica.engine.close(drain=drain)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- submission ----------------------------------------------------------
+    def submit(
+        self,
+        payload: Any,
+        *,
+        cache_key: Any = None,
+        session_id: str | None = None,
+        tenant: str | None = None,
+    ) -> ClusterHandle:
+        """Admit one request; the router picks its replica.
+
+        Raises :class:`QueueFull` when the chosen replica's queue is at
+        capacity (cluster-level backpressure) and
+        :class:`NoHealthyReplica` when routing finds no target.
+        """
+        with self._lock:
+            if self._closed:
+                raise EngineClosed("cluster is closed")
+            self._next_request_id += 1
+            handle = ClusterHandle(self._next_request_id - 1, self.clock.now())
+        record = _InFlight(
+            handle, payload,
+            cache_key=cache_key, session_id=session_id, tenant=tenant,
+        )
+        self._dispatch(record)
+        return handle
+
+    def _dispatch(self, record: _InFlight) -> None:
+        """Route and enqueue one record (initial submit or re-dispatch)."""
+        with self._lock:
+            decision = self.router.route(self._replicas, record.session_id)
+            replica = decision.replica
+            if decision.migrate_from is not None:
+                self._migrate_locked(
+                    record.session_id, decision.migrate_from, replica
+                )
+            engine_handle = replica.engine.submit(
+                record.payload,
+                cache_key=record.cache_key,
+                session_id=record.session_id,
+                block=False,
+            )
+            self.router.begin(record.session_id)
+            replica.outstanding += 1
+            replica.dispatched += 1
+            record.handle.replica_id = replica.replica_id
+            replica.inflight[engine_handle] = record
+            self.metrics.record_dispatch(
+                replica.replica_id,
+                tenant=record.tenant,
+                affinity_hit=decision.affinity_hit,
+                new_session=decision.new_session,
+            )
+        engine_handle.add_done_callback(
+            lambda eh, rec=record, rep=replica: self._on_done(rep, rec, eh)
+        )
+
+    def _migrate_locked(
+        self, session_id: str, source: Replica, target: Replica
+    ) -> None:
+        """Move one quiescent session's KV state between replicas."""
+        source_cache = source.session_cache
+        target_cache = target.session_cache
+        if source_cache is None or not source_cache.has_session(session_id):
+            # Directory entry without materialized KV (first step never
+            # executed, or a cacheless servable): only the placement
+            # moved — no KV traffic, so the migration ledger stays
+            # untouched.
+            return
+        nbytes = source_cache.session_bytes(session_id)
+        session = source_cache.pop_session(session_id)
+        if target_cache is not None:
+            target_cache.adopt_session(session)
+        self.metrics.record_migration(nbytes)
+
+    # -- completion propagation ----------------------------------------------
+    def _on_done(self, replica: Replica, record: _InFlight, engine_handle) -> None:
+        """Handle callback: resolve, fail over, or retry one request."""
+        with self._lock:
+            replica.inflight.pop(engine_handle, None)
+            replica.outstanding -= 1
+            self.router.finish(record.session_id)
+            error = engine_handle._error
+            if error is None:
+                batch_size = engine_handle.batch_size or 0
+                if self.service_model is not None and not engine_handle.cache_hit:
+                    started, finished = replica.virtual_stamp(
+                        max(batch_size, 1), self.clock.now(), self.service_model
+                    )
+                else:
+                    arrival = record.handle.arrival
+                    started = (
+                        engine_handle.started
+                        if engine_handle.started is not None
+                        else arrival
+                    )
+                    finished = (
+                        engine_handle.finished
+                        if engine_handle.finished is not None
+                        else arrival
+                    )
+                record.handle.replica_id = replica.replica_id
+                record.handle._resolve(
+                    engine_handle._value,
+                    started=started,
+                    finished=finished,
+                    batch_size=batch_size,
+                    cache_hit=engine_handle.cache_hit,
+                )
+                self.metrics.record_request(
+                    ClusterRecord(
+                        arrival=record.handle.arrival,
+                        started=started,
+                        finished=finished,
+                        replica_id=replica.replica_id,
+                        batch_size=batch_size,
+                        cache_hit=engine_handle.cache_hit,
+                        tenant=record.tenant,
+                    )
+                )
+                return
+            if record.handle.done():
+                return  # already settled (double-failure race)
+            # A closing cluster neither fails over nor retries: the
+            # EngineClosed from each replica's shutdown is the final
+            # answer for its pending handles.
+            failover = (
+                isinstance(error, EngineClosed) or replica.state == FAILED
+            ) and not self._closed
+            retryable = (
+                not failover
+                and not self._closed
+                and record.retries < self.max_retries
+            )
+        if failover or retryable:
+            if failover:
+                self.metrics.record_failover()
+            else:
+                record.retries += 1
+                record.handle.retries = record.retries
+                self.metrics.record_retry()
+            try:
+                self._dispatch(record)
+                return
+            except ServingError as redispatch_error:
+                error = redispatch_error
+        record.handle._fail(
+            error,
+            started=engine_handle.started,
+            finished=engine_handle.finished,
+            batch_size=engine_handle.batch_size,
+        )
+        self.metrics.record_failure()
+
+    # -- fault injection & failover ------------------------------------------
+    def fail_replica(self, replica_id: int) -> int:
+        """Inject a replica failure; returns re-dispatched request count.
+
+        Queued requests are evicted and re-routed (their handles stay
+        pending until a survivor serves them), sessions are re-homed
+        with their KV state, and the failure lands in the event log.  A
+        wall-clock batch already executing completes normally first.
+        """
+        with self._lock:
+            replica = self._replicas[replica_id]
+            evicted = replica.fail()  # marks FAILED, evicts the queue
+            records = [
+                replica.inflight.pop(request.handle)
+                for request in evicted
+                if request.handle in replica.inflight
+            ]
+            replica.outstanding -= len(records)
+            for record in records:
+                self.router.finish(record.session_id)
+            self.metrics.record_event(
+                ClusterEvent(
+                    self.clock.now(), "replica_failed", replica_id,
+                    len(self._healthy_locked()), "fault injection",
+                )
+            )
+        # Outside the lock: joins the worker thread, whose completion
+        # callbacks re-enter the cluster lock.
+        replica.shutdown()
+        with self._lock:
+            self._rehome_sessions_locked(replica)
+        rerouted = 0
+        for record in records:
+            try:
+                self._dispatch(record)
+                rerouted += 1
+            except ServingError as error:
+                record.handle._fail(error)
+                self.metrics.record_failure()
+        self.metrics.record_failover(rerouted)
+        return rerouted
+
+    def _rehome_sessions_locked(self, replica: Replica) -> None:
+        """Move a dead replica's sessions (and KV) to survivors."""
+        cache = replica.session_cache
+        for session_id in self.router.sessions_owned_by(replica.replica_id):
+            try:
+                target = self.router.rehome(session_id, self._replicas)
+            except NoHealthyReplica:
+                self.router.forget_owner(session_id)
+                continue
+            if cache is not None and cache.has_session(session_id):
+                session = cache.pop_session(session_id)
+                target_cache = target.session_cache
+                if target_cache is not None:
+                    target_cache.adopt_session(session)
+            self.metrics.record_rehome()
+
+    # -- manual stepping & maintenance ---------------------------------------
+    def step(self, *, force: bool = True) -> int:
+        """Step every live replica once; returns requests executed.
+
+        Manual mode only.  Also runs one autoscaler evaluation and
+        finalizes completed drains — the deterministic maintenance tick.
+        """
+        if not self.manual:
+            raise RuntimeError("step() is for manual (simulated-clock) mode")
+        with self._lock:
+            live = sorted(
+                (r for r in self._replicas.values() if r.alive),
+                key=lambda r: r.replica_id,
+            )
+        executed = 0
+        for replica in live:
+            if not replica.engine.closed:
+                executed += replica.engine.step(force=force)
+        self.maintain()
+        return executed
+
+    def maintain(self) -> None:
+        """Autoscaler evaluation + drain finalization (any mode)."""
+        with self._lock:
+            if self.autoscaler is not None:
+                self.autoscaler.evaluate(self.clock.now())
+            ready = [
+                r
+                for r in sorted(
+                    self._replicas.values(), key=lambda r: r.replica_id
+                )
+                if r.state == DRAINING
+                and r.outstanding == 0
+                and r.engine.pending == 0
+            ]
+            for replica in ready:
+                self._rehome_sessions_locked(replica)
+                replica.state = STOPPED
+                self.metrics.record_event(
+                    ClusterEvent(
+                        self.clock.now(), "retire", replica.replica_id,
+                        len(self._healthy_locked()), "drain complete",
+                    )
+                )
+        for replica in ready:
+            replica.engine.close(drain=True)
+
+    def run_until_idle(self) -> int:
+        """Step until every replica queue is empty; returns executed."""
+        processed = 0
+        while True:
+            executed = self.step(force=True)
+            processed += executed
+            if executed == 0 and self.pending == 0:
+                return processed
+
+    # -- observability -------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Fleet metrics + per-replica engine views + replica states."""
+        with self._lock:
+            replicas = dict(self._replicas)
+        snapshot = self.metrics.snapshot(
+            {rid: r.engine.metrics for rid, r in replicas.items()}
+        )
+        snapshot["replicas"] = {
+            str(rid): {
+                "state": r.state,
+                "dispatched": r.dispatched,
+                "outstanding": r.outstanding,
+                "busy_until": r.busy_until,
+            }
+            for rid, r in sorted(replicas.items())
+        }
+        snapshot["fleet_size"] = self.fleet_size
+        return snapshot

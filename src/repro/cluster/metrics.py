@@ -1,0 +1,238 @@
+"""Fleet observability: aggregated metrics and the cluster event log.
+
+:class:`ClusterMetrics` records three kinds of facts:
+
+* **Per-request records** stamped by the cluster (virtual service-model
+  times under a simulated clock, engine times otherwise) — the source
+  of fleet throughput and p50/p95/p99 latency/queue-wait percentiles,
+  computed from raw records with the same
+  :func:`repro.serving.metrics.summarize` the per-engine recorders use.
+* **Routing counters** — per-replica/per-tenant dispatches, affinity
+  hits and misses, KV migrations (count + bytes), failovers, retries,
+  re-homed sessions.
+* **The event log** — every lifecycle transition (scale-up, drain,
+  retire, failure) as a timestamped :class:`ClusterEvent`.  Under a
+  :class:`~repro.serving.clock.SimulatedClock` the log is
+  bit-deterministic, which is exactly what ``bench_cluster.py`` gates.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import asdict, dataclass
+
+from repro.serving.metrics import Metrics, span_throughput, summarize
+
+
+@dataclass(frozen=True)
+class ClusterRecord:
+    """Timing and placement of one completed cluster request."""
+
+    arrival: float
+    started: float
+    finished: float
+    replica_id: int
+    batch_size: int
+    cache_hit: bool
+    tenant: str | None = None
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.arrival
+
+    @property
+    def queue_wait(self) -> float:
+        return self.started - self.arrival
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """One lifecycle transition (autoscaler action or failure)."""
+
+    time: float
+    kind: str  #: "scale_up" | "drain" | "retire" | "replica_failed"
+    replica_id: int
+    fleet_size: int  #: healthy replicas *after* the transition
+    reason: str = ""
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class ClusterMetrics:
+    """Thread-safe recorder the :class:`ServingCluster` reports into."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[ClusterRecord] = []
+        self._failed = 0
+        self._dispatches: Counter[int] = Counter()
+        self._tenants: Counter[str] = Counter()
+        self.affinity_hits = 0
+        self.affinity_misses = 0
+        self.sessions_placed = 0
+        self.migrations = 0
+        self.migrated_bytes = 0
+        self.sessions_rehomed = 0
+        self.failovers = 0
+        self.retries = 0
+        self.events: list[ClusterEvent] = []
+
+    # -- write side ----------------------------------------------------------
+    def record_dispatch(
+        self,
+        replica_id: int,
+        *,
+        tenant: str | None = None,
+        affinity_hit: bool | None = None,
+        new_session: bool = False,
+    ) -> None:
+        with self._lock:
+            self._dispatches[replica_id] += 1
+            if tenant is not None:
+                self._tenants[tenant] += 1
+            if affinity_hit is True:
+                self.affinity_hits += 1
+            elif affinity_hit is False:
+                self.affinity_misses += 1
+            if new_session:
+                self.sessions_placed += 1
+
+    def record_migration(self, nbytes: int) -> None:
+        with self._lock:
+            self.migrations += 1
+            self.migrated_bytes += int(nbytes)
+
+    def record_rehome(self, count: int = 1) -> None:
+        with self._lock:
+            self.sessions_rehomed += count
+
+    def record_failover(self, count: int = 1) -> None:
+        with self._lock:
+            self.failovers += count
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def record_request(self, record: ClusterRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def record_failure(self, count: int = 1) -> None:
+        with self._lock:
+            self._failed += count
+
+    def record_event(self, event: ClusterEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    # -- read side -----------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def failed(self) -> int:
+        with self._lock:
+            return self._failed
+
+    def records(self) -> list[ClusterRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def latencies_since(self, index: int) -> tuple[list[float], int]:
+        """Latencies of records from ``index`` on, plus the new index.
+
+        The autoscaler's SLO signal: each evaluation reads only the
+        window of completions since the previous one.
+        """
+        with self._lock:
+            window = self._records[index:]
+            return [r.latency for r in window], len(self._records)
+
+    def affinity_hit_rate(self) -> float:
+        """Owner-routed fraction of steps with an existing session owner."""
+        with self._lock:
+            total = self.affinity_hits + self.affinity_misses
+            return self.affinity_hits / total if total else 0.0
+
+    def dispatch_counts(self) -> dict[int, int]:
+        with self._lock:
+            return dict(sorted(self._dispatches.items()))
+
+    def tenant_counts(self) -> dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._tenants.items()))
+
+    def throughput(self) -> float:
+        """Fleet requests per second (same definition as per-engine
+        :meth:`~repro.serving.metrics.Metrics.throughput`)."""
+        with self._lock:
+            records = list(self._records)
+        return span_throughput(records)
+
+    def latency_summary(self) -> dict[str, float]:
+        with self._lock:
+            values = [r.latency for r in self._records]
+        return summarize(values)
+
+    def queue_wait_summary(self) -> dict[str, float]:
+        with self._lock:
+            values = [r.queue_wait for r in self._records]
+        return summarize(values)
+
+    def snapshot(self, replica_metrics: "dict[int, Metrics] | None" = None) -> dict:
+        """JSON-able fleet summary.
+
+        ``replica_metrics`` (id -> per-engine :class:`Metrics`) adds the
+        engine-side view: per-replica snapshots plus a fleet-merged
+        occupancy histogram and queue-wait summary computed from the raw
+        per-engine records via :meth:`Metrics.merged`.
+        """
+        with self._lock:
+            events = [event.as_dict() for event in self.events]
+        snapshot = {
+            "completed": self.completed,
+            "failed": self.failed,
+            "throughput_rps": self.throughput(),
+            "latency_s": self.latency_summary(),
+            "queue_wait_s": self.queue_wait_summary(),
+            "dispatches": {
+                str(rid): count for rid, count in self.dispatch_counts().items()
+            },
+            "tenants": self.tenant_counts(),
+            "affinity": {
+                "hits": self.affinity_hits,
+                "misses": self.affinity_misses,
+                "hit_rate": self.affinity_hit_rate(),
+                "sessions_placed": self.sessions_placed,
+            },
+            "migrations": {
+                "count": self.migrations,
+                "bytes": self.migrated_bytes,
+                "sessions_rehomed": self.sessions_rehomed,
+            },
+            "failovers": self.failovers,
+            "retries": self.retries,
+            "events": events,
+        }
+        if replica_metrics is not None:
+            merged = Metrics.merged(list(replica_metrics.values()))
+            occupancy: Counter[int] = Counter()
+            for metrics in replica_metrics.values():
+                occupancy.update(metrics.batch_occupancy())
+            snapshot["engines"] = {
+                "per_replica": {
+                    str(rid): metrics.snapshot()
+                    for rid, metrics in sorted(replica_metrics.items())
+                },
+                "batch_occupancy": {
+                    str(size): count
+                    for size, count in sorted(occupancy.items())
+                },
+                "queue_wait_s": merged.queue_wait_summary(),
+            }
+        return snapshot

@@ -67,15 +67,22 @@ def quantize_array(
     levels = quantization_levels(bits)
     if not values.size:
         return values.copy()
+    # A subnormal max-abs underflows when divided by `levels`, turning
+    # the scale into 0 and the grid into inf/nan — zero and sub-tiny
+    # inputs are returned unchanged instead, identically on both paths
+    # (so per-matrix slices still quantize exactly like per-sample
+    # calls on the same slice).
+    tiny = np.finfo(float).tiny
     if per_matrix and values.ndim > 2:
         max_abs = np.max(np.abs(values), axis=(-2, -1), keepdims=True)
-        # Zero slices survive any scale: 0 rounds to 0 at every grid.
-        scale = np.where(max_abs == 0.0, 1.0, max_abs) / levels
-    else:
-        max_abs = np.max(np.abs(values))
-        if max_abs == 0.0:
-            return values.copy()
-        scale = max_abs / levels
+        degenerate = max_abs < tiny
+        scale = np.where(degenerate, 1.0, max_abs) / levels
+        snapped = np.clip(np.round(values / scale), -levels, levels) * scale
+        return np.where(degenerate, values, snapped)
+    max_abs = np.max(np.abs(values))
+    if max_abs < tiny:
+        return values.copy()
+    scale = max_abs / levels
     return np.clip(np.round(values / scale), -levels, levels) * scale
 
 

@@ -18,8 +18,16 @@ from repro.serving.batcher import BatchingPolicy, DynamicBatcher
 from repro.serving.cache import MISS, Session, SessionCache
 from repro.serving.clock import SimulatedClock, WallClock
 from repro.serving.engine import ServingEngine
-from repro.serving.loadgen import poisson_gaps, run_closed_loop, run_open_loop
-from repro.serving.metrics import Metrics, RequestRecord
+from repro.serving.loadgen import (
+    Arrival,
+    TenantSpec,
+    arrival_gaps,
+    multi_tenant_arrivals,
+    poisson_gaps,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serving.metrics import Metrics, RequestRecord, summarize
 from repro.serving.request import (
     EngineClosed,
     InferenceRequest,
@@ -36,6 +44,7 @@ from repro.serving.servable import (
 )
 
 __all__ = [
+    "Arrival",
     "BatchingPolicy",
     "DecodeServable",
     "DynamicBatcher",
@@ -53,10 +62,14 @@ __all__ = [
     "Session",
     "SessionCache",
     "SimulatedClock",
+    "TenantSpec",
     "TextServable",
     "VisionServable",
     "WallClock",
+    "arrival_gaps",
+    "multi_tenant_arrivals",
     "poisson_gaps",
     "run_closed_loop",
     "run_open_loop",
+    "summarize",
 ]

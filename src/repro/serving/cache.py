@@ -178,6 +178,35 @@ class SessionCache:
         with self._lock:
             return sum(self.session_bytes(sid) for sid in self._sessions)
 
+    def pop_session(self, session_id: str) -> Session:
+        """Remove and return a session wholesale (KV-migration export).
+
+        The cluster layer moves a decode session between replicas by
+        popping it from the old owner's cache and
+        :meth:`adopt_session`-ing it into the new one — the K/V arrays
+        travel with the :class:`Session` object, so a migrated session's
+        functional state (and therefore its bits) is unchanged.
+        """
+        with self._lock:
+            session = self.session(session_id)
+            del self._sessions[session_id]
+            return session
+
+    def adopt_session(self, session: Session) -> Session:
+        """Insert a session exported by another cache's :meth:`pop_session`."""
+        with self._lock:
+            if session.session_id in self._sessions:
+                raise ValueError(
+                    f"session {session.session_id!r} already open here"
+                )
+            self._sessions[session.session_id] = session
+            return session
+
+    def session_ids(self) -> list[str]:
+        """Open session ids, sorted (deterministic re-homing order)."""
+        with self._lock:
+            return sorted(self._sessions)
+
     def close_session(self, session_id: str) -> int:
         """Drop a session; returns the bytes it was holding."""
         with self._lock:

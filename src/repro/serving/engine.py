@@ -154,6 +154,16 @@ class ServingEngine:
     def closed(self) -> bool:
         return self._closed
 
+    def evict_pending(self) -> list[InferenceRequest]:
+        """Remove and return queued requests *without* failing them.
+
+        The failover hook: when a replica is torn down, the cluster
+        evicts its undispatched requests — handles still pending — and
+        re-routes them to surviving replicas.  A subsequent
+        ``close(drain=False)`` then has nothing left to fail.
+        """
+        return self._queue.drain_pending()
+
     # -- submission ----------------------------------------------------------
     def submit(
         self,

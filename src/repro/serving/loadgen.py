@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -34,6 +35,115 @@ def poisson_gaps(
     if mean_gap_s == 0:
         return np.zeros(n)
     return rng.exponential(mean_gap_s, size=n)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of a multi-tenant arrival mix.
+
+    Attributes:
+        name: tenant label (appears on every arrival it generates).
+        rate_rps: mean Poisson arrival rate of this tenant's stream.
+        weights: request-kind mix, ``kind -> relative weight`` (each
+            arrival draws a kind; weights are normalized internally).
+        sessions: when > 0, arrivals carry a session id drawn uniformly
+            from ``{name}/s0 .. {name}/s{sessions-1}`` — the
+            decode-shaped traffic whose placement the cluster's
+            session-affinity routing cares about.
+    """
+
+    name: str
+    rate_rps: float
+    weights: Mapping[str, float] = field(
+        default_factory=lambda: {"default": 1.0}
+    )
+    sessions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ValueError(f"rate_rps must be > 0, got {self.rate_rps}")
+        if self.sessions < 0:
+            raise ValueError(f"sessions must be >= 0, got {self.sessions}")
+        if not self.weights:
+            raise ValueError("weights must name at least one request kind")
+        if any(w < 0 for w in self.weights.values()) or not any(
+            w > 0 for w in self.weights.values()
+        ):
+            raise ValueError(f"weights must be >= 0 with a positive sum: {self.weights}")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One request of a generated arrival schedule."""
+
+    time: float  #: absolute arrival instant (seconds from schedule start)
+    tenant: str
+    kind: str
+    session: str | None  #: session id for decode-shaped tenants, else None
+    index: int  #: global arrival order (0-based, after merging tenants)
+
+
+def multi_tenant_arrivals(
+    tenants: Sequence[TenantSpec],
+    *,
+    horizon_s: float,
+    rng: np.random.Generator,
+) -> list[Arrival]:
+    """Merge per-tenant Poisson streams into one seeded arrival schedule.
+
+    Each tenant draws an independent exponential-gap stream at its own
+    rate until ``horizon_s``, tagging every arrival with a request kind
+    (weighted draw) and, for session-shaped tenants, a session id.  The
+    merged schedule is sorted by time (ties broken by tenant order) and
+    is a pure function of the specs and the generator state — both
+    ``bench_serving`` and ``bench_cluster`` replay identical mixes from
+    equal seeds.
+    """
+    if horizon_s <= 0:
+        raise ValueError(f"horizon_s must be > 0, got {horizon_s}")
+    if not tenants:
+        raise ValueError("need at least one TenantSpec")
+    # One child generator per tenant, derived in spec order, so a
+    # tenant's stream does not depend on how many arrivals the others
+    # drew before it.
+    seeds = rng.integers(0, 2**63, size=len(tenants))
+    merged: list[tuple[float, int, Arrival]] = []
+    for t_index, (spec, seed) in enumerate(zip(tenants, seeds)):
+        tenant_rng = np.random.default_rng(int(seed))
+        kinds = list(spec.weights)
+        probabilities = np.asarray(
+            [spec.weights[kind] for kind in kinds], dtype=float
+        )
+        probabilities /= probabilities.sum()
+        now = 0.0
+        while True:
+            now += float(tenant_rng.exponential(1.0 / spec.rate_rps))
+            if now > horizon_s:
+                break
+            kind = kinds[int(tenant_rng.choice(len(kinds), p=probabilities))]
+            session = (
+                f"{spec.name}/s{int(tenant_rng.integers(spec.sessions))}"
+                if spec.sessions
+                else None
+            )
+            merged.append(
+                (now, t_index, Arrival(now, spec.name, kind, session, 0))
+            )
+    merged.sort(key=lambda item: (item[0], item[1]))
+    return [
+        Arrival(a.time, a.tenant, a.kind, a.session, i)
+        for i, (_, _, a) in enumerate(merged)
+    ]
+
+
+def arrival_gaps(arrivals: Sequence[Arrival]) -> list[float]:
+    """Inter-arrival gaps of a schedule (for :func:`run_open_loop`)."""
+    gaps = []
+    previous = 0.0
+    for arrival in arrivals:
+        gaps.append(arrival.time - previous)
+        previous = arrival.time
+    return gaps
 
 
 def _handle_stats(handles: Sequence) -> dict:

@@ -39,8 +39,14 @@ class RequestRecord:
         return self.started - self.arrival
 
 
-def _summary(values: list[float]) -> dict[str, float]:
-    """mean/p50/p95/p99 of a latency series (zeros when empty)."""
+def summarize(values: list[float]) -> dict[str, float]:
+    """mean/p50/p95/p99 of a latency series (zeros when empty).
+
+    The one summary shape every layer shares: per-engine latency and
+    queue-wait summaries here, and the fleet-level aggregates in
+    :mod:`repro.cluster.metrics`, so percentiles are always computed the
+    same way from raw per-request records.
+    """
     if not values:
         return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
     arr = np.asarray(values, dtype=float)
@@ -51,6 +57,27 @@ def _summary(values: list[float]) -> dict[str, float]:
         "p95": float(p95),
         "p99": float(p99),
     }
+
+
+_summary = summarize
+
+
+def span_throughput(records) -> float:
+    """Completed requests per second of observed span.
+
+    ``records`` need ``arrival`` and ``finished`` attributes; the span
+    runs from the earliest arrival to the latest completion, and a
+    degenerate span (single instant) reports 0.  Shared by the
+    per-engine recorder and the fleet-level
+    :class:`repro.cluster.metrics.ClusterMetrics`, so "throughput"
+    means the same thing at every layer.
+    """
+    if not records:
+        return 0.0
+    span = max(r.finished for r in records) - min(r.arrival for r in records)
+    if span <= 0:
+        return 0.0
+    return len(records) / span
 
 
 class Metrics:
@@ -86,7 +113,34 @@ class Metrics:
         with self._lock:
             self._failed += count
 
+    def record(self, record: RequestRecord) -> None:
+        """Record one already-built :class:`RequestRecord` (merging path)."""
+        with self._lock:
+            self._records.append(record)
+
     # -- read side -----------------------------------------------------------
+    def records(self) -> list[RequestRecord]:
+        """Copy of every completed-request record (aggregation hook)."""
+        with self._lock:
+            return list(self._records)
+
+    @classmethod
+    def merged(cls, parts: "list[Metrics] | tuple[Metrics, ...]") -> "Metrics":
+        """One recorder holding every part's records, batches, failures.
+
+        The cluster layer merges per-replica recorders with this to get
+        fleet-wide latency and queue-wait percentiles computed from the
+        raw records — not averaged from per-replica summaries, which
+        would be wrong for percentiles.
+        """
+        out = cls()
+        for part in parts:
+            with part._lock:
+                out._records.extend(part._records)
+                out._batch_sizes.update(part._batch_sizes)
+                out._failed += part._failed
+        return out
+
     @property
     def completed(self) -> int:
         with self._lock:
@@ -103,19 +157,10 @@ class Metrics:
             return sum(1 for record in self._records if record.cache_hit)
 
     def throughput(self) -> float:
-        """Completed requests per second of observed span.
-
-        Span runs from the earliest arrival to the latest completion; a
-        degenerate span (single instant) reports 0.
-        """
+        """Completed requests per second (see :func:`span_throughput`)."""
         with self._lock:
             records = list(self._records)
-        if not records:
-            return 0.0
-        span = max(r.finished for r in records) - min(r.arrival for r in records)
-        if span <= 0:
-            return 0.0
-        return len(records) / span
+        return span_throughput(records)
 
     def latency_summary(self) -> dict[str, float]:
         with self._lock:

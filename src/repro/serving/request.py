@@ -48,6 +48,8 @@ class RequestHandle:
         self._event = threading.Event()
         self._value: Any = None
         self._error: BaseException | None = None
+        self._callback_lock = threading.Lock()
+        self._callbacks: list[Any] = []
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -84,6 +86,27 @@ class RequestHandle:
             return None
         return self.started - self.arrival
 
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(handle)`` once the handle resolves (or fails).
+
+        Runs in the resolving thread — the engine worker in wall-clock
+        mode, the stepping thread in manual mode — immediately if the
+        handle is already done.  This is how the cluster layer observes
+        per-replica completions without polling; callbacks must not
+        raise.
+        """
+        with self._callback_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    def _fire_callbacks(self) -> None:
+        with self._callback_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
     # -- worker side ---------------------------------------------------------
     def _resolve(
         self,
@@ -100,6 +123,7 @@ class RequestHandle:
         self.batch_size = batch_size
         self.cache_hit = cache_hit
         self._event.set()
+        self._fire_callbacks()
 
     def _fail(
         self,
@@ -114,6 +138,7 @@ class RequestHandle:
         self.finished = finished
         self.batch_size = batch_size
         self._event.set()
+        self._fire_callbacks()
 
 
 @dataclass

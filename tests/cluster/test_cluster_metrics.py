@@ -1,0 +1,119 @@
+"""Tests for fleet metrics aggregation and the cluster event log."""
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterEvent, ClusterMetrics, ClusterRecord
+from repro.serving import Metrics, RequestHandle
+
+
+def record(arrival, started, finished, replica_id=0, tenant=None, cache_hit=False):
+    return ClusterRecord(
+        arrival=arrival,
+        started=started,
+        finished=finished,
+        replica_id=replica_id,
+        batch_size=1,
+        cache_hit=cache_hit,
+        tenant=tenant,
+    )
+
+
+def engine_metrics(waits):
+    """A per-engine recorder with the given queue waits (1 ms service)."""
+    metrics = Metrics()
+    for i, wait in enumerate(waits):
+        handle = RequestHandle(i, float(i))
+        handle._resolve(
+            None, started=i + wait, finished=i + wait + 1e-3, batch_size=2
+        )
+        metrics.record_request(handle)
+        metrics.record_batch(2)
+    return metrics
+
+
+class TestCounters:
+    def test_affinity_hit_rate(self):
+        metrics = ClusterMetrics()
+        assert metrics.affinity_hit_rate() == 0.0
+        metrics.record_dispatch(0, affinity_hit=True)
+        metrics.record_dispatch(1, affinity_hit=False)
+        metrics.record_dispatch(0, affinity_hit=True)
+        metrics.record_dispatch(2, new_session=True)  # not a hit/miss
+        assert metrics.affinity_hit_rate() == pytest.approx(2 / 3)
+        assert metrics.sessions_placed == 1
+
+    def test_dispatch_and_tenant_counts_sorted(self):
+        metrics = ClusterMetrics()
+        metrics.record_dispatch(2, tenant="b")
+        metrics.record_dispatch(0, tenant="a")
+        metrics.record_dispatch(2, tenant="a")
+        assert metrics.dispatch_counts() == {0: 1, 2: 2}
+        assert metrics.tenant_counts() == {"a": 2, "b": 1}
+
+    def test_migration_and_failover_ledgers(self):
+        metrics = ClusterMetrics()
+        metrics.record_migration(128)
+        metrics.record_migration(64)
+        metrics.record_rehome(3)
+        metrics.record_failover(2)
+        metrics.record_retry()
+        assert metrics.migrations == 2
+        assert metrics.migrated_bytes == 192
+        assert metrics.sessions_rehomed == 3
+        assert metrics.failovers == 2
+        assert metrics.retries == 1
+
+
+class TestFleetSummaries:
+    def test_throughput_spans_fleet_records(self):
+        metrics = ClusterMetrics()
+        metrics.record_request(record(0.0, 0.0, 1.0, replica_id=0))
+        metrics.record_request(record(1.0, 1.5, 2.0, replica_id=1))
+        assert metrics.throughput() == 1.0
+        assert metrics.completed == 2
+
+    def test_latency_and_wait_percentiles(self):
+        metrics = ClusterMetrics()
+        for i, wait in enumerate((1e-3, 2e-3, 3e-3)):
+            metrics.record_request(record(i, i + wait, i + wait + 1e-3))
+        assert metrics.latency_summary()["p50"] == pytest.approx(3e-3)
+        assert metrics.queue_wait_summary()["p50"] == pytest.approx(2e-3)
+
+    def test_latencies_since_windows(self):
+        metrics = ClusterMetrics()
+        metrics.record_request(record(0.0, 0.0, 1.0))
+        window, index = metrics.latencies_since(0)
+        assert window == [1.0] and index == 1
+        window, index = metrics.latencies_since(index)
+        assert window == [] and index == 1
+        metrics.record_request(record(0.0, 0.0, 2.0))
+        window, index = metrics.latencies_since(index)
+        assert window == [2.0] and index == 2
+
+
+class TestEventsAndSnapshot:
+    def test_event_log_round_trips_to_json(self):
+        metrics = ClusterMetrics()
+        metrics.record_event(ClusterEvent(1.0, "scale_up", 1, 2, "backlog"))
+        metrics.record_event(ClusterEvent(2.0, "drain", 1, 1, "idle"))
+        snapshot = metrics.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert [e["kind"] for e in snapshot["events"]] == ["scale_up", "drain"]
+
+    def test_snapshot_merges_replica_engine_metrics(self):
+        metrics = ClusterMetrics()
+        per_replica = {
+            0: engine_metrics([1e-3, 3e-3]),
+            1: engine_metrics([2e-3, 4e-3]),
+        }
+        snapshot = metrics.snapshot(per_replica)
+        engines = snapshot["engines"]
+        # Occupancy histograms sum across replicas.
+        assert engines["batch_occupancy"] == {"2": 4}
+        # Queue-wait percentiles come from the merged raw records:
+        # waits are 1/2/3/4 ms pooled, not averaged per replica.
+        assert engines["queue_wait_s"]["p50"] == pytest.approx(2.5e-3)
+        assert set(engines["per_replica"]) == {"0", "1"}
+        assert json.loads(json.dumps(snapshot)) == snapshot

@@ -65,6 +65,22 @@ class TestQuantizeArray:
         assert np.array_equal(quantize_array(np.zeros(5), 4), np.zeros(5))
         assert quantization_error(np.zeros(5), 4) == 0.0
 
+    def test_subnormal_tensor_does_not_produce_nan(self):
+        # A subnormal max-abs used to underflow the scale to 0 and turn
+        # the grid into inf/nan (hypothesis-found falsifying example).
+        values = np.array([5e-324, 0.0])
+        once = quantize_array(values, 3)
+        assert np.array_equal(once, values)  # returned unchanged
+        assert np.array_equal(quantize_array(once, 3), once)
+
+    def test_subnormal_slices_match_per_sample_quantization(self):
+        # Per-matrix slices quantize exactly like per-sample calls,
+        # including the degenerate sub-tiny branch.
+        stacked = np.stack([np.full((2, 2), 5e-324), np.ones((2, 2))])
+        per_matrix = quantize_array(stacked, 3, per_matrix=True)
+        for i in range(2):
+            assert np.array_equal(per_matrix[i], quantize_array(stacked[i], 3))
+
     @given(
         values=hnp.arrays(
             float,

@@ -266,3 +266,97 @@ class TestRemainingBranches:
         engine = manual_engine()
         handle = engine.submit(1)
         assert handle.latency is None and handle.queue_wait is None
+
+
+class TestCloseAndBackpressureEdges:
+    """The thin paths: drain=False propagation and QueueFull recovery."""
+
+    def test_close_without_drain_fails_every_pending_handle(self):
+        engine = manual_engine(queue_depth=8)
+        handles = [engine.submit(i) for i in range(5)]
+        engine.close(drain=False)
+        for handle in handles:
+            error = handle.exception(timeout=0)
+            assert isinstance(error, EngineClosed)
+            with pytest.raises(EngineClosed, match="closed before execution"):
+                handle.result(timeout=0)
+            assert handle.batch_size is None  # never reached a batch
+        assert engine.metrics.failed == 5
+        assert engine.metrics.completed == 0
+
+    def test_close_without_drain_spares_resolved_handles(self):
+        engine = manual_engine()
+        done = engine.submit(3)
+        engine.step()
+        pending = engine.submit(4)
+        engine.close(drain=False)
+        assert done.result(timeout=0) == 6
+        assert isinstance(pending.exception(timeout=0), EngineClosed)
+        assert engine.metrics.completed == 1
+        assert engine.metrics.failed == 1
+
+    def test_queue_full_error_names_the_capacity(self):
+        engine = manual_engine(queue_depth=2)
+        engine.submit(1)
+        engine.submit(2)
+        with pytest.raises(QueueFull, match="capacity \\(2\\)"):
+            engine.submit(3)
+        # Shedding left the queued work untouched.
+        assert engine.pending == 2
+        assert engine.run_until_idle() == 2
+
+    def test_queue_full_repeats_until_a_step_frees_capacity(self):
+        engine = manual_engine(queue_depth=1, max_batch_size=1)
+        first = engine.submit(1)
+        for _ in range(3):
+            with pytest.raises(QueueFull):
+                engine.submit(99)
+        engine.step()
+        second = engine.submit(2)
+        engine.step()
+        assert (first.result(timeout=0), second.result(timeout=0)) == (2, 4)
+
+    def test_evict_pending_removes_without_failing(self):
+        engine = manual_engine()
+        handles = [engine.submit(i) for i in range(3)]
+        evicted = engine.evict_pending()
+        assert [request.handle for request in evicted] == handles
+        assert engine.pending == 0
+        assert not any(handle.done() for handle in handles)
+        engine.close(drain=False)  # nothing left to fail
+        assert engine.metrics.failed == 0
+
+
+class TestDoneCallbacks:
+    def test_callback_fires_on_resolution(self):
+        engine = manual_engine()
+        seen = []
+        handle = engine.submit(5)
+        handle.add_done_callback(seen.append)
+        assert seen == []
+        engine.step()
+        assert seen == [handle]
+        assert seen[0].result(timeout=0) == 10
+
+    def test_callback_fires_immediately_when_already_done(self):
+        engine = manual_engine()
+        handle = engine.submit(5)
+        engine.step()
+        seen = []
+        handle.add_done_callback(seen.append)
+        assert seen == [handle]
+
+    def test_callback_fires_on_failure_paths(self):
+        engine = manual_engine(EchoServable(fail=True))
+        executed = engine.submit(1)
+        failures = []
+        executed.add_done_callback(
+            lambda h: failures.append(type(h.exception(timeout=0)))
+        )
+        engine.step()
+        closed = engine.submit(2)
+        closed.add_done_callback(
+            lambda h: failures.append(type(h.exception(timeout=0)))
+        )
+        engine.close(drain=False)
+        assert failures == [RuntimeError, EngineClosed]

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.serving import Metrics, RequestHandle
+from repro.serving import Metrics, RequestHandle, summarize
 
 
 def resolved_handle(
@@ -84,3 +84,71 @@ class TestMetrics:
         assert json.loads(json.dumps(snapshot)) == snapshot
         assert snapshot["batch_occupancy"] == {"2": 1}
         assert snapshot["mean_batch_occupancy"] == 2.0
+
+    def test_snapshot_exposes_queue_wait_percentiles(self):
+        """Queue waits (submit -> batch formation) appear in the JSON."""
+        metrics = Metrics()
+        for i, wait in enumerate((1e-3, 2e-3, 4e-3, 8e-3)):
+            metrics.record_request(
+                resolved_handle(arrival=i, started=i + wait, finished=i + wait)
+            )
+        wait = metrics.snapshot()["queue_wait_s"]
+        assert set(wait) == {"mean", "p50", "p95", "p99"}
+        assert wait["p50"] == pytest.approx(3e-3)
+        assert wait["mean"] == pytest.approx(np.mean([1e-3, 2e-3, 4e-3, 8e-3]))
+        assert wait["p99"] == pytest.approx(
+            np.percentile([1e-3, 2e-3, 4e-3, 8e-3], 99)
+        )
+
+
+class TestSummarize:
+    def test_empty_series_is_all_zero(self):
+        assert summarize([]) == {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_percentiles_match_numpy(self):
+        values = [1.0, 2.0, 3.0, 10.0]
+        summary = summarize(values)
+        assert summary["mean"] == pytest.approx(4.0)
+        assert summary["p95"] == pytest.approx(np.percentile(values, 95))
+
+
+class TestMergedMetrics:
+    def test_records_accessor_returns_copies(self):
+        metrics = Metrics()
+        metrics.record_request(resolved_handle(0.0, 0.5, 1.0))
+        records = metrics.records()
+        assert len(records) == 1
+        records.clear()
+        assert metrics.completed == 1
+
+    def test_merged_pools_raw_records_not_summaries(self):
+        """Percentiles of the merged fleet come from pooled records —
+        aggregating per-replica p50s would give a different (wrong)
+        answer for any skewed split."""
+        a, b = Metrics(), Metrics()
+        for wait in (1e-3, 2e-3, 3e-3):
+            a.record_request(resolved_handle(0.0, wait, wait))
+        b.record_request(resolved_handle(0.0, 10e-3, 10e-3))
+        a.record_batch(2)
+        b.record_batch(2)
+        b.record_batch(4)
+        b.record_failures(2)
+        merged = Metrics.merged([a, b])
+        assert merged.completed == 4
+        assert merged.failed == 2
+        assert merged.batch_occupancy() == {2: 2, 4: 1}
+        # Pooled waits 1/2/3/10 ms: p50 = 2.5 ms; the mean of the two
+        # per-part p50s (2 ms and 10 ms) would be 6 ms.
+        assert merged.queue_wait_summary()["p50"] == pytest.approx(2.5e-3)
+        # Merging copies: later records in the parts don't leak in.
+        a.record_request(resolved_handle(0.0, 1.0, 1.0))
+        assert merged.completed == 4
+
+    def test_record_accepts_prebuilt_records(self):
+        source = Metrics()
+        source.record_request(resolved_handle(0.0, 0.5, 1.0))
+        target = Metrics()
+        for record in source.records():
+            target.record(record)
+        assert target.completed == 1
+        assert target.latency_summary()["p50"] == pytest.approx(1.0)

@@ -103,3 +103,40 @@ class TestServeBenchCommand:
     def test_bad_model_rejected(self):
         with pytest.raises(SystemExit):
             main(["serve-bench", "--model", "gpt-17"])
+
+
+class TestClusterBenchCommand:
+    def test_vision_fleet(self, capsys):
+        assert main([
+            "cluster-bench", "--model", "tiny-vit", "--replicas", "2",
+            "--requests", "8", "--max-batch-size", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "virtual-open-loop" in out
+        assert "replica-0" in out and "replica-1" in out
+
+    def test_decode_affinity_stats(self, capsys):
+        assert main([
+            "cluster-bench", "--model", "decode", "--replicas", "3",
+            "--policy", "session_affinity", "--requests", "12",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "affinity: hit rate" in out
+        assert "KV migrations" in out
+
+    def test_autoscale_emits_events(self, capsys):
+        assert main([
+            "cluster-bench", "--autoscale", "--replicas", "3",
+            "--requests", "24", "--rate", "20000", "--max-batch-size", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(autoscaled)" in out
+        assert "scale_up" in out
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cluster-bench", "--policy", "random"])
+
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cluster-bench", "--replicas", "0"])

@@ -6,17 +6,18 @@ Reads a Cobertura-style ``coverage.xml`` (as written by ``pytest
 coverage of the files under a gated prefix drops below its floor.
 
 The core engines are the trust anchors of the repo — every benchmark
-gate and every model result flows through them — and the serving
-subsystem is the request-facing layer on top, so both are gated in CI
-while the rest of the tree is only reported.  Lines that execute
+gate and every model result flows through them — and the serving and
+cluster subsystems are the request-facing layers on top, so all three
+are gated in CI while the rest of the tree is only reported.  Lines that execute
 inside process-pool *workers* (the ``backend="process"`` shard path)
 are invisible to the parent-process collector; the floors account for
 that.
 
 Usage:
-    python tools/check_core_coverage.py coverage.xml --floor 85
+    python tools/check_core_coverage.py coverage.xml            # registered gates
+    python tools/check_core_coverage.py coverage.xml --prefix repro/core/ --floor 85
     python tools/check_core_coverage.py coverage.xml \
-        --gate repro/core/=85 --gate repro/serving/=85
+        --gate repro/core/=85 --gate repro/serving/=85 --gate repro/cluster/=85
 """
 
 from __future__ import annotations
@@ -24,6 +25,14 @@ from __future__ import annotations
 import argparse
 import sys
 import xml.etree.ElementTree as ET
+
+#: The gated packages and their floors; running the tool with no
+#: --gate/--prefix arguments enforces exactly these (what CI does).
+REGISTERED_GATES: list[tuple[str, float]] = [
+    ("repro/core/", 85.0),
+    ("repro/serving/", 85.0),
+    ("repro/cluster/", 85.0),
+]
 
 
 def core_line_coverage(xml_path: str, prefix: str) -> tuple[int, int, dict]:
@@ -83,13 +92,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("report", help="path to coverage.xml")
     parser.add_argument(
         "--prefix",
-        default="repro/core/",
-        help="path fragment selecting the gated files (default: repro/core/)",
+        default=None,
+        help="path fragment selecting the gated files (with --floor, "
+        "overrides the registered gates)",
     )
     parser.add_argument(
         "--floor",
         type=float,
-        default=85.0,
+        default=None,
         help="minimum aggregate line coverage percent (default: 85)",
     )
     parser.add_argument(
@@ -102,7 +112,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    gates = args.gate if args.gate else [(args.prefix, args.floor)]
+    if args.gate:
+        gates = args.gate
+    elif args.prefix is not None or args.floor is not None:
+        gates = [
+            (
+                args.prefix if args.prefix is not None else "repro/core/",
+                args.floor if args.floor is not None else 85.0,
+            )
+        ]
+    else:
+        gates = REGISTERED_GATES
     worst = 0
     for prefix, floor in gates:
         worst = max(worst, check_gate(args.report, prefix, floor))
