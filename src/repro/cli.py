@@ -225,11 +225,13 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         max_wait_us=args.max_wait_us,
         queue_depth=max(64, args.requests),
         close_executor=True,
+        scheduler=args.scheduler,
     ) as engine:
         rows.append(run_open_loop(engine, payloads, gaps))
         users = min(args.users, len(payloads))
         rows.append(run_closed_loop(engine, payloads[:users], rounds=args.rounds))
         occupancy = engine.metrics.batch_occupancy()
+        iteration_occupancy = engine.metrics.iteration_occupancy()
     for row in rows:
         row.setdefault("concurrency", "-")
     print(
@@ -237,7 +239,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             rows,
             title=(
                 f"serve-bench {args.model}: max_batch_size={args.max_batch_size}, "
-                f"max_wait_us={args.max_wait_us:g}, rate={args.rate:g} req/s"
+                f"max_wait_us={args.max_wait_us:g}, rate={args.rate:g} req/s, "
+                f"scheduler={args.scheduler}"
             ),
         )
     )
@@ -245,6 +248,13 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         "batch occupancy: "
         + ", ".join(f"{size}x{count}" for size, count in occupancy.items())
     )
+    if iteration_occupancy:
+        print(
+            "iteration occupancy: "
+            + ", ".join(
+                f"{size}x{count}" for size, count in iteration_occupancy.items()
+            )
+        )
     return 0
 
 
@@ -328,6 +338,7 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
             per_request_s=args.service_per_request_us * 1e-6,
         ),
         autoscaler=autoscaler,
+        scheduler=args.scheduler,
     )
     rng = np.random.default_rng(seed + 1)
     with cluster:
@@ -357,7 +368,8 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
                 f"cluster-bench {args.model}: policy={args.policy}, "
                 f"replicas={args.replicas}"
                 f"{' (autoscaled)' if args.autoscale else ''}, "
-                f"rate={args.rate:g} req/s (virtual time)"
+                f"rate={args.rate:g} req/s (virtual time), "
+                f"scheduler={args.scheduler}"
             ),
         )
     )
@@ -444,6 +456,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--rounds", type=int, default=2, help="closed-loop rounds")
     p_serve.add_argument("--num-cores", type=int, default=1)
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--scheduler",
+        choices=("request", "continuous"),
+        default="request",
+        help="batch composition: request-level or iteration-level",
+    )
     p_serve.set_defaults(func=cmd_serve_bench)
 
     p_cluster = sub.add_parser(
@@ -481,6 +499,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="p95 latency SLO for --autoscale (milliseconds)",
     )
     p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument(
+        "--scheduler",
+        choices=("request", "continuous"),
+        default="request",
+        help="per-replica batch composition: request- or iteration-level",
+    )
     p_cluster.set_defaults(func=cmd_cluster_bench)
 
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")

@@ -106,6 +106,15 @@ class ServingCluster:
             before the handle fails.
         close_executors: close each servable's photonic executor when
             its replica shuts down.
+        scheduler: per-replica batch-composition mode (``"request"`` or
+            ``"continuous"``), passed to every
+            :class:`~repro.serving.engine.ServingEngine` — iteration-level
+            scheduling with paged KV sessions that migrate and fail
+            over wholesale.
+        iteration_cost: per-replica
+            :class:`~repro.serving.scheduler.IterationCost` (manual mode
+            only); an alternative to ``service_model`` that advances the
+            shared simulated clock per executed iteration.
     """
 
     def __init__(
@@ -123,6 +132,8 @@ class ServingCluster:
         autoscaler: AutoscalerPolicy | None = None,
         max_retries: int = 1,
         close_executors: bool = True,
+        scheduler: str = "request",
+        iteration_cost=None,
     ) -> None:
         if replicas < 1:
             raise ValueError(f"need at least 1 replica, got {replicas}")
@@ -145,7 +156,14 @@ class ServingCluster:
                 "service_model needs a SimulatedClock (virtual time is "
                 "only defined in manual mode)"
             )
+        if service_model is not None and iteration_cost is not None:
+            raise ValueError(
+                "pass service_model or iteration_cost, not both (they are "
+                "competing virtual-time models)"
+            )
         self.service_model = service_model
+        self.scheduler = scheduler
+        self.iteration_cost = iteration_cost
         self.max_retries = max_retries
         self._close_executors = close_executors
         self.metrics = ClusterMetrics()
@@ -173,6 +191,8 @@ class ServingCluster:
             queue_depth=self.queue_depth,
             clock=self.clock,
             close_executor=self._close_executors,
+            scheduler=self.scheduler,
+            iteration_cost=self.iteration_cost,
         )
         self._replicas[replica_id] = replica
         if self._running:
@@ -424,6 +444,23 @@ class ServingCluster:
             batch_size=engine_handle.batch_size,
         )
         self.metrics.record_failure()
+
+    def release_session(self, session_id: str) -> int:
+        """Retire a finished decode session fleet-wide.
+
+        Frees the owning replica's paged KV state (its
+        :class:`~repro.serving.cache.BlockPool` pages return to the
+        free list), drops any continuous-scheduler bookkeeping there,
+        and forgets the directory entry.  Returns the KV bytes freed.
+        Call once the session's submitted steps have resolved.
+        """
+        with self._lock:
+            owner_id = self.router.directory.get(session_id)
+            owner = self._replicas.get(owner_id) if owner_id is not None else None
+            self.router.forget_owner(session_id)
+            if owner is None or owner.engine.closed:
+                return 0
+            return owner.engine.release_session(session_id)
 
     # -- fault injection & failover ------------------------------------------
     def fail_replica(self, replica_id: int) -> int:

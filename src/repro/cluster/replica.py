@@ -87,6 +87,8 @@ class Replica:
         queue_depth: int = 64,
         clock=None,
         close_executor: bool = True,
+        scheduler: str = "request",
+        iteration_cost=None,
     ) -> None:
         self.replica_id = replica_id
         self.name = f"replica-{replica_id}"
@@ -97,6 +99,8 @@ class Replica:
             queue_depth=queue_depth,
             clock=clock,
             close_executor=close_executor,
+            scheduler=scheduler,
+            iteration_cost=iteration_cost,
         )
         self.state = HEALTHY
         #: Dispatched-but-not-completed requests (queued + executing).

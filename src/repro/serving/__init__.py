@@ -15,19 +15,24 @@ sleeping.
 """
 
 from repro.serving.batcher import BatchingPolicy, DynamicBatcher
-from repro.serving.cache import MISS, Session, SessionCache
+from repro.serving.cache import MISS, BlockPool, KVBlock, Session, SessionCache
 from repro.serving.clock import SimulatedClock, WallClock
-from repro.serving.engine import ServingEngine
+from repro.serving.engine import SCHEDULERS, ServingEngine
 from repro.serving.loadgen import (
     Arrival,
+    DecodeSessionSpec,
     TenantSpec,
     arrival_gaps,
+    decode_payload,
+    mixed_decode_trace,
     multi_tenant_arrivals,
     poisson_gaps,
     run_closed_loop,
+    run_decode_trace,
     run_open_loop,
 )
 from repro.serving.metrics import Metrics, RequestRecord, summarize
+from repro.serving.scheduler import IterationCost, IterationScheduler
 from repro.serving.request import (
     EngineClosed,
     InferenceRequest,
@@ -46,16 +51,22 @@ from repro.serving.servable import (
 __all__ = [
     "Arrival",
     "BatchingPolicy",
+    "BlockPool",
     "DecodeServable",
+    "DecodeSessionSpec",
     "DynamicBatcher",
     "EngineClosed",
     "InferenceRequest",
+    "IterationCost",
+    "IterationScheduler",
+    "KVBlock",
     "MISS",
     "Metrics",
     "QueueFull",
     "RequestHandle",
     "RequestQueue",
     "RequestRecord",
+    "SCHEDULERS",
     "Servable",
     "ServingEngine",
     "ServingError",
@@ -67,9 +78,12 @@ __all__ = [
     "VisionServable",
     "WallClock",
     "arrival_gaps",
+    "decode_payload",
+    "mixed_decode_trace",
     "multi_tenant_arrivals",
     "poisson_gaps",
     "run_closed_loop",
+    "run_decode_trace",
     "run_open_loop",
     "summarize",
 ]

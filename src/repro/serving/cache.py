@@ -1,4 +1,4 @@
-"""Session cache: prompt memoization + KV-cache accounting.
+"""Session cache: prompt memoization + paged (block) KV accounting.
 
 Two concerns the serving layer needs from one component:
 
@@ -8,12 +8,17 @@ Two concerns the serving layer needs from one component:
   bounds the store; least-recently-used entries are evicted.
 * **KV-session accounting** — decode-shaped workloads
   (:mod:`repro.workloads.llm`) keep per-request K/V state between
-  steps.  Sessions store the functional per-step K/V vectors the
-  :class:`~repro.serving.servable.DecodeServable` attends over, and
-  their byte accounting is *defined* as
-  :func:`repro.workloads.llm.kv_cache_bytes` at the session's current
-  context length, so the serving layer and the Sec. VI-B analysis can
-  never disagree about cache footprints.
+  steps.  Sessions store their per-step K/V vectors in fixed-size
+  **pages** (:class:`KVBlock` of ``block_size`` tokens) drawn from a
+  :class:`BlockPool` with a byte budget and a free list, the layout
+  that lets the continuous (iteration-level) scheduler share photonic
+  GEMV batches across sessions of different lengths without
+  re-padding.  Byte accounting is *defined* as
+  :func:`repro.workloads.llm.kv_cache_bytes` at the session's
+  **page-rounded** context length, so the per-session ledger, the
+  pool budget, and the Sec. VI-B analysis can never disagree about
+  cache footprints (``block_size=1`` degenerates to exact per-token
+  accounting — the pre-paging behaviour).
 """
 
 from __future__ import annotations
@@ -31,34 +36,278 @@ from repro.workloads.llm import DecoderConfig, kv_cache_bytes
 MISS = object()
 
 
+class KVBlock:
+    """One fixed-capacity page of per-token K/V vectors.
+
+    A block owns two ``[block_size, dim]`` arrays and a fill count;
+    token slots are written append-only.  Blocks are reusable: the
+    :class:`BlockPool` zeroes them on reallocation, so a recycled page
+    never leaks a previous session's state.
+    """
+
+    __slots__ = ("keys", "values", "fill")
+
+    def __init__(self, block_size: int, dim: int) -> None:
+        if block_size < 1 or dim < 1:
+            raise ValueError(
+                f"block_size and dim must be >= 1, got {block_size}, {dim}"
+            )
+        self.keys = np.zeros((block_size, dim))
+        self.values = np.zeros((block_size, dim))
+        self.fill = 0
+
+    @property
+    def block_size(self) -> int:
+        return self.keys.shape[0]
+
+    @property
+    def full(self) -> bool:
+        return self.fill >= self.block_size
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        if self.full:
+            raise ValueError("append to a full KV block")
+        self.keys[self.fill] = k
+        self.values[self.fill] = v
+        self.fill += 1
+
+    def fill_zeros(self, tokens: int) -> None:
+        """Occupy ``tokens`` slots with zero-state (prompt) tokens."""
+        if self.fill + tokens > self.block_size:
+            raise ValueError(
+                f"{tokens} zero tokens do not fit a block at fill {self.fill}"
+            )
+        self.fill += tokens  # slots are already zeroed
+
+    def reset(self) -> None:
+        self.keys[:] = 0.0
+        self.values[:] = 0.0
+        self.fill = 0
+
+
+class BlockPool:
+    """Budgeted allocator of :class:`KVBlock` pages with a free list.
+
+    The pool charges one "in use" unit per resident block; its byte
+    view is ``in_use * block_bytes`` where ``block_bytes`` is
+    :func:`kv_cache_bytes` at ``block_size`` tokens — identical, per
+    page, to the session ledger.  ``allocate`` itself never fails
+    (a *soft* budget): the continuous scheduler enforces the budget
+    proactively via :meth:`can_fit`, preempting sessions before a
+    batch would overrun, so request-mode engines without a scheduler
+    keep working against an unbounded-by-default pool.
+
+    Swap and migration move custody without touching the free list:
+    :meth:`discharge` releases the budget of blocks that leave the
+    pool (preempted to host memory, or exported to another replica)
+    while the arrays travel with their session; :meth:`charge` is the
+    inverse on re-admission/adoption.
+    """
+
+    def __init__(
+        self,
+        config: DecoderConfig,
+        *,
+        block_size: int = 1,
+        capacity_bytes: int | None = None,
+        kv_bits: int = 8,
+    ) -> None:
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise ValueError(
+                f"capacity_bytes must be >= 0, got {capacity_bytes}"
+            )
+        self.config = config
+        self.block_size = block_size
+        self.kv_bits = kv_bits
+        self.block_bytes = kv_cache_bytes(config, block_size, bits=kv_bits)
+        self.capacity_bytes = capacity_bytes
+        #: Whole blocks the byte budget can hold (None = unbounded).
+        self.capacity_blocks = (
+            None if capacity_bytes is None else capacity_bytes // self.block_bytes
+        )
+        self._free: list[KVBlock] = []
+        self.in_use = 0
+        self.allocations = 0
+        self.reuses = 0
+
+    def blocks_for(self, tokens: int) -> int:
+        """Pages covering ``tokens`` (the page-rounding rule)."""
+        if tokens < 0:
+            raise ValueError(f"tokens must be >= 0, got {tokens}")
+        return -(-tokens // self.block_size)
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    @property
+    def in_use_bytes(self) -> int:
+        return self.in_use * self.block_bytes
+
+    def can_fit(self, blocks: int) -> bool:
+        """Would charging ``blocks`` more stay within the budget?"""
+        if self.capacity_blocks is None:
+            return True
+        return self.in_use + blocks <= self.capacity_blocks
+
+    def allocate(self) -> KVBlock:
+        """One zeroed block, reusing the free list when possible."""
+        if self._free:
+            block = self._free.pop()
+            block.reset()
+            self.reuses += 1
+        else:
+            block = KVBlock(self.block_size, self.config.dim)
+            self.allocations += 1
+        self.in_use += 1
+        return block
+
+    def release(self, blocks: "list[KVBlock]") -> None:
+        """Return resident blocks to the free list (session closed)."""
+        self.in_use -= len(blocks)
+        self._free.extend(blocks)
+
+    def recycle(self, blocks: "list[KVBlock]") -> None:
+        """Free-list blocks that were *not* charged (a swapped session
+        closing): reuse the arrays without double-crediting the budget."""
+        self._free.extend(blocks)
+
+    def discharge(self, blocks: int) -> None:
+        """Blocks leave pool custody (swap-out / migration export)."""
+        if blocks > self.in_use:
+            raise ValueError(
+                f"cannot discharge {blocks} blocks with {self.in_use} in use"
+            )
+        self.in_use -= blocks
+
+    def charge(self, blocks: int) -> None:
+        """Blocks enter pool custody (swap-in / migration adoption).
+
+        Never fails: adoption (failover, migration) must not lose KV
+        state, so an over-budget charge is allowed and left for the
+        scheduler to resolve by preemption.
+        """
+        self.in_use += blocks
+
+    def stats(self) -> dict:
+        return {
+            "block_size": self.block_size,
+            "block_bytes": self.block_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "capacity_blocks": self.capacity_blocks,
+            "in_use_blocks": self.in_use,
+            "in_use_bytes": self.in_use_bytes,
+            "free_blocks": self.free_blocks,
+            "allocations": self.allocations,
+            "reuses": self.reuses,
+        }
+
+
 @dataclass
 class Session:
-    """Per-request decode state (one generation stream)."""
+    """Per-request decode state (one generation stream), paged.
+
+    K/V vectors live in ``blocks``; ``prompt_slots`` of the leading
+    slots hold materialized zero-state prompt tokens (pooled caches
+    materialize the prompt so the page count always equals
+    ``blocks_for(context_len)``; config-less caches keep the prompt
+    implicit, ``prompt_slots == 0``).  ``swapped`` marks a preempted
+    session whose blocks currently live outside the pool budget (the
+    host-memory swap of the continuous scheduler) — the arrays, and
+    therefore the bits, are untouched.
+    """
 
     session_id: str
     prompt_len: int = 0
-    #: K/V vectors appended by decode steps (prompt tokens are modelled
-    #: as zero-state; see ``DecodeServable``).
-    keys: list[np.ndarray] = field(default_factory=list)
-    values: list[np.ndarray] = field(default_factory=list)
+    blocks: list[KVBlock] = field(default_factory=list)
+    prompt_slots: int = 0
+    swapped: bool = False
+
+    @property
+    def generated(self) -> int:
+        """Tokens appended by decode steps (excludes the prompt)."""
+        return sum(block.fill for block in self.blocks) - self.prompt_slots
 
     @property
     def context_len(self) -> int:
         """Tokens of attendable context (prompt + generated)."""
-        return self.prompt_len + len(self.keys)
+        return self.prompt_len + self.generated
+
+    def _slot(self, index: int) -> tuple[KVBlock, int]:
+        for block in self.blocks:
+            if index < block.fill:
+                return block, index
+            index -= block.fill
+        raise IndexError("token slot out of range")
+
+    @property
+    def keys(self) -> list[np.ndarray]:
+        """Generated-token K vectors, in step order (views into pages)."""
+        return [
+            self._slot(self.prompt_slots + i)[0].keys[
+                self._slot(self.prompt_slots + i)[1]
+            ]
+            for i in range(self.generated)
+        ]
+
+    @property
+    def values(self) -> list[np.ndarray]:
+        """Generated-token V vectors, in step order (views into pages)."""
+        return [
+            self._slot(self.prompt_slots + i)[0].values[
+                self._slot(self.prompt_slots + i)[1]
+            ]
+            for i in range(self.generated)
+        ]
+
+    def kv_arrays(self, dim: int) -> tuple[np.ndarray, np.ndarray]:
+        """``([context, dim], [context, dim])`` K/V for attention.
+
+        Prompt tokens are zero-state whether materialized in pages or
+        implicit, so the concatenation is bit-identical to the
+        flat-list layout paging replaced.
+        """
+        implicit = self.prompt_len - self.prompt_slots
+        parts_k: list[np.ndarray] = []
+        parts_v: list[np.ndarray] = []
+        if implicit:
+            parts_k.append(np.zeros((implicit, dim)))
+            parts_v.append(np.zeros((implicit, dim)))
+        for block in self.blocks:
+            if block.fill:
+                parts_k.append(block.keys[: block.fill])
+                parts_v.append(block.values[: block.fill])
+        if not parts_k:
+            return np.zeros((0, dim)), np.zeros((0, dim))
+        return np.concatenate(parts_k), np.concatenate(parts_v)
+
+    @property
+    def has_room(self) -> bool:
+        """Does the last page have a free token slot?"""
+        return bool(self.blocks) and not self.blocks[-1].full
 
 
 class SessionCache:
-    """LRU activation memoizer + KV-session ledger.
+    """LRU activation memoizer + paged KV-session ledger.
 
     Args:
         config: decoder architecture the KV accounting is sized for;
-            required for the session API, optional for pure memoization.
+            required for the session ledger and the block pool,
+            optional for pure memoization.
         capacity_bytes: LRU budget of the memo store (``None`` =
             unbounded).  Entries larger than the whole budget are not
             admitted.
         kv_bits: K/V element precision used by the byte accounting
             (the paper's decode analysis defaults to int8).
+        block_size: tokens per KV page.  1 (the default) makes paging
+            degenerate — byte accounting is exactly the pre-paging
+            per-token ledger; larger pages round every session's
+            footprint up to whole blocks.
+        kv_capacity_bytes: byte budget of the :class:`BlockPool`
+            (``None`` = unbounded).  The budget is enforced by the
+            continuous scheduler (preemption), not by ``append_kv``.
     """
 
     def __init__(
@@ -67,12 +316,31 @@ class SessionCache:
         *,
         capacity_bytes: int | None = None,
         kv_bits: int = 8,
+        block_size: int = 1,
+        kv_capacity_bytes: int | None = None,
     ) -> None:
         if capacity_bytes is not None and capacity_bytes < 0:
             raise ValueError(f"capacity_bytes must be >= 0, got {capacity_bytes}")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if config is None and kv_capacity_bytes is not None:
+            raise ValueError(
+                "a KV byte budget needs a DecoderConfig to size its pages"
+            )
         self.config = config
         self.capacity_bytes = capacity_bytes
         self.kv_bits = kv_bits
+        self.block_size = block_size
+        self.pool: BlockPool | None = (
+            BlockPool(
+                config,
+                block_size=block_size,
+                capacity_bytes=kv_capacity_bytes,
+                kv_bits=kv_bits,
+            )
+            if config is not None
+            else None
+        )
         self._memo: OrderedDict[Any, tuple[Any, int]] = OrderedDict()
         self._memo_bytes = 0
         self._sessions: dict[str, Session] = {}
@@ -139,6 +407,17 @@ class SessionCache:
             if session_id in self._sessions:
                 raise ValueError(f"session {session_id!r} already open")
             session = Session(session_id=session_id, prompt_len=prompt_len)
+            if self.pool is not None and prompt_len > 0:
+                # Materialize the (zero-state) prompt into pages so the
+                # resident block count always equals the page-rounded
+                # ledger — pool budget and session_bytes cannot diverge.
+                remaining = prompt_len
+                for _ in range(self.pool.blocks_for(prompt_len)):
+                    block = self.pool.allocate()
+                    block.fill_zeros(min(remaining, block.block_size))
+                    remaining -= block.fill
+                    session.blocks.append(block)
+                session.prompt_slots = prompt_len
             self._sessions[session_id] = session
             return session
 
@@ -154,52 +433,120 @@ class SessionCache:
             return session_id in self._sessions
 
     def append_kv(self, session_id: str, k: np.ndarray, v: np.ndarray) -> int:
-        """Append one decode step's K/V; returns the new context length."""
+        """Append one decode step's K/V; returns the new context length.
+
+        Allocates a fresh page when the session's last block is full —
+        from the pool when the cache has one (zeroed free-list reuse),
+        directly otherwise (config-less caches keep working without a
+        ledger).
+        """
+        k = np.asarray(k, dtype=float)
+        v = np.asarray(v, dtype=float)
         with self._lock:
             session = self.session(session_id)
-            session.keys.append(np.asarray(k, dtype=float))
-            session.values.append(np.asarray(v, dtype=float))
+            if not session.has_room:
+                if self.pool is not None:
+                    session.blocks.append(self.pool.allocate())
+                else:
+                    session.blocks.append(KVBlock(self.block_size, k.shape[0]))
+            session.blocks[-1].append(k, v)
             return session.context_len
 
     def context_len(self, session_id: str) -> int:
         return self.session(session_id).context_len
 
+    def session_blocks(self, session_id: str) -> int:
+        """Pages the session's page-rounded context occupies."""
+        session = self.session(session_id)
+        return -(-session.context_len // self.block_size)
+
     def session_bytes(self, session_id: str) -> int:
-        """KV footprint of one session — by definition
-        ``kv_cache_bytes(config, context_len, kv_bits)``."""
+        """Page-rounded KV footprint of one session — by definition
+        ``kv_cache_bytes(config, blocks * block_size, kv_bits)``, so
+        the ledger, the :class:`BlockPool` budget, and the Sec. VI-B
+        analysis agree page for page."""
         session = self.session(session_id)
         if session.context_len == 0:
             return 0
-        return kv_cache_bytes(
-            self._require_config(), session.context_len, bits=self.kv_bits
-        )
+        rounded = self.session_blocks(session_id) * self.block_size
+        return kv_cache_bytes(self._require_config(), rounded, bits=self.kv_bits)
 
     def total_kv_bytes(self) -> int:
         with self._lock:
             return sum(self.session_bytes(sid) for sid in self._sessions)
+
+    def resident_kv_bytes(self) -> int:
+        """Page-rounded bytes of the sessions charged to the pool
+        (excludes swapped-out sessions) — equals ``pool.in_use_bytes``
+        whenever every resident page was pool-allocated."""
+        with self._lock:
+            return sum(
+                self.session_bytes(sid)
+                for sid, session in self._sessions.items()
+                if not session.swapped
+            )
+
+    # -- preemption (continuous-scheduler swap) ------------------------------
+    def swap_out(self, session_id: str) -> int:
+        """Preempt: release the session's pool budget, keep its bits.
+
+        The page arrays stay attached to the session (modelling a swap
+        to host memory), so a later :meth:`swap_in` resumes with
+        bit-identical state.  Returns the blocks discharged.
+        """
+        with self._lock:
+            session = self.session(session_id)
+            if session.swapped:
+                return 0
+            session.swapped = True
+            if self.pool is not None:
+                self.pool.discharge(len(session.blocks))
+            return len(session.blocks)
+
+    def swap_in(self, session_id: str) -> int:
+        """Re-admit a preempted session's pages into the pool budget."""
+        with self._lock:
+            session = self.session(session_id)
+            if not session.swapped:
+                return 0
+            session.swapped = False
+            if self.pool is not None:
+                self.pool.charge(len(session.blocks))
+            return len(session.blocks)
 
     def pop_session(self, session_id: str) -> Session:
         """Remove and return a session wholesale (KV-migration export).
 
         The cluster layer moves a decode session between replicas by
         popping it from the old owner's cache and
-        :meth:`adopt_session`-ing it into the new one — the K/V arrays
-        travel with the :class:`Session` object, so a migrated session's
-        functional state (and therefore its bits) is unchanged.
+        :meth:`adopt_session`-ing it into the new one — the **block
+        list travels with the** :class:`Session` object (and its pool
+        budget is discharged here), so a migrated session's functional
+        state, page layout, and therefore its bits are unchanged.
         """
         with self._lock:
             session = self.session(session_id)
             del self._sessions[session_id]
+            if self.pool is not None and not session.swapped:
+                self.pool.discharge(len(session.blocks))
             return session
 
     def adopt_session(self, session: Session) -> Session:
-        """Insert a session exported by another cache's :meth:`pop_session`."""
+        """Insert a session exported by another cache's :meth:`pop_session`.
+
+        Charges this cache's pool for the adopted pages (swapped
+        sessions stay uncharged until the scheduler swaps them in).
+        Adoption never fails on budget: failover must not lose KV
+        state, so an over-budget fleet resolves by later preemption.
+        """
         with self._lock:
             if session.session_id in self._sessions:
                 raise ValueError(
                     f"session {session.session_id!r} already open here"
                 )
             self._sessions[session.session_id] = session
+            if self.pool is not None and not session.swapped:
+                self.pool.charge(len(session.blocks))
             return session
 
     def session_ids(self) -> list[str]:
@@ -208,10 +555,21 @@ class SessionCache:
             return sorted(self._sessions)
 
     def close_session(self, session_id: str) -> int:
-        """Drop a session; returns the bytes it was holding."""
+        """Drop a session; returns the bytes it was holding.
+
+        Resident pages go back on the pool free list for reuse;
+        swapped pages are recycled without a budget credit (they were
+        discharged at preemption).
+        """
         with self._lock:
-            freed = self.session_bytes(session_id)
-            del self._sessions[session_id]
+            freed = self.session_bytes(session_id) if self.config else 0
+            session = self._sessions.pop(session_id)
+            if self.pool is not None:
+                if session.swapped:
+                    self.pool.recycle(session.blocks)
+                else:
+                    self.pool.release(session.blocks)
+            session.blocks = []
             return freed
 
     @property
@@ -219,14 +577,25 @@ class SessionCache:
         with self._lock:
             return len(self._sessions)
 
+    @property
+    def swapped_sessions(self) -> int:
+        with self._lock:
+            return sum(1 for s in self._sessions.values() if s.swapped)
+
     # -- observability -------------------------------------------------------
     def stats(self) -> dict:
-        return {
+        stats = {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "memo_entries": self.memo_entries,
             "memo_bytes": self.memo_bytes,
             "open_sessions": self.open_sessions,
+            "swapped_sessions": self.swapped_sessions,
+            "block_size": self.block_size,
             "total_kv_bytes": self.total_kv_bytes() if self.config else 0,
+            "resident_kv_bytes": self.resident_kv_bytes() if self.config else 0,
         }
+        if self.pool is not None:
+            stats["pool"] = self.pool.stats()
+        return stats

@@ -38,7 +38,11 @@ from repro.serving.request import (
     RequestQueue,
     ServingError,
 )
+from repro.serving.scheduler import IterationCost, IterationScheduler
 from repro.serving.servable import Servable
+
+#: Batch-composition modes of the engine (see ``scheduler=``).
+SCHEDULERS = ("request", "continuous")
 
 
 def _isolated(value: Any) -> Any:
@@ -62,6 +66,20 @@ class ServingEngine:
         metrics: recorder; a fresh :class:`Metrics` by default.
         close_executor: close the servable's photonic executor (its
             sharded worker pools) when the engine closes.
+        scheduler: batch-composition mode.  ``"request"`` (default) is
+            classic dynamic batching — composition frozen per batch,
+            partial batches wait out the policy window.  ``"continuous"``
+            is iteration-level scheduling via the
+            :class:`~repro.serving.scheduler.IterationScheduler`: every
+            iteration re-admits arrivals, retires finished sessions,
+            recomposes the photonic GEMV batch from the active set, and
+            preempts lowest-priority sessions when the servable's KV
+            :class:`~repro.serving.cache.BlockPool` is exhausted.
+        iteration_cost: optional
+            :class:`~repro.serving.scheduler.IterationCost` — in manual
+            (simulated-clock) mode the engine advances virtual time by
+            ``batch_seconds(b)`` per executed batch, in *both* scheduler
+            modes, so throughput comparisons share one cost model.
     """
 
     def __init__(
@@ -76,6 +94,8 @@ class ServingEngine:
         cache: SessionCache | None = None,
         metrics: Metrics | None = None,
         close_executor: bool = False,
+        scheduler: str = "request",
+        iteration_cost: IterationCost | None = None,
     ) -> None:
         if policy is None:
             policy = BatchingPolicy(
@@ -84,15 +104,43 @@ class ServingEngine:
             )
         elif max_batch_size is not None or max_wait_us is not None:
             raise ValueError("pass either policy or the individual knobs, not both")
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+            )
         self.servable = servable
         self.policy = policy
         self.clock = clock if clock is not None else WallClock()
         self.manual = not getattr(self.clock, "real", True)
+        if iteration_cost is not None and not self.manual:
+            raise ValueError(
+                "iteration_cost models virtual service time; it needs a "
+                "SimulatedClock"
+            )
         self.cache = cache
         self.metrics = metrics if metrics is not None else Metrics()
         self._close_executor = close_executor
         self._queue = RequestQueue(queue_depth)
         self._batcher = DynamicBatcher(self._queue, policy, self.clock)
+        self.scheduler = scheduler
+        self.iteration_cost = iteration_cost
+        self._continuous = scheduler == "continuous"
+        # KV residency is governed by the *servable's* session cache
+        # (where decode state lives), not the memoization cache.
+        session_cache = getattr(servable, "cache", None)
+        self._scheduler = (
+            IterationScheduler(
+                max_active=policy.max_batch_size,
+                cache=session_cache
+                if isinstance(session_cache, SessionCache)
+                else None,
+            )
+            if self._continuous
+            else None
+        )
+        # Guards scheduler state: the worker composes while clients
+        # release sessions / the cluster evicts for failover.
+        self._sched_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._lifecycle = threading.Lock()
         self._closed = False
@@ -106,8 +154,11 @@ class ServingEngine:
             if self._closed:
                 raise EngineClosed("engine already closed")
             if not self.manual and self._thread is None:
+                target = (
+                    self._worker_continuous if self._continuous else self._worker
+                )
                 self._thread = threading.Thread(
-                    target=self._worker, name="serving-engine", daemon=True
+                    target=target, name="serving-engine", daemon=True
                 )
                 self._thread.start()
         return self
@@ -133,7 +184,11 @@ class ServingEngine:
             thread = self._thread
             self._thread = None
         if not drain:
-            for request in self._queue.drain_pending():
+            abandoned = self._queue.drain_pending()
+            if self._scheduler is not None:
+                with self._sched_lock:
+                    abandoned += self._scheduler.drain()
+            for request in abandoned:
                 request.handle._fail(EngineClosed("engine closed before execution"))
                 self.metrics.record_failures()
         self._queue.close()  # worker drains the remainder, then exits
@@ -160,9 +215,36 @@ class ServingEngine:
         The failover hook: when a replica is torn down, the cluster
         evicts its undispatched requests — handles still pending — and
         re-routes them to surviving replicas.  A subsequent
-        ``close(drain=False)`` then has nothing left to fail.
+        ``close(drain=False)`` then has nothing left to fail.  Under
+        continuous scheduling the scheduler's held steps (including
+        those of preempted sessions) are evicted too, merged in global
+        submission order so per-session step order survives re-dispatch.
         """
-        return self._queue.drain_pending()
+        evicted = self._queue.drain_pending()
+        if self._scheduler is not None:
+            with self._sched_lock:
+                evicted += self._scheduler.drain()
+            evicted.sort(key=lambda request: request.request_id)
+        return evicted
+
+    def release_session(self, session_id: str) -> int:
+        """Retire a finished decode session; returns the KV bytes freed.
+
+        Drops the scheduler's priority/queue state for the session and
+        closes it in the servable's cache, returning its pages to the
+        :class:`~repro.serving.cache.BlockPool` free list.  Call only
+        once the session's submitted steps have resolved.
+        """
+        if self._scheduler is not None:
+            with self._sched_lock:
+                self._scheduler.release(session_id)
+        session_cache = getattr(self.servable, "cache", None)
+        if (
+            isinstance(session_cache, SessionCache)
+            and session_cache.has_session(session_id)
+        ):
+            return session_cache.close_session(session_id)
+        return 0
 
     # -- submission ----------------------------------------------------------
     def submit(
@@ -219,20 +301,45 @@ class ServingEngine:
     @property
     def pending(self) -> int:
         """Requests admitted but not yet dispatched into a batch."""
-        return len(self._queue)
+        queued = len(self._queue)
+        if self._scheduler is not None:
+            with self._sched_lock:
+                queued += self._scheduler.held
+        return queued
 
     # -- manual stepping (simulated clock) -----------------------------------
     def step(self, *, force: bool = True) -> int:
         """Collect and execute one batch; returns its size (0 if none).
 
-        ``force=False`` respects the batching policy at the clock's
-        current instant — the batch is dispatched only if it is full or
-        the oldest request's wait budget has expired.
+        In request mode ``force=False`` respects the batching policy at
+        the clock's current instant — the batch is dispatched only if
+        it is full or the oldest request's wait budget has expired.
+        Continuous mode has no window: every step ingests all arrivals
+        and executes one recomposed iteration (``force`` is ignored).
         """
+        if self._continuous:
+            return self._step_continuous()
         batch = self._batcher.collect(force=force)
         if batch:
             self._execute(batch)
         return len(batch)
+
+    def _step_continuous(self) -> int:
+        """Ingest arrivals, compose one iteration, execute it."""
+        arrivals = self._queue.drain_pending()
+        with self._sched_lock:
+            for request in arrivals:
+                self._scheduler.enqueue(request)
+            iteration = self._scheduler.compose()
+        for request in iteration.doomed:
+            request.handle._fail(self._scheduler.doom_error(request))
+            self.metrics.record_failures()
+        if iteration.batch:
+            self.metrics.record_iteration(len(iteration.batch))
+            self._execute(iteration.batch)
+        # Doomed requests count as progress: run_until_idle must keep
+        # stepping past a doom-only iteration while work remains.
+        return len(iteration.batch) + len(iteration.doomed)
 
     def run_until_idle(self) -> int:
         """Step until the queue is empty; returns requests processed."""
@@ -256,6 +363,46 @@ class ServingEngine:
                 return
             self._execute(batch)
 
+    def _worker_continuous(self) -> None:
+        """Wall-clock continuous loop: iterate while work exists.
+
+        Unlike :meth:`_worker` there is no batching window — the loop
+        only blocks when both the queue and the scheduler are empty,
+        and every pass ingests all arrivals before recomposing.
+        """
+        queue = self._queue
+        while True:
+            with queue.not_empty:
+                while (
+                    not queue._items
+                    and not queue.closed
+                    and not self._scheduler.has_work()
+                ):
+                    queue.not_empty.wait()
+                if (
+                    not queue._items
+                    and queue.closed
+                    and not self._scheduler.has_work()
+                ):
+                    return
+                arrivals = queue.pop_locked(len(queue._items))
+            with self._sched_lock:
+                for request in arrivals:
+                    self._scheduler.enqueue(request)
+                iteration = self._scheduler.compose()
+            for request in iteration.doomed:
+                request.handle._fail(self._scheduler.doom_error(request))
+                self.metrics.record_failures()
+            if iteration.batch:
+                self.metrics.record_iteration(len(iteration.batch))
+                self._execute(iteration.batch)
+
+    def _finished_time(self, batch_size: int) -> float:
+        """Completion timestamp; charges the virtual iteration cost."""
+        if self.iteration_cost is not None:
+            self.clock.advance(self.iteration_cost.batch_seconds(batch_size))
+        return self.clock.now()
+
     def _execute(self, batch: list[InferenceRequest]) -> None:
         started = self.clock.now()
         try:
@@ -267,14 +414,14 @@ class ServingEngine:
                     f"batch of {len(batch)}"
                 )
         except Exception as error:  # noqa: BLE001 - failures go to handles
-            finished = self.clock.now()
+            finished = self._finished_time(len(batch))
             for request in batch:
                 request.handle._fail(
                     error, started=started, finished=finished, batch_size=len(batch)
                 )
             self.metrics.record_failures(len(batch))
             return
-        finished = self.clock.now()
+        finished = self._finished_time(len(batch))
         self.metrics.record_batch(len(batch))
         for request, output in zip(batch, outputs):
             if request.cache_key is not None and self.cache is not None:

@@ -203,6 +203,174 @@ def run_open_loop(
     }
 
 
+@dataclass(frozen=True)
+class DecodeSessionSpec:
+    """One decode session of a mixed-length trace.
+
+    ``arrival_s`` is when the session's first step arrives; ``steps``
+    is how many tokens it generates.  The per-step token vectors come
+    from :func:`decode_payload` — a pure function of ``(seed,
+    session_index, step)`` — so replays of the same trace are
+    bit-identical across schedulers, engines, and cluster layouts.
+    """
+
+    session_id: str
+    arrival_s: float
+    steps: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError(f"arrival_s must be >= 0, got {self.arrival_s}")
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1, got {self.steps}")
+
+
+def mixed_decode_trace(
+    sessions: int,
+    *,
+    seed: int = 0,
+    min_steps: int = 2,
+    max_steps: int = 10,
+    horizon_s: float = 0.01,
+) -> list[DecodeSessionSpec]:
+    """Seeded mixed-length decode trace (the continuous-batching gate).
+
+    Sessions arrive uniformly over ``horizon_s`` with uniformly drawn
+    generation lengths in ``[min_steps, max_steps]`` — the ragged mix
+    where request-level batching strands lanes behind stragglers and
+    pays window waits, while iteration-level scheduling recomposes
+    every step.
+    """
+    if sessions < 1:
+        raise ValueError(f"sessions must be >= 1, got {sessions}")
+    if not 1 <= min_steps <= max_steps:
+        raise ValueError(f"need 1 <= min_steps <= max_steps, got {min_steps}, {max_steps}")
+    rng = np.random.default_rng(seed)
+    arrivals = np.sort(rng.uniform(0.0, horizon_s, size=sessions))
+    steps = rng.integers(min_steps, max_steps + 1, size=sessions)
+    return [
+        DecodeSessionSpec(f"s{i}", float(arrivals[i]), int(steps[i]))
+        for i in range(sessions)
+    ]
+
+
+def decode_payload(seed: int, session_index: int, step: int, dim: int) -> np.ndarray:
+    """The token vector of one decode step — pure in its arguments."""
+    rng = np.random.default_rng([seed, session_index, step])
+    return rng.normal(0.0, 1.0, dim)
+
+
+def run_decode_trace(
+    target,
+    specs: Sequence[DecodeSessionSpec],
+    *,
+    payload_fn: Callable[[int, int], Any],
+    idle_tick_s: float = 0.0,
+    release: bool = True,
+    max_idle_ticks: int = 1_000_000,
+) -> dict:
+    """Replay a decode trace closed-loop under a simulated clock.
+
+    ``target`` is a :class:`~repro.serving.engine.ServingEngine` or a
+    :class:`~repro.cluster.cluster.ServingCluster` in manual mode: it
+    needs ``submit(payload, session_id=...)``, ``step(force=...)``,
+    ``release_session`` and a ``clock`` with ``advance``.  Each session
+    is closed-loop — step ``k+1`` is submitted only once step ``k``
+    resolved, the real decode dependency — and the loop is event-driven:
+    when a step executes nothing, virtual time advances to the next
+    session arrival or by ``idle_tick_s`` (the request-mode batching
+    window; continuous mode never needs it).  ``payload_fn(session_index,
+    step)`` produces each step's payload.  Sessions are released (KV
+    freed) on completion when ``release`` is set.
+
+    Returns per-session outputs (``outputs[session_id]`` is the list of
+    step results, for bit-equality gates), the virtual makespan, and
+    steps-per-virtual-second throughput.
+    """
+    clock = target.clock
+    if getattr(clock, "real", True):
+        raise ValueError("run_decode_trace needs a simulated clock")
+    order = sorted(range(len(specs)), key=lambda i: (specs[i].arrival_s, i))
+    pending = list(order)  # spec indices not yet arrived
+    inflight: dict[int, Any] = {}  # spec index -> unresolved handle
+    next_step = {i: 0 for i in range(len(specs))}
+    outputs: dict[str, list[np.ndarray]] = {spec.session_id: [] for spec in specs}
+    start = clock.now()
+    done = 0
+    idle_ticks = 0
+
+    def submit_due() -> None:
+        now = clock.now() - start
+        while pending and specs[pending[0]].arrival_s <= now + 1e-12:
+            index = pending.pop(0)
+            inflight[index] = target.submit(
+                payload_fn(index, next_step[index]),
+                session_id=specs[index].session_id,
+            )
+
+    submit_due()
+    while done < len(specs):
+        executed = target.step(force=False)
+        progressed = executed > 0
+        for index, handle in list(inflight.items()):
+            if not handle.done():
+                continue
+            del inflight[index]
+            spec = specs[index]
+            outputs[spec.session_id].append(handle.result())
+            next_step[index] += 1
+            progressed = True
+            if next_step[index] >= spec.steps:
+                done += 1
+                if release:
+                    target.release_session(spec.session_id)
+            else:
+                inflight[index] = target.submit(
+                    payload_fn(index, next_step[index]),
+                    session_id=spec.session_id,
+                )
+        if progressed:
+            idle_ticks = 0
+            submit_due()
+            continue
+        # Nothing ran and nothing resolved: advance virtual time to the
+        # next event — a future arrival, or the batching-window expiry
+        # of the oldest undispatched step (its handle carries the exact
+        # submit stamp, so request mode pays its window and not a tick
+        # more).
+        now_abs = clock.now()
+        next_arrival = (
+            start + specs[pending[0]].arrival_s if pending else np.inf
+        )
+        window = (
+            min(h.arrival for h in inflight.values()) + idle_tick_s
+            if idle_tick_s > 0 and inflight
+            else np.inf
+        )
+        tick_to = min(next_arrival, window)
+        if not np.isfinite(tick_to) or tick_to <= now_abs:
+            # No timed event left: force the residual partial batch out.
+            if target.step(force=True) == 0:
+                raise RuntimeError(
+                    "decode trace stalled: no progress and no pending event"
+                )
+            continue
+        clock.advance(tick_to - now_abs)
+        idle_ticks += 1
+        if idle_ticks > max_idle_ticks:
+            raise RuntimeError("decode trace stalled: idle-tick limit reached")
+        submit_due()
+    makespan = clock.now() - start
+    total_steps = sum(spec.steps for spec in specs)
+    return {
+        "sessions": len(specs),
+        "steps": total_steps,
+        "makespan_s": makespan,
+        "throughput_sps": total_steps / makespan if makespan > 0 else 0.0,
+        "outputs": outputs,
+    }
+
+
 def run_closed_loop(
     engine: ServingEngine,
     payloads: Sequence[Any],

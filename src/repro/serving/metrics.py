@@ -87,6 +87,7 @@ class Metrics:
         self._lock = threading.Lock()
         self._records: list[RequestRecord] = []
         self._batch_sizes: Counter[int] = Counter()
+        self._iteration_sizes: Counter[int] = Counter()
         self._failed = 0
 
     # -- engine side ---------------------------------------------------------
@@ -108,6 +109,12 @@ class Metrics:
         """Record one executed batch's occupancy."""
         with self._lock:
             self._batch_sizes[size] += 1
+
+    def record_iteration(self, active: int) -> None:
+        """Record one continuous-scheduler iteration's active-session
+        count (sessionless fill-in requests count as one lane each)."""
+        with self._lock:
+            self._iteration_sizes[active] += 1
 
     def record_failures(self, count: int = 1) -> None:
         with self._lock:
@@ -138,6 +145,7 @@ class Metrics:
             with part._lock:
                 out._records.extend(part._records)
                 out._batch_sizes.update(part._batch_sizes)
+                out._iteration_sizes.update(part._iteration_sizes)
                 out._failed += part._failed
         return out
 
@@ -183,6 +191,21 @@ class Metrics:
             batches = sum(self._batch_sizes.values())
         return total / batches if batches else 0.0
 
+    def iteration_occupancy(self) -> dict[int, int]:
+        """Histogram: active sessions -> continuous iterations executed.
+
+        Empty unless the engine ran with ``scheduler="continuous"`` —
+        the iteration-level counterpart of :meth:`batch_occupancy`.
+        """
+        with self._lock:
+            return dict(sorted(self._iteration_sizes.items()))
+
+    def mean_iteration_occupancy(self) -> float:
+        with self._lock:
+            total = sum(size * n for size, n in self._iteration_sizes.items())
+            iterations = sum(self._iteration_sizes.values())
+        return total / iterations if iterations else 0.0
+
     def snapshot(self) -> dict:
         """JSON-able summary of everything recorded so far."""
         return {
@@ -196,4 +219,9 @@ class Metrics:
                 str(size): count for size, count in self.batch_occupancy().items()
             },
             "mean_batch_occupancy": self.mean_occupancy(),
+            "iteration_occupancy": {
+                str(size): count
+                for size, count in self.iteration_occupancy().items()
+            },
+            "mean_iteration_occupancy": self.mean_iteration_occupancy(),
         }

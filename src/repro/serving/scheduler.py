@@ -1,0 +1,274 @@
+"""Iteration-level (continuous) decode scheduling.
+
+Request-level dynamic batching freezes batch composition when a batch
+is dispatched, so a decode session arriving mid-step waits out the
+whole :class:`~repro.serving.batcher.DynamicBatcher` window and a
+session finishing early leaves its GEMV lane idle.  The
+:class:`IterationScheduler` is the vLLM-style alternative: every
+*iteration* it recomposes the batch from the active session set —
+newly-arrived sessions are admitted immediately, finished ones retire,
+and one decode step per active session rides the same batched photonic
+GEMV projection.  HAPA's hybrid split is what makes this free of
+bit-level consequences: attention is per-session digital state, and
+the photonic projections are per-sample GEMV stacks, so outputs are
+independent of batch composition.
+
+KV residency is the scheduling constraint.  Sessions hold paged K/V
+state in a :class:`~repro.serving.cache.BlockPool`; before a session
+runs, the scheduler ensures its pages are resident and one slot of
+headroom exists, **preempting** the lowest-priority sessions (swap-out:
+budget released, bits kept) when the pool is exhausted.  Priority is
+first-admission order and survives preemption, so resumption is FCFS
+and deterministic.  A session whose page demand can never fit the pool
+— even with every other session preempted — is *doomed* and its queued
+steps are failed rather than spinning forever.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.serving.cache import SessionCache
+from repro.serving.request import InferenceRequest, ServingError
+
+
+@dataclass(frozen=True)
+class IterationCost:
+    """Virtual service time of one fused decode iteration.
+
+    Mirrors :class:`repro.cluster.replica.ServiceModel` for the engine
+    layer: under a :class:`~repro.serving.clock.SimulatedClock` the
+    engine advances virtual time by ``batch_seconds(b)`` per executed
+    iteration, so request-level and continuous scheduling are compared
+    under the *same* cost model and differ only in composition and
+    window waits.
+    """
+
+    base_s: float = 1e-3
+    per_request_s: float = 250e-6
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0 or self.per_request_s < 0:
+            raise ValueError(f"iteration costs must be >= 0: {self}")
+
+    def batch_seconds(self, batch_size: int) -> float:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        return self.base_s + self.per_request_s * batch_size
+
+
+@dataclass
+class Iteration:
+    """One composed iteration: the batch to execute plus doomed requests
+    (sessions whose KV demand cannot fit the pool at any priority)."""
+
+    batch: list[InferenceRequest] = field(default_factory=list)
+    doomed: list[InferenceRequest] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.batch or self.doomed)
+
+
+class IterationScheduler:
+    """Composes one decode step per active session, every iteration.
+
+    Holds per-session FIFO step queues (a session's steps never
+    reorder) plus a FIFO of sessionless requests that fill spare lanes,
+    so ``scheduler="continuous"`` also serves stateless servables.
+    ``max_active`` caps lanes per iteration (the photonic batch axis);
+    the attached cache's :class:`~repro.serving.cache.BlockPool` caps
+    residency.  All mutation happens under the engine's scheduler lock.
+    """
+
+    def __init__(self, *, max_active: int, cache: SessionCache | None = None) -> None:
+        if max_active < 1:
+            raise ValueError(f"max_active must be >= 1, got {max_active}")
+        self.max_active = max_active
+        self.cache = cache if cache is not None and cache.pool is not None else None
+        self._steps: dict[str, deque[InferenceRequest]] = {}
+        self._priority: dict[str, int] = {}
+        self._stamp = 0
+        self._sessionless: deque[InferenceRequest] = deque()
+        self.admissions = 0
+        self.preemptions = 0
+        self.swap_ins = 0
+        self.iterations = 0
+
+    # -- intake ---------------------------------------------------------------
+    def enqueue(self, request: InferenceRequest) -> None:
+        """Admit one request into the scheduler's pending state."""
+        sid = request.session_id
+        if sid is None:
+            self._sessionless.append(request)
+            return
+        if sid not in self._priority:
+            # First-seen admission order is the priority, kept across
+            # preemption: resumption is FCFS, simultaneous arrivals are
+            # ordered by submission (request_id) order.
+            self._priority[sid] = self._stamp
+            self._stamp += 1
+            self.admissions += 1
+        self._steps.setdefault(sid, deque()).append(request)
+
+    @property
+    def held(self) -> int:
+        """Requests admitted to the scheduler but not yet dispatched."""
+        return sum(len(q) for q in self._steps.values()) + len(self._sessionless)
+
+    def has_work(self) -> bool:
+        return bool(self._sessionless) or any(self._steps.values())
+
+    # -- residency ------------------------------------------------------------
+    def _needed_blocks(self, sid: str) -> int:
+        """Additional pool blocks running ``sid`` one step may charge."""
+        pool = self.cache.pool
+        if not self.cache.has_session(sid):
+            return pool.blocks_for(1)
+        session = self.cache.session(sid)
+        headroom = 0 if session.has_room else 1
+        if session.swapped:
+            return len(session.blocks) + headroom
+        return headroom
+
+    def _pick_victim(self, protected: set[str]) -> str | None:
+        """Lowest-priority preemptable resident session, quiescent first.
+
+        Quiescent residents (no queued steps — including sessions this
+        scheduler never admitted, e.g. adopted via migration) are
+        preferred victims; among runnable residents the latest-admitted
+        goes first.  ``protected`` shields sessions already planned
+        into the current iteration.
+        """
+        candidates = [
+            sid
+            for sid in self.cache.session_ids()
+            if sid not in protected and not self.cache.session(sid).swapped
+        ]
+        if not candidates:
+            return None
+        return max(
+            candidates,
+            key=lambda sid: (
+                not self._steps.get(sid),  # quiescent first
+                self._priority.get(sid, -1),
+                sid,
+            ),
+        )
+
+    def _ensure_resident(self, sid: str, planned: list[str]) -> bool:
+        """Make ``sid`` runnable this iteration, preempting if needed.
+
+        Returns False when the pool cannot host the session right now
+        (it stays queued and retries next iteration).  Raises
+        :class:`ServingError` via the doomed path in :meth:`compose`
+        when the session can *never* fit.
+        """
+        pool = self.cache.pool
+        needed = self._needed_blocks(sid)
+        protected = set(planned) | {sid}
+        while not pool.can_fit(needed):
+            victim = self._pick_victim(protected)
+            if victim is None:
+                return False
+            self.cache.swap_out(victim)
+            self.preemptions += 1
+        if self.cache.has_session(sid) and self.cache.session(sid).swapped:
+            self.cache.swap_in(sid)
+            self.swap_ins += 1
+        return True
+
+    # -- composition ----------------------------------------------------------
+    def compose(self) -> Iteration:
+        """Plan one iteration from the current active set.
+
+        Runnable sessions are planned in priority (first-admission)
+        order up to ``max_active``; spare lanes fill with sessionless
+        requests FIFO.  When the highest-priority runnable session
+        cannot fit the pool even with everything else preempted, its
+        steps are returned as ``doomed`` (the engine fails them) so
+        stepping always makes progress.
+        """
+        iteration = Iteration()
+        runnable = sorted(
+            (sid for sid, steps in self._steps.items() if steps),
+            key=lambda sid: self._priority[sid],
+        )
+        planned: list[str] = []
+        for sid in runnable:
+            if len(planned) >= self.max_active:
+                break
+            if self.cache is not None and not self._ensure_resident(sid, planned):
+                if planned:
+                    continue  # blocked behind protected higher-priority work
+                # Nothing is planned and nothing is preemptable: this
+                # session's pages can never fit the pool.
+                self._doom(sid, iteration)
+                continue
+            planned.append(sid)
+        iteration.batch.extend(self._steps[sid].popleft() for sid in planned)
+        while self._sessionless and len(iteration.batch) < self.max_active:
+            iteration.batch.append(self._sessionless.popleft())
+        if iteration.batch:
+            self.iterations += 1
+        return iteration
+
+    def _doom(self, sid: str, iteration: Iteration) -> None:
+        iteration.doomed.extend(self._steps.pop(sid, ()))
+        self._priority.pop(sid, None)
+        if self.cache is not None and self.cache.has_session(sid):
+            self.cache.close_session(sid)
+
+    @staticmethod
+    def doom_error(request: InferenceRequest) -> ServingError:
+        return ServingError(
+            f"session {request.session_id!r} needs more KV blocks than "
+            f"the pool can ever hold"
+        )
+
+    # -- retirement / failover ------------------------------------------------
+    def release(self, session_id: str) -> None:
+        """Retire a finished session's scheduler state.
+
+        Steps still queued for it would be silently dropped, so that is
+        an error — resolve or evict them first.
+        """
+        if self._steps.get(session_id):
+            raise ValueError(
+                f"session {session_id!r} still has queued steps; "
+                "cannot release"
+            )
+        self._steps.pop(session_id, None)
+        self._priority.pop(session_id, None)
+
+    def forget(self, session_id: str) -> None:
+        """Drop priority state for a departed session (migration)."""
+        self._steps.pop(session_id, None)
+        self._priority.pop(session_id, None)
+
+    def drain(self) -> list[InferenceRequest]:
+        """Remove every held request, in global submission order.
+
+        The failover hook behind
+        :meth:`~repro.serving.engine.ServingEngine.evict_pending`:
+        handles stay pending, per-session step order is preserved
+        (request ids are engine-monotone), and the scheduler forgets
+        the drained sessions so re-dispatch elsewhere starts clean.
+        """
+        drained = list(self._sessionless)
+        self._sessionless.clear()
+        for steps in self._steps.values():
+            drained.extend(steps)
+        self._steps.clear()
+        self._priority.clear()
+        return sorted(drained, key=lambda request: request.request_id)
+
+    def stats(self) -> dict:
+        return {
+            "max_active": self.max_active,
+            "held": self.held,
+            "admissions": self.admissions,
+            "preemptions": self.preemptions,
+            "swap_ins": self.swap_ins,
+            "iterations": self.iterations,
+        }

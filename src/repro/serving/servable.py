@@ -137,6 +137,9 @@ class DecodeServable(Servable):
         executor=None,
         cache: SessionCache | None = None,
         seed: int = 0,
+        block_size: int = 1,
+        kv_capacity_bytes: int | None = None,
+        kv_bits: int = 8,
     ) -> None:
         from repro.neural.photonic import PhotonicExecutor
 
@@ -144,7 +147,21 @@ class DecodeServable(Servable):
         self.executor = (
             executor if executor is not None else PhotonicExecutor.digital_reference()
         )
-        self.cache = cache if cache is not None else SessionCache(config)
+        if cache is not None and (block_size != 1 or kv_capacity_bytes is not None):
+            raise ValueError(
+                "pass paging knobs (block_size / kv_capacity_bytes) or an "
+                "explicit cache, not both"
+            )
+        self.cache = (
+            cache
+            if cache is not None
+            else SessionCache(
+                config,
+                kv_bits=kv_bits,
+                block_size=block_size,
+                kv_capacity_bytes=kv_capacity_bytes,
+            )
+        )
         if self.cache.config is None:
             self.cache.config = config
         rng = np.random.default_rng(seed)
@@ -174,15 +191,16 @@ class DecodeServable(Servable):
         pending: list[tuple[np.ndarray, np.ndarray]],
     ) -> np.ndarray:
         """Digital single-query attention over the session's committed
-        KV state plus this batch's pending (uncommitted) K/V pairs."""
+        KV state (read straight from its paged blocks) plus this batch's
+        pending (uncommitted) K/V pairs."""
         dim = self.config.dim
         keys = [key[None] for key, _ in pending]
         values = [value[None] for _, value in pending]
         if self.cache.has_session(session_id):
             session = self.cache.session(session_id)
-            prompt = np.zeros((session.prompt_len, dim))
-            keys = [prompt] + [key[None] for key in session.keys] + keys
-            values = [prompt] + [value[None] for value in session.values] + values
+            committed_k, committed_v = session.kv_arrays(dim)
+            keys = [committed_k] + keys
+            values = [committed_v] + values
         keys = np.concatenate(keys)
         values = np.concatenate(values)
         scores = keys @ q / np.sqrt(dim)

@@ -171,6 +171,9 @@ def decode_servable(
     executor=None,
     cache=None,
     seed: int = 0,
+    block_size: int = 1,
+    kv_capacity_bytes: int | None = None,
+    kv_bits: int = 8,
 ):
     """Serving entry point: a decode-step servable for this decoder.
 
@@ -179,11 +182,29 @@ def decode_servable(
     per-session digital attention and
     :class:`~repro.serving.cache.SessionCache` KV accounting that is
     consistent with :func:`kv_cache_bytes` by construction.
+
+    ``block_size`` selects the KV page size (tokens per
+    :class:`~repro.serving.cache.KVBlock`; 1 = exact per-token
+    accounting) and ``kv_capacity_bytes`` bounds the session
+    :class:`~repro.serving.cache.BlockPool` — the budget the
+    continuous scheduler enforces by preemption.  Ignored when an
+    explicit ``cache`` is supplied.
     """
     # Lazy import: workloads stays importable without the serving layer.
     from repro.serving.servable import DecodeServable
 
-    return DecodeServable(config, executor=executor, cache=cache, seed=seed)
+    if cache is not None:
+        return DecodeServable(
+            config, executor=executor, cache=cache, seed=seed, kv_bits=kv_bits
+        )
+    return DecodeServable(
+        config,
+        executor=executor,
+        seed=seed,
+        block_size=block_size,
+        kv_capacity_bytes=kv_capacity_bytes,
+        kv_bits=kv_bits,
+    )
 
 
 def kv_recompute_trace(config: DecoderConfig, context_len: int) -> list[GEMMOp]:

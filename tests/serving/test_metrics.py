@@ -152,3 +152,33 @@ class TestMergedMetrics:
             target.record(record)
         assert target.completed == 1
         assert target.latency_summary()["p50"] == pytest.approx(1.0)
+
+
+class TestIterationOccupancy:
+    def test_record_and_histogram(self):
+        metrics = Metrics()
+        for active in (1, 3, 3, 2):
+            metrics.record_iteration(active)
+        assert metrics.iteration_occupancy() == {1: 1, 2: 1, 3: 2}
+        assert metrics.mean_iteration_occupancy() == pytest.approx(9 / 4)
+
+    def test_empty_histogram(self):
+        metrics = Metrics()
+        assert metrics.iteration_occupancy() == {}
+        assert metrics.mean_iteration_occupancy() == 0.0
+
+    def test_snapshot_keys(self):
+        metrics = Metrics()
+        metrics.record_iteration(2)
+        snapshot = metrics.snapshot()
+        assert snapshot["iteration_occupancy"] == {"2": 1}
+        assert snapshot["mean_iteration_occupancy"] == pytest.approx(2.0)
+
+    def test_merged_pools_iterations(self):
+        a, b = Metrics(), Metrics()
+        a.record_iteration(2)
+        b.record_iteration(2)
+        b.record_iteration(4)
+        merged = Metrics.merged([a, b])
+        assert merged.iteration_occupancy() == {2: 2, 4: 1}
+        assert merged.mean_iteration_occupancy() == pytest.approx(8 / 3)

@@ -140,3 +140,40 @@ class TestClusterBenchCommand:
     def test_bad_replicas_rejected(self):
         with pytest.raises(SystemExit):
             main(["cluster-bench", "--replicas", "0"])
+
+
+class TestSchedulerFlag:
+    def test_serve_bench_continuous(self, capsys):
+        assert main([
+            "serve-bench", "--model", "tiny-vit", "--requests", "6",
+            "--max-batch-size", "4", "--users", "2", "--rounds", "1",
+            "--scheduler", "continuous",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler=continuous" in out
+        assert "iteration occupancy" in out
+
+    def test_serve_bench_request_is_default(self, capsys):
+        assert main([
+            "serve-bench", "--model", "tiny-vit", "--requests", "4",
+            "--max-batch-size", "4", "--users", "2", "--rounds", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler=request" in out
+        assert "iteration occupancy" not in out
+
+    def test_cluster_bench_continuous_decode(self, capsys):
+        assert main([
+            "cluster-bench", "--model", "decode", "--replicas", "3",
+            "--policy", "session_affinity", "--requests", "12",
+            "--scheduler", "continuous",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler=continuous" in out
+        assert "KV migrations" in out
+
+    def test_bad_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--scheduler", "sorcery"])
+        with pytest.raises(SystemExit):
+            main(["cluster-bench", "--scheduler", "sorcery"])
