@@ -10,6 +10,13 @@ Usage::
     python -m repro.cli serve-bench [--model tiny-vit|tiny-bert] [--requests N]
     python -m repro.cli cluster-bench [--replicas N] [--policy NAME] [--autoscale]
 
+The serving verbs construct from the unified config objects
+(:class:`~repro.serving.config.EngineConfig` /
+:class:`~repro.cluster.config.ClusterConfig`): ``--config`` takes the
+config as inline JSON or a path to a JSON file, and the per-field flags
+(``--max-batch-size``, ``--scheduler``, ...) override individual
+fields on top.
+
 Models: deit-t, deit-s, deit-b, bert-base, bert-large.
 """
 
@@ -165,23 +172,42 @@ def cmd_verify(args: argparse.Namespace) -> int:
 SERVE_MODELS = ("tiny-vit", "tiny-bert")
 
 
-def _serve_setup(args: argparse.Namespace):
+def _load_config_data(text: str) -> dict:
+    """``--config`` value: inline JSON (starts with ``{``) or a path."""
+    import json
+    from pathlib import Path
+
+    text = text.strip()
+    if text.startswith("{"):
+        return json.loads(text)
+    return json.loads(Path(text).read_text())
+
+
+def _engine_overrides(args: argparse.Namespace) -> dict:
+    """EngineConfig field overrides from the per-field CLI flags."""
+    overrides = {}
+    for flag in ("max_batch_size", "max_wait_us", "scheduler", "num_cores", "seed"):
+        value = getattr(args, flag, None)
+        if value is not None:
+            overrides[flag] = value
+    return overrides
+
+
+def _serve_setup(args: argparse.Namespace, engine_config):
     """(servable, payloads) for the serve-bench workload."""
     import numpy as np
 
-    from repro.neural.photonic import PhotonicExecutor
     from repro.serving import TextServable, VisionServable
     from repro.workloads.transformer import KIND_TEXT, servable_model
 
-    rng = np.random.default_rng(args.seed)
-    executor = PhotonicExecutor.ideal(num_cores=args.num_cores)
+    rng = np.random.default_rng(engine_config.seed)
     if args.model == "tiny-vit":
         config = TransformerConfig(
             "serve-tiny-vit", depth=1, dim=32, heads=2, seq_len=17,
             mlp_ratio=2.0, n_classes=4, patch_size=4, image_size=16,
             in_channels=1,
         )
-        model = servable_model(config, executor=executor, seed=args.seed)
+        model = servable_model(config, engine=engine_config)
         servable = VisionServable(model)
         payloads = [rng.normal(size=(16, 16)) for _ in range(args.requests)]
     else:
@@ -189,7 +215,7 @@ def _serve_setup(args: argparse.Namespace):
             "serve-tiny-bert", depth=1, dim=32, heads=2, seq_len=17,
             mlp_ratio=2.0, kind=KIND_TEXT, n_classes=2,
         )
-        model = servable_model(config, executor=executor, seed=args.seed)
+        model = servable_model(config, engine=engine_config)
         servable = TextServable(model, pad_id=0)
         payloads = [
             rng.integers(1, 32, size=int(rng.integers(1, 17)))
@@ -203,6 +229,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.serving import (
+        EngineConfig,
         ServingEngine,
         poisson_gaps,
         run_closed_loop,
@@ -215,17 +242,24 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         raise SystemExit("serve-bench: --rate must be > 0")
     if args.users < 1 or args.rounds < 1:
         raise SystemExit("serve-bench: --users and --rounds must be >= 1")
-    servable, payloads = _serve_setup(args)
-    rng = np.random.default_rng(args.seed + 1)
+    base = (
+        EngineConfig.from_dict(_load_config_data(args.config))
+        if args.config
+        else EngineConfig(max_wait_us=2_000.0)
+    )
+    try:
+        engine_config = base.replace(
+            queue_depth=max(base.queue_depth, args.requests),
+            **_engine_overrides(args),
+        )
+    except ValueError as error:
+        raise SystemExit(f"serve-bench: {error}")
+    servable, payloads = _serve_setup(args, engine_config)
+    rng = np.random.default_rng(engine_config.seed + 1)
     gaps = poisson_gaps(len(payloads), 1.0 / args.rate, rng)
     rows = []
     with ServingEngine(
-        servable,
-        max_batch_size=args.max_batch_size,
-        max_wait_us=args.max_wait_us,
-        queue_depth=max(64, args.requests),
-        close_executor=True,
-        scheduler=args.scheduler,
+        servable, config=engine_config, close_executor=True
     ) as engine:
         rows.append(run_open_loop(engine, payloads, gaps))
         users = min(args.users, len(payloads))
@@ -238,9 +272,11 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         render_table(
             rows,
             title=(
-                f"serve-bench {args.model}: max_batch_size={args.max_batch_size}, "
-                f"max_wait_us={args.max_wait_us:g}, rate={args.rate:g} req/s, "
-                f"scheduler={args.scheduler}"
+                f"serve-bench {args.model}: "
+                f"max_batch_size={engine_config.max_batch_size}, "
+                f"max_wait_us={engine_config.max_wait_us:g}, "
+                f"rate={args.rate:g} req/s, "
+                f"scheduler={engine_config.scheduler}"
             ),
         )
     )
@@ -268,42 +304,79 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
 
     from repro.cluster import (
         AutoscalerPolicy,
+        ClusterConfig,
         ServiceModel,
         ServingCluster,
         run_virtual_open_loop,
         run_virtual_schedule,
     )
     from repro.serving import (
-        DecodeServable,
+        EngineConfig,
         SimulatedClock,
         TenantSpec,
         VisionServable,
         multi_tenant_arrivals,
     )
-    from repro.workloads.llm import DecoderConfig
+    from repro.workloads.llm import DecoderConfig, decode_servable
     from repro.workloads.transformer import servable_model
 
-    if args.replicas < 1:
-        raise SystemExit("cluster-bench: --replicas must be >= 1")
     if args.requests < 1:
         raise SystemExit("cluster-bench: --requests must be >= 1")
     if args.rate <= 0:
         raise SystemExit("cluster-bench: --rate must be > 0")
 
-    seed = args.seed
+    base = (
+        ClusterConfig.from_dict(_load_config_data(args.config))
+        if args.config
+        else ClusterConfig(
+            replicas=3,
+            policy="least_outstanding",
+            engine=EngineConfig(max_wait_us=500.0),
+            service_model=ServiceModel(),
+        )
+    )
+    cluster_overrides = {}
+    if args.replicas is not None:
+        cluster_overrides["replicas"] = args.replicas
+    if args.policy is not None:
+        cluster_overrides["policy"] = args.policy
+    if args.shared_cache:
+        cluster_overrides["shared_cache"] = True
+    if args.service_base_us is not None or args.service_per_request_us is not None:
+        model = base.service_model if base.service_model is not None else ServiceModel()
+        cluster_overrides["service_model"] = ServiceModel(
+            base_s=(
+                args.service_base_us * 1e-6
+                if args.service_base_us is not None
+                else model.base_s
+            ),
+            per_request_s=(
+                args.service_per_request_us * 1e-6
+                if args.service_per_request_us is not None
+                else model.per_request_s
+            ),
+        )
+    try:
+        config = base.replace(
+            engine=base.engine.replace(
+                queue_depth=max(base.engine.queue_depth, args.requests),
+                **_engine_overrides(args),
+            ),
+            **cluster_overrides,
+        )
+    except ValueError as error:
+        raise SystemExit(f"cluster-bench: {error}")
+
+    seed = config.engine.seed
     if args.model == "tiny-vit":
-        config = TransformerConfig(
+        model_config = TransformerConfig(
             "cluster-tiny-vit", depth=1, dim=32, heads=2, seq_len=17,
             mlp_ratio=2.0, n_classes=4, patch_size=4, image_size=16,
             in_channels=1,
         )
 
         def factory(replica_id: int):
-            from repro.neural.photonic import PhotonicExecutor
-
-            model = servable_model(
-                config, executor=PhotonicExecutor.ideal(), seed=seed
-            )
+            model = servable_model(model_config, engine=config.engine)
             return VisionServable(model)
     else:
         decoder = DecoderConfig(
@@ -311,12 +384,12 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
         )
 
         def factory(replica_id: int):
-            return DecodeServable(decoder, seed=seed)
+            return decode_servable(decoder, engine=config.engine)
 
     autoscaler = (
         AutoscalerPolicy(
             min_replicas=1,
-            max_replicas=args.replicas,
+            max_replicas=config.replicas,
             high_backlog=50.0,
             low_backlog=0.5,
             latency_slo_s=args.slo_ms * 1e-3,
@@ -325,20 +398,14 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
         if args.autoscale
         else None
     )
+    target_replicas = config.replicas
+    if args.autoscale:
+        config = config.replace(replicas=1)
     cluster = ServingCluster(
         factory,
-        replicas=1 if args.autoscale else args.replicas,
-        policy=args.policy,
-        max_batch_size=args.max_batch_size,
-        max_wait_us=args.max_wait_us,
-        queue_depth=max(64, args.requests),
+        config=config,
         clock=SimulatedClock(),
-        service_model=ServiceModel(
-            base_s=args.service_base_us * 1e-6,
-            per_request_s=args.service_per_request_us * 1e-6,
-        ),
         autoscaler=autoscaler,
-        scheduler=args.scheduler,
     )
     rng = np.random.default_rng(seed + 1)
     with cluster:
@@ -365,11 +432,12 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
         render_table(
             [report],
             title=(
-                f"cluster-bench {args.model}: policy={args.policy}, "
-                f"replicas={args.replicas}"
+                f"cluster-bench {args.model}: policy={config.policy}, "
+                f"replicas={target_replicas}"
                 f"{' (autoscaled)' if args.autoscale else ''}, "
                 f"rate={args.rate:g} req/s (virtual time), "
-                f"scheduler={args.scheduler}"
+                f"scheduler={config.engine.scheduler}"
+                f"{', shared cache' if config.shared_cache else ''}"
             ),
         )
     )
@@ -387,6 +455,13 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
             f"({affinity['hits']} hits / {affinity['misses']} misses), "
             f"{snapshot['migrations']['count']} KV migrations "
             f"({snapshot['migrations']['bytes']} bytes)"
+        )
+    if "tier" in snapshot:
+        tier = snapshot["tier"]
+        print(
+            f"tier: {tier['hits']} memo hits / {tier['misses']} misses, "
+            f"{tier['prefixes']} prefix chains "
+            f"({tier['shared_bytes']} shared bytes)"
         )
     for event in snapshot["events"]:
         print(
@@ -441,27 +516,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_verify.set_defaults(func=cmd_verify)
 
+    def serving_config_flags(
+        p: argparse.ArgumentParser, kind: str, wait_default: float
+    ) -> None:
+        """The shared config surface of the serving verbs.
+
+        Every flag defaults to None: resolution order is explicit flag >
+        ``--config`` JSON > the verb's built-in default.
+        """
+        p.add_argument(
+            "--config", metavar="JSON",
+            help=f"{kind} as inline JSON or a path to a JSON file; "
+            "the flags below override individual fields",
+        )
+        p.add_argument(
+            "--max-batch-size", type=int, default=None, help="(default 8)"
+        )
+        p.add_argument(
+            "--max-wait-us", type=float, default=None,
+            help=f"(default {wait_default:g})",
+        )
+        p.add_argument(
+            "--scheduler",
+            choices=("request", "continuous"),
+            default=None,
+            help="batch composition: request-level or iteration-level "
+            "(default request)",
+        )
+        p.add_argument("--seed", type=int, default=None, help="(default 0)")
+
     p_serve = sub.add_parser(
         "serve-bench",
         help="dynamic-batching serving benchmark (open/closed-loop load)",
     )
     p_serve.add_argument("--model", choices=SERVE_MODELS, default="tiny-vit")
     p_serve.add_argument("--requests", type=int, default=32)
-    p_serve.add_argument("--max-batch-size", type=int, default=8)
-    p_serve.add_argument("--max-wait-us", type=float, default=2_000.0)
+    serving_config_flags(p_serve, "EngineConfig", 2_000.0)
     p_serve.add_argument(
         "--rate", type=float, default=2_000.0, help="open-loop arrival rate (req/s)"
     )
     p_serve.add_argument("--users", type=int, default=4, help="closed-loop users")
     p_serve.add_argument("--rounds", type=int, default=2, help="closed-loop rounds")
-    p_serve.add_argument("--num-cores", type=int, default=1)
-    p_serve.add_argument("--seed", type=int, default=0)
-    p_serve.add_argument(
-        "--scheduler",
-        choices=("request", "continuous"),
-        default="request",
-        help="batch composition: request-level or iteration-level",
-    )
+    p_serve.add_argument("--num-cores", type=int, default=None, help="(default 1)")
     p_serve.set_defaults(func=cmd_serve_bench)
 
     p_cluster = sub.add_parser(
@@ -469,26 +565,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="multi-replica routing/autoscaling benchmark (virtual time)",
     )
     p_cluster.add_argument("--model", choices=CLUSTER_MODELS, default="tiny-vit")
-    p_cluster.add_argument("--replicas", type=int, default=3)
+    p_cluster.add_argument("--replicas", type=int, default=None, help="(default 3)")
     p_cluster.add_argument(
         "--policy",
-        choices=("round_robin", "least_outstanding", "session_affinity"),
-        default="least_outstanding",
+        choices=(
+            "round_robin", "least_outstanding", "session_affinity",
+            "cache_aware",
+        ),
+        default=None,
+        help="(default least_outstanding)",
     )
     p_cluster.add_argument("--requests", type=int, default=48)
+    serving_config_flags(p_cluster, "ClusterConfig", 500.0)
     p_cluster.add_argument(
         "--rate", type=float, default=8_000.0,
         help="open-loop arrival rate (req/s, virtual time)",
     )
-    p_cluster.add_argument("--max-batch-size", type=int, default=8)
-    p_cluster.add_argument("--max-wait-us", type=float, default=500.0)
     p_cluster.add_argument(
-        "--service-base-us", type=float, default=1_000.0,
-        help="virtual per-batch base service time",
+        "--service-base-us", type=float, default=None,
+        help="virtual per-batch base service time (default 1000)",
     )
     p_cluster.add_argument(
-        "--service-per-request-us", type=float, default=250.0,
-        help="virtual incremental service time per batched request",
+        "--service-per-request-us", type=float, default=None,
+        help="virtual incremental service time per batched request "
+        "(default 250)",
+    )
+    p_cluster.add_argument(
+        "--shared-cache", action="store_true",
+        help="build the fleet-wide shared cache tier "
+        "(prompt memo + prefix chains)",
     )
     p_cluster.add_argument(
         "--autoscale", action="store_true",
@@ -497,13 +602,6 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument(
         "--slo-ms", type=float, default=2.0,
         help="p95 latency SLO for --autoscale (milliseconds)",
-    )
-    p_cluster.add_argument("--seed", type=int, default=0)
-    p_cluster.add_argument(
-        "--scheduler",
-        choices=("request", "continuous"),
-        default="request",
-        help="per-replica batch composition: request- or iteration-level",
     )
     p_cluster.set_defaults(func=cmd_cluster_bench)
 

@@ -17,6 +17,7 @@ as well as wall-clock mode.
 
 from repro.cluster.autoscaler import Autoscaler, AutoscalerPolicy
 from repro.cluster.cluster import ClusterHandle, ServingCluster
+from repro.cluster.config import ClusterConfig
 from repro.cluster.loadgen import run_virtual_open_loop, run_virtual_schedule
 from repro.cluster.metrics import ClusterEvent, ClusterMetrics, ClusterRecord
 from repro.cluster.replica import (
@@ -30,6 +31,7 @@ from repro.cluster.replica import (
 )
 from repro.cluster.router import (
     POLICIES,
+    CacheAwarePolicy,
     LeastOutstandingPolicy,
     NoHealthyReplica,
     RouteDecision,
@@ -39,11 +41,19 @@ from repro.cluster.router import (
     SessionAffinityPolicy,
     make_policy,
 )
+from repro.cluster.store import (
+    KVStore,
+    LocalKVStore,
+    ShardedKVStore,
+    SharedCacheTier,
+)
 
 __all__ = [
     "ALIVE_STATES",
     "Autoscaler",
     "AutoscalerPolicy",
+    "CacheAwarePolicy",
+    "ClusterConfig",
     "ClusterEvent",
     "ClusterHandle",
     "ClusterMetrics",
@@ -51,7 +61,9 @@ __all__ = [
     "DRAINING",
     "FAILED",
     "HEALTHY",
+    "KVStore",
     "LeastOutstandingPolicy",
+    "LocalKVStore",
     "NoHealthyReplica",
     "POLICIES",
     "Replica",
@@ -63,6 +75,8 @@ __all__ = [
     "ServiceModel",
     "ServingCluster",
     "SessionAffinityPolicy",
+    "ShardedKVStore",
+    "SharedCacheTier",
     "make_policy",
     "run_virtual_open_loop",
     "run_virtual_schedule",

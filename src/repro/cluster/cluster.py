@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.cluster.autoscaler import Autoscaler, AutoscalerPolicy
+from repro.cluster.config import ClusterConfig
 from repro.cluster.metrics import ClusterEvent, ClusterMetrics, ClusterRecord
 from repro.cluster.replica import (
     DRAINING,
@@ -54,8 +55,11 @@ from repro.cluster.replica import (
     ServiceModel,
 )
 from repro.cluster.router import NoHealthyReplica, Router, RoutingPolicy
+from repro.cluster.store import SharedCacheTier
 from repro.serving.batcher import BatchingPolicy
+from repro.serving.cache import MISS, SessionCache
 from repro.serving.clock import WallClock
+from repro.serving.config import EngineConfig, warn_deprecated_kwargs
 from repro.serving.request import EngineClosed, RequestHandle, ServingError
 from repro.serving.servable import Servable
 
@@ -78,6 +82,7 @@ class _InFlight:
     cache_key: Any = None
     session_id: str | None = None
     tenant: str | None = None
+    prefix_id: str | None = None
     retries: int = field(default=0)
 
 
@@ -88,10 +93,20 @@ class ServingCluster:
         factory: ``factory(replica_id) -> Servable`` builder; called for
             the initial fleet and every autoscaler scale-up.  Build with
             a fixed seed for cross-replica bit-exactness.
+        config: a :class:`~repro.cluster.config.ClusterConfig` carrying
+            every construction knob (the preferred API).  The legacy
+            keyword arguments below keep working through a deprecation
+            shim that warns once; mixing them with ``config`` is an
+            error.
+        tier: an externally-built
+            :class:`~repro.cluster.store.SharedCacheTier` (e.g. backed
+            by a custom :class:`~repro.cluster.store.KVStore`); by
+            default ``config.shared_cache`` builds a local one on the
+            cluster clock.
         replicas: initial fleet size.
         policy: routing policy name (``round_robin`` /
-            ``least_outstanding`` / ``session_affinity``) or a
-            :class:`RoutingPolicy` instance.
+            ``least_outstanding`` / ``session_affinity`` /
+            ``cache_aware``) or a :class:`RoutingPolicy` instance.
         batching / max_batch_size / max_wait_us: per-replica batching
             policy (same knobs as :class:`ServingEngine`).
         queue_depth: per-replica admission bound.  A full replica queue
@@ -121,60 +136,124 @@ class ServingCluster:
         self,
         factory: Callable[[int], Servable],
         *,
-        replicas: int = 2,
-        policy: "str | RoutingPolicy" = "round_robin",
+        config: ClusterConfig | None = None,
+        clock=None,
+        autoscaler: AutoscalerPolicy | None = None,
+        tier: SharedCacheTier | None = None,
+        replicas: int | None = None,
+        policy: "str | RoutingPolicy | None" = None,
         batching: BatchingPolicy | None = None,
         max_batch_size: int | None = None,
         max_wait_us: float | None = None,
-        queue_depth: int = 64,
-        clock=None,
+        queue_depth: int | None = None,
         service_model: ServiceModel | None = None,
-        autoscaler: AutoscalerPolicy | None = None,
-        max_retries: int = 1,
-        close_executors: bool = True,
-        scheduler: str = "request",
+        max_retries: int | None = None,
+        close_executors: bool | None = None,
+        scheduler: str | None = None,
         iteration_cost=None,
     ) -> None:
-        if replicas < 1:
-            raise ValueError(f"need at least 1 replica, got {replicas}")
-        if max_retries < 0:
-            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
-        if batching is None:
-            batching = BatchingPolicy(
-                max_batch_size=8 if max_batch_size is None else max_batch_size,
-                max_wait_us=1_000.0 if max_wait_us is None else max_wait_us,
+        legacy = {
+            name
+            for name, value in (
+                ("replicas", replicas),
+                ("policy", policy),
+                ("batching", batching),
+                ("max_batch_size", max_batch_size),
+                ("max_wait_us", max_wait_us),
+                ("queue_depth", queue_depth),
+                ("service_model", service_model),
+                ("max_retries", max_retries),
+                ("close_executors", close_executors),
+                ("scheduler", scheduler),
+                ("iteration_cost", iteration_cost),
             )
-        elif max_batch_size is not None or max_wait_us is not None:
-            raise ValueError("pass either batching or the individual knobs, not both")
+            if value is not None
+        }
+        if config is not None and legacy:
+            raise ValueError(
+                "pass either config=ClusterConfig(...) or the legacy knobs "
+                f"{sorted(legacy)}, not both"
+            )
+        # A RoutingPolicy *instance* routes as given; the config records
+        # its registry name (or the default for unregistered customs).
+        policy_obj: "str | RoutingPolicy | None" = policy
+        if config is None:
+            if batching is not None and (
+                max_batch_size is not None or max_wait_us is not None
+            ):
+                raise ValueError(
+                    "pass either batching or the individual knobs, not both"
+                )
+            if legacy:
+                warn_deprecated_kwargs("ServingCluster", legacy)
+            coalesced = (
+                batching
+                if batching is not None
+                else BatchingPolicy(
+                    max_batch_size=8 if max_batch_size is None else max_batch_size,
+                    max_wait_us=1_000.0 if max_wait_us is None else max_wait_us,
+                )
+            )
+            from repro.cluster.router import POLICIES
+
+            policy_name = "round_robin"
+            if isinstance(policy, str):
+                policy_name = policy
+            elif policy is not None and policy.name in POLICIES:
+                policy_name = policy.name
+            config = ClusterConfig(
+                replicas=2 if replicas is None else replicas,
+                policy=policy_name,
+                engine=EngineConfig(
+                    max_batch_size=coalesced.max_batch_size,
+                    max_wait_us=coalesced.max_wait_us,
+                    queue_depth=64 if queue_depth is None else queue_depth,
+                    scheduler="request" if scheduler is None else scheduler,
+                    iteration_cost=iteration_cost,
+                ),
+                service_model=service_model,
+                max_retries=1 if max_retries is None else max_retries,
+                close_executors=True if close_executors is None else close_executors,
+            )
+        self.config = config
         self.factory = factory
-        self.batching = batching
-        self.queue_depth = queue_depth
+        self.batching = config.engine.batching
+        self.queue_depth = config.engine.queue_depth
         self.clock = clock if clock is not None else WallClock()
         self.manual = not getattr(self.clock, "real", True)
-        if service_model is not None and not self.manual:
+        if config.service_model is not None and not self.manual:
             raise ValueError(
                 "service_model needs a SimulatedClock (virtual time is "
                 "only defined in manual mode)"
             )
-        if service_model is not None and iteration_cost is not None:
-            raise ValueError(
-                "pass service_model or iteration_cost, not both (they are "
-                "competing virtual-time models)"
-            )
-        self.service_model = service_model
-        self.scheduler = scheduler
-        self.iteration_cost = iteration_cost
-        self.max_retries = max_retries
-        self._close_executors = close_executors
+        self.service_model = config.service_model
+        self.scheduler = config.engine.scheduler
+        self.iteration_cost = config.engine.iteration_cost
+        self.max_retries = config.max_retries
+        self._close_executors = config.close_executors
         self.metrics = ClusterMetrics()
-        self.router = Router(policy)
+        self.router = Router(
+            policy_obj if policy_obj is not None else config.policy
+        )
+        self.tier: SharedCacheTier | None = tier
+        if self.tier is None and config.shared_cache:
+            self.tier = SharedCacheTier(
+                clock=self.clock,
+                memo_capacity_bytes=config.memo_bytes,
+                memo_ttl_s=config.memo_ttl_s,
+                prefix_ttl_s=config.prefix_ttl_s,
+            )
+        #: Registered shared prefixes: prefix id -> prompt tokens.
+        self._prefixes: dict[str, int] = {}
+        #: Sessions forked from a tier chain (holder-refcount custody).
+        self._session_prefix: dict[str, str] = {}
         self._replicas: dict[int, Replica] = {}
         self._next_replica_id = 0
         self._next_request_id = 0
         self._lock = threading.RLock()
         self._running = False
         self._closed = False
-        for _ in range(replicas):
+        for _ in range(config.replicas):
             self._add_replica_locked()
         self.autoscaler = (
             Autoscaler(autoscaler, self) if autoscaler is not None else None
@@ -184,15 +263,21 @@ class ServingCluster:
     def _add_replica_locked(self) -> Replica:
         replica_id = self._next_replica_id
         self._next_replica_id += 1
+        # With a shared tier, memoization lives fleet-wide; otherwise
+        # memo_bytes buys each replica a private memo cache (the
+        # pre-tier baseline whose hits routing can forfeit).
+        memo_cache = (
+            SessionCache(capacity_bytes=self.config.memo_bytes)
+            if self.config.memo_bytes is not None and self.tier is None
+            else None
+        )
         replica = Replica(
             replica_id,
             self.factory(replica_id),
-            policy=self.batching,
-            queue_depth=self.queue_depth,
+            config=self.config.engine,
             clock=self.clock,
             close_executor=self._close_executors,
-            scheduler=self.scheduler,
-            iteration_cost=self.iteration_cost,
+            memo_cache=memo_cache,
         )
         self._replicas[replica_id] = replica
         if self._running:
@@ -291,6 +376,68 @@ class ServingCluster:
     def closed(self) -> bool:
         return self._closed
 
+    # -- shared prefixes -----------------------------------------------------
+    def register_prefix(self, prefix_id: str, prompt_len: int) -> None:
+        """Register a shared system prompt of ``prompt_len`` tokens.
+
+        Sessions submitted with ``prefix_id=`` fork from it: with a
+        shared tier (and ``share_prefixes``) they adopt the tier's
+        refcounted :class:`~repro.serving.cache.PrefixChain` — pages
+        charged once fleet-wide; otherwise each session materializes
+        the prompt privately in its replica's pool.  Idempotent for a
+        matching ``prompt_len``.
+        """
+        if prompt_len < 1:
+            raise ValueError(f"prompt_len must be >= 1, got {prompt_len}")
+        with self._lock:
+            known = self._prefixes.get(prefix_id)
+            if known is not None and known != prompt_len:
+                raise ValueError(
+                    f"prefix {prefix_id!r} already registered with "
+                    f"{known} tokens, not {prompt_len}"
+                )
+            self._prefixes[prefix_id] = prompt_len
+            if self.tier is not None and self.config.share_prefixes:
+                template = next(
+                    (
+                        r.session_cache
+                        for r in self._replicas.values()
+                        if r.session_cache is not None
+                    ),
+                    None,
+                )
+                if template is None or template.config is None:
+                    raise ValueError(
+                        "prefix sharing needs replicas with a decoder "
+                        "SessionCache (a DecodeServable fleet)"
+                    )
+                self.tier.ensure_prefix(
+                    prefix_id,
+                    prompt_len,
+                    config=template.config,
+                    block_size=template.block_size,
+                    kv_bits=template.kv_bits,
+                )
+
+    def _ensure_prefix_session_locked(
+        self, record: _InFlight, replica: Replica
+    ) -> None:
+        """Open the session's prompt state on its replica, if absent."""
+        cache = replica.session_cache
+        if cache is None or cache.has_session(record.session_id):
+            return
+        prompt_len = self._prefixes[record.prefix_id]
+        if self.tier is not None and self.config.share_prefixes:
+            chain = self.tier.acquire_prefix(
+                record.prefix_id, replica.replica_id
+            )
+            cache.adopt_prefix(record.session_id, chain)
+            self._session_prefix[record.session_id] = record.prefix_id
+            self.metrics.record_prefix_adoption(shared=True)
+        else:
+            cache.open_session(record.session_id, prompt_len=prompt_len)
+            self.metrics.record_prefix_adoption(shared=False)
+
     # -- submission ----------------------------------------------------------
     def submit(
         self,
@@ -299,8 +446,15 @@ class ServingCluster:
         cache_key: Any = None,
         session_id: str | None = None,
         tenant: str | None = None,
+        prefix_id: str | None = None,
     ) -> ClusterHandle:
         """Admit one request; the router picks its replica.
+
+        ``cache_key`` consults the shared tier (when configured) before
+        routing — a fleet-wide hit resolves immediately on whatever
+        replica computed it first, under any policy.  ``prefix_id``
+        (with ``session_id``) forks the session from a registered
+        shared prompt prefix at first dispatch.
 
         Raises :class:`QueueFull` when the chosen replica's queue is at
         capacity (cluster-level backpressure) and
@@ -309,11 +463,35 @@ class ServingCluster:
         with self._lock:
             if self._closed:
                 raise EngineClosed("cluster is closed")
+            if prefix_id is not None and prefix_id not in self._prefixes:
+                raise ValueError(
+                    f"unregistered prefix {prefix_id!r}; call "
+                    "register_prefix() first"
+                )
+            if prefix_id is not None and session_id is None:
+                raise ValueError("prefix_id needs a session_id to fork")
             self._next_request_id += 1
             handle = ClusterHandle(self._next_request_id - 1, self.clock.now())
+            if cache_key is not None and self.tier is not None:
+                hit = self.tier.get_memo(cache_key)
+                if hit is not MISS:
+                    now = handle.arrival
+                    handle._resolve(
+                        hit, started=now, finished=now,
+                        batch_size=0, cache_hit=True,
+                    )
+                    self.metrics.record_request(
+                        ClusterRecord(
+                            arrival=now, started=now, finished=now,
+                            replica_id=-1, batch_size=0,
+                            cache_hit=True, tenant=tenant,
+                        )
+                    )
+                    return handle
         record = _InFlight(
             handle, payload,
             cache_key=cache_key, session_id=session_id, tenant=tenant,
+            prefix_id=prefix_id,
         )
         self._dispatch(record)
         return handle
@@ -321,12 +499,19 @@ class ServingCluster:
     def _dispatch(self, record: _InFlight) -> None:
         """Route and enqueue one record (initial submit or re-dispatch)."""
         with self._lock:
-            decision = self.router.route(self._replicas, record.session_id)
+            prefix_holders = None
+            if record.prefix_id is not None and self.tier is not None:
+                prefix_holders = self.tier.replicas_holding(record.prefix_id)
+            decision = self.router.route(
+                self._replicas, record.session_id, prefix_holders
+            )
             replica = decision.replica
             if decision.migrate_from is not None:
                 self._migrate_locked(
                     record.session_id, decision.migrate_from, replica
                 )
+            if record.prefix_id is not None:
+                self._ensure_prefix_session_locked(record, replica)
             engine_handle = replica.engine.submit(
                 record.payload,
                 cache_key=record.cache_key,
@@ -364,6 +549,13 @@ class ServingCluster:
         session = source_cache.pop_session(session_id)
         if target_cache is not None:
             target_cache.adopt_session(session)
+        if session.prefix_id is not None and self.tier is not None:
+            # Shared prefix pages don't travel (tier custody) but the
+            # holder directory follows the session for cache_aware
+            # placement and failover release accounting.
+            self.tier.move_holder(
+                session.prefix_id, source.replica_id, target.replica_id
+            )
         self.metrics.record_migration(nbytes)
 
     # -- completion propagation ----------------------------------------------
@@ -375,6 +567,14 @@ class ServingCluster:
             self.router.finish(record.session_id)
             error = engine_handle._error
             if error is None:
+                if (
+                    record.cache_key is not None
+                    and self.tier is not None
+                    and not engine_handle.cache_hit
+                ):
+                    # Publish the freshly computed result fleet-wide so
+                    # any replica's next request for this key hits.
+                    self.tier.put_memo(record.cache_key, engine_handle._value)
                 batch_size = engine_handle.batch_size or 0
                 if self.service_model is not None and not engine_handle.cache_hit:
                     started, finished = replica.virtual_stamp(
@@ -458,6 +658,11 @@ class ServingCluster:
             owner_id = self.router.directory.get(session_id)
             owner = self._replicas.get(owner_id) if owner_id is not None else None
             self.router.forget_owner(session_id)
+            prefix_id = self._session_prefix.pop(session_id, None)
+            if prefix_id is not None and self.tier is not None and owner is not None:
+                # Drop the tier refcount before the replica closes the
+                # session (which releases only the private tail pages).
+                self.tier.release_prefix(prefix_id, owner.replica_id)
             if owner is None or owner.engine.closed:
                 return 0
             return owner.engine.release_session(session_id)
@@ -512,12 +717,24 @@ class ServingCluster:
                 target = self.router.rehome(session_id, self._replicas)
             except NoHealthyReplica:
                 self.router.forget_owner(session_id)
+                prefix_id = self._session_prefix.pop(session_id, None)
+                if cache is not None and cache.has_session(session_id):
+                    if prefix_id is not None and self.tier is not None:
+                        # Nobody can adopt the session: return its tier
+                        # refcount so the chain doesn't leak as pinned.
+                        self.tier.release_prefix(prefix_id, replica.replica_id)
+                    cache.close_session(session_id)
                 continue
             if cache is not None and cache.has_session(session_id):
                 session = cache.pop_session(session_id)
                 target_cache = target.session_cache
                 if target_cache is not None:
                     target_cache.adopt_session(session)
+                if session.prefix_id is not None and self.tier is not None:
+                    self.tier.move_holder(
+                        session.prefix_id, replica.replica_id,
+                        target.replica_id,
+                    )
             self.metrics.record_rehome()
 
     # -- manual stepping & maintenance ---------------------------------------
@@ -594,4 +811,6 @@ class ServingCluster:
             for rid, r in sorted(replicas.items())
         }
         snapshot["fleet_size"] = self.fleet_size
+        if self.tier is not None:
+            snapshot["tier"] = self.tier.stats()
         return snapshot

@@ -1,0 +1,113 @@
+"""Frozen cluster configuration (fleet knobs + embedded engine config).
+
+:class:`ClusterConfig` is the cluster-level counterpart of
+:class:`~repro.serving.config.EngineConfig`: fleet size, routing
+policy, retry/drain behaviour, the virtual-time
+:class:`~repro.cluster.replica.ServiceModel`, and the shared cache
+tier's knobs, with one ``engine`` sub-config applied to every replica.
+Accepted by :class:`~repro.cluster.cluster.ServingCluster` (the legacy
+keyword arguments keep working through the same warn-once deprecation
+shim) and by the ``repro cluster-bench`` CLI via ``--config`` JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.cluster.replica import ServiceModel
+from repro.cluster.router import POLICIES
+from repro.serving.config import EngineConfig
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything a serving cluster is built from.
+
+    Attributes:
+        replicas: initial fleet size.
+        policy: routing policy registry name (see
+            :data:`repro.cluster.router.POLICIES`).
+        engine: per-replica :class:`EngineConfig`.
+        max_retries: re-dispatches after a non-failover error.
+        close_executors: close each servable's photonic executor on
+            replica shutdown.
+        service_model: virtual per-batch service times (manual mode
+            only); mutually exclusive with ``engine.iteration_cost``.
+        shared_cache: build a fleet-wide
+            :class:`~repro.cluster.store.SharedCacheTier` — prompt
+            memo hits survive any routing policy, and decode sessions
+            can fork shared prefix chains.
+        share_prefixes: adopt registered prefixes as shared tier-owned
+            chains (pages charged once fleet-wide).  ``False``
+            materializes each session's prompt privately in its
+            replica's pool — the unshared baseline.
+        memo_bytes: per-replica *private* memo cache budget (``None``
+            disables replica-level memoization — the pre-tier
+            behaviour).
+        memo_ttl_s / prefix_ttl_s: tier entry lifetimes against the
+            cluster clock (``None`` = no expiry).
+    """
+
+    replicas: int = 2
+    policy: str = "round_robin"
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    max_retries: int = 1
+    close_executors: bool = True
+    service_model: ServiceModel | None = None
+    shared_cache: bool = False
+    share_prefixes: bool = True
+    memo_bytes: int | None = None
+    memo_ttl_s: float | None = None
+    prefix_ttl_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError(f"need at least 1 replica, got {self.replicas}")
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown routing policy {self.policy!r}; known: "
+                f"{sorted(POLICIES)}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.memo_bytes is not None and self.memo_bytes < 0:
+            raise ValueError(f"memo_bytes must be >= 0, got {self.memo_bytes}")
+        if self.service_model is not None and self.engine.iteration_cost is not None:
+            raise ValueError(
+                "pass service_model or engine.iteration_cost, not both "
+                "(they are competing virtual-time models)"
+            )
+        for name in ("memo_ttl_s", "prefix_ttl_s"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+
+    def replace(self, **changes) -> "ClusterConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (nested engine / service_model maps)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are an error."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ClusterConfig fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        kwargs = dict(data)
+        engine = kwargs.get("engine")
+        if isinstance(engine, dict):
+            kwargs["engine"] = EngineConfig.from_dict(engine)
+        model = kwargs.get("service_model")
+        if isinstance(model, dict):
+            kwargs["service_model"] = ServiceModel(**model)
+        return cls(**kwargs)

@@ -77,6 +77,8 @@ class ClusterMetrics:
         self.sessions_rehomed = 0
         self.failovers = 0
         self.retries = 0
+        self.prefix_adoptions_shared = 0
+        self.prefix_adoptions_private = 0
         self.events: list[ClusterEvent] = []
 
     # -- write side ----------------------------------------------------------
@@ -115,6 +117,15 @@ class ClusterMetrics:
     def record_retry(self) -> None:
         with self._lock:
             self.retries += 1
+
+    def record_prefix_adoption(self, *, shared: bool) -> None:
+        """One session opened from a registered prefix — adopting the
+        tier's shared chain, or privately materializing its pages."""
+        with self._lock:
+            if shared:
+                self.prefix_adoptions_shared += 1
+            else:
+                self.prefix_adoptions_private += 1
 
     def record_request(self, record: ClusterRecord) -> None:
         with self._lock:
@@ -158,6 +169,17 @@ class ClusterMetrics:
         with self._lock:
             total = self.affinity_hits + self.affinity_misses
             return self.affinity_hits / total if total else 0.0
+
+    def cache_hit_rate(self) -> float:
+        """Fleet-wide memo hit fraction of completed requests — the
+        hit-rate ledger ``bench_cache_tier.py`` gates (tier hits and
+        replica-private hits both count; the denominator is every
+        completed request)."""
+        with self._lock:
+            if not self._records:
+                return 0.0
+            hits = sum(1 for r in self._records if r.cache_hit)
+            return hits / len(self._records)
 
     def dispatch_counts(self) -> dict[int, int]:
         with self._lock:
@@ -214,6 +236,14 @@ class ClusterMetrics:
                 "count": self.migrations,
                 "bytes": self.migrated_bytes,
                 "sessions_rehomed": self.sessions_rehomed,
+            },
+            "cache": {
+                "hit_rate": self.cache_hit_rate(),
+                "hits": sum(1 for r in self.records() if r.cache_hit),
+            },
+            "prefixes": {
+                "shared_adoptions": self.prefix_adoptions_shared,
+                "private_adoptions": self.prefix_adoptions_private,
             },
             "failovers": self.failovers,
             "retries": self.retries,

@@ -31,6 +31,7 @@ from typing import Any
 
 from repro.serving.batcher import BatchingPolicy
 from repro.serving.cache import SessionCache
+from repro.serving.config import EngineConfig
 from repro.serving.engine import ServingEngine
 from repro.serving.request import InferenceRequest, RequestHandle
 from repro.serving.servable import Servable
@@ -83,24 +84,40 @@ class Replica:
         replica_id: int,
         servable: Servable,
         *,
+        config: EngineConfig | None = None,
         policy: BatchingPolicy | None = None,
-        queue_depth: int = 64,
+        queue_depth: int | None = None,
         clock=None,
         close_executor: bool = True,
-        scheduler: str = "request",
+        scheduler: str | None = None,
         iteration_cost=None,
+        memo_cache: SessionCache | None = None,
     ) -> None:
         self.replica_id = replica_id
         self.name = f"replica-{replica_id}"
         self.servable = servable
+        if config is None:
+            # Internal plumbing: fold the per-knob arguments into an
+            # EngineConfig here so the engine sees the unified API
+            # (and no deprecation warning fires for cluster internals).
+            batching = policy if policy is not None else BatchingPolicy()
+            config = EngineConfig(
+                max_batch_size=batching.max_batch_size,
+                max_wait_us=batching.max_wait_us,
+                queue_depth=64 if queue_depth is None else queue_depth,
+                scheduler="request" if scheduler is None else scheduler,
+                iteration_cost=iteration_cost,
+            )
+        self.config = config
+        #: Replica-private memo cache handed to the engine (``None``
+        #: unless the cluster configures per-replica memoization).
+        self.memo_cache = memo_cache
         self.engine = ServingEngine(
             servable,
-            policy=policy,
-            queue_depth=queue_depth,
+            config=config,
             clock=clock,
+            cache=memo_cache,
             close_executor=close_executor,
-            scheduler=scheduler,
-            iteration_cost=iteration_cost,
         )
         self.state = HEALTHY
         #: Dispatched-but-not-completed requests (queued + executing).

@@ -41,6 +41,9 @@ class RoutingPolicy(abc.ABC):
     name = "policy"
     #: Sticky policies keep a session on its current owner when possible.
     sticky_sessions = False
+    #: Prefix-aware policies prefer replicas already holding the
+    #: session's shared prefix chain for first-time placements.
+    prefix_aware = False
 
     @abc.abstractmethod
     def choose(self, candidates: Sequence[Replica]) -> Replica:
@@ -87,11 +90,35 @@ class SessionAffinityPolicy(RoutingPolicy):
         return self.fallback.choose(candidates)
 
 
+class CacheAwarePolicy(RoutingPolicy):
+    """Place sessions where their shared prefix pages already live.
+
+    First-time placements of a session forked from a shared prefix
+    prefer the replicas whose sessions already hold that chain (the
+    tier's holder directory — co-located forks make the fleet's warm
+    state explicit for operators even though chain pages are shared
+    either way), falling back to least-outstanding load balancing when
+    nobody holds the prefix.  Sticky like ``session_affinity``, so
+    placed sessions never migrate their KV state.
+    """
+
+    name = "cache_aware"
+    sticky_sessions = True
+    prefix_aware = True
+
+    def __init__(self, fallback: RoutingPolicy | None = None) -> None:
+        self.fallback = fallback if fallback is not None else LeastOutstandingPolicy()
+
+    def choose(self, candidates: Sequence[Replica]) -> Replica:
+        return self.fallback.choose(candidates)
+
+
 #: Registry of the built-in policies, by CLI/benchmark name.
 POLICIES: dict[str, Callable[[], RoutingPolicy]] = {
     "round_robin": RoundRobinPolicy,
     "least_outstanding": LeastOutstandingPolicy,
     "session_affinity": SessionAffinityPolicy,
+    "cache_aware": CacheAwarePolicy,
 }
 
 
@@ -161,12 +188,15 @@ class Router:
         self,
         replicas: dict[int, Replica],
         session_id: str | None,
+        prefix_holders: "Sequence[int] | None" = None,
     ) -> RouteDecision:
         """Decide placement for one request at dispatch time.
 
         ``replicas`` is the full fleet by id; dispatchable candidates
-        are the HEALTHY ones.  Raises :class:`NoHealthyReplica` when no
-        placement is possible.
+        are the HEALTHY ones.  ``prefix_holders`` names the replicas
+        already holding the session's shared prefix chain — a
+        prefix-aware policy narrows first-time placements to them.
+        Raises :class:`NoHealthyReplica` when no placement is possible.
         """
         candidates = sorted(
             (r for r in replicas.values() if r.accepts_new),
@@ -203,7 +233,12 @@ class Router:
 
         if not candidates:
             raise NoHealthyReplica("no healthy replica accepts new work")
-        chosen = self.policy.choose(candidates)
+        pool = candidates
+        if self.policy.prefix_aware and prefix_holders:
+            holding = [r for r in candidates if r.replica_id in set(prefix_holders)]
+            if holding:
+                pool = holding
+        chosen = self.policy.choose(pool)
         self.directory[session_id] = chosen.replica_id
         return RouteDecision(chosen, new_session=True)
 

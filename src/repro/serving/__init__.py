@@ -15,8 +15,16 @@ sleeping.
 """
 
 from repro.serving.batcher import BatchingPolicy, DynamicBatcher
-from repro.serving.cache import MISS, BlockPool, KVBlock, Session, SessionCache
+from repro.serving.cache import (
+    MISS,
+    BlockPool,
+    KVBlock,
+    PrefixChain,
+    Session,
+    SessionCache,
+)
 from repro.serving.clock import SimulatedClock, WallClock
+from repro.serving.config import EngineConfig, reset_deprecation_warnings
 from repro.serving.engine import SCHEDULERS, ServingEngine
 from repro.serving.loadgen import (
     Arrival,
@@ -56,12 +64,14 @@ __all__ = [
     "DecodeSessionSpec",
     "DynamicBatcher",
     "EngineClosed",
+    "EngineConfig",
     "InferenceRequest",
     "IterationCost",
     "IterationScheduler",
     "KVBlock",
     "MISS",
     "Metrics",
+    "PrefixChain",
     "QueueFull",
     "RequestHandle",
     "RequestQueue",
@@ -82,6 +92,7 @@ __all__ = [
     "mixed_decode_trace",
     "multi_tenant_arrivals",
     "poisson_gaps",
+    "reset_deprecation_warnings",
     "run_closed_loop",
     "run_decode_trace",
     "run_open_loop",

@@ -205,6 +205,31 @@ class BlockPool:
         }
 
 
+@dataclass(frozen=True)
+class PrefixChain:
+    """An immutable chain of leading KV pages shared across sessions.
+
+    The chain owns its blocks (custody sits with the shared tier, not
+    any one replica's :class:`BlockPool`), and every adopter aliases
+    the same arrays read-only: ``Session.has_room`` never points an
+    append at a shared page, so the first private token after the fork
+    lands on a fresh pool page (copy-on-write at the fork boundary).
+    ``nbytes`` is :func:`kv_cache_bytes` at the chain's page-rounded
+    length — the fleet charges it **once** no matter how many sessions
+    fork from it.
+    """
+
+    prefix_id: str
+    tokens: int
+    blocks: tuple[KVBlock, ...]
+    block_size: int
+    nbytes: int
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+
 @dataclass
 class Session:
     """Per-request decode state (one generation stream), paged.
@@ -217,6 +242,11 @@ class Session:
     session whose blocks currently live outside the pool budget (the
     host-memory swap of the continuous scheduler) — the arrays, and
     therefore the bits, are untouched.
+
+    ``shared_blocks`` leading blocks alias a :class:`PrefixChain`
+    owned by the shared cache tier: they are read-only here, excluded
+    from this cache's pool budget and byte ledger (the tier counts
+    them once fleet-wide), and never returned to the pool free list.
     """
 
     session_id: str
@@ -224,6 +254,13 @@ class Session:
     blocks: list[KVBlock] = field(default_factory=list)
     prompt_slots: int = 0
     swapped: bool = False
+    shared_blocks: int = 0
+    prefix_id: str | None = None
+
+    @property
+    def private_blocks(self) -> int:
+        """Pages owned by this session (pool custody when resident)."""
+        return len(self.blocks) - self.shared_blocks
 
     @property
     def generated(self) -> int:
@@ -285,8 +322,14 @@ class Session:
 
     @property
     def has_room(self) -> bool:
-        """Does the last page have a free token slot?"""
-        return bool(self.blocks) and not self.blocks[-1].full
+        """Does the last *private* page have a free token slot?
+
+        Shared prefix pages are never appended to — a session whose
+        block list ends at the shared boundary reports no room, so the
+        next ``append_kv`` allocates a fresh private page (the
+        copy-on-write fork point).
+        """
+        return self.private_blocks > 0 and not self.blocks[-1].full
 
 
 class SessionCache:
@@ -461,15 +504,35 @@ class SessionCache:
         return -(-session.context_len // self.block_size)
 
     def session_bytes(self, session_id: str) -> int:
-        """Page-rounded KV footprint of one session — by definition
-        ``kv_cache_bytes(config, blocks * block_size, kv_bits)``, so
-        the ledger, the :class:`BlockPool` budget, and the Sec. VI-B
-        analysis agree page for page."""
+        """Page-rounded KV footprint of one session's **private** pages
+        — by definition ``kv_cache_bytes(config, blocks * block_size,
+        kv_bits)`` over the pages this session owns, so the ledger, the
+        :class:`BlockPool` budget, and the Sec. VI-B analysis agree
+        page for page.  Shared prefix pages are excluded: the tier
+        charges them once fleet-wide (:meth:`shared_session_bytes`
+        reports this session's view of that chain)."""
+        config = self._require_config()
         session = self.session(session_id)
-        if session.context_len == 0:
+        private = session.private_blocks
+        if private == 0:
             return 0
-        rounded = self.session_blocks(session_id) * self.block_size
-        return kv_cache_bytes(self._require_config(), rounded, bits=self.kv_bits)
+        return kv_cache_bytes(
+            config, private * self.block_size, bits=self.kv_bits
+        )
+
+    def shared_session_bytes(self, session_id: str) -> int:
+        """Bytes of the shared prefix pages this session aliases
+        (page-rounded).  Summing this across sessions multiple-counts
+        the chain — fleet accounting uses the tier's single charge."""
+        config = self._require_config()
+        session = self.session(session_id)
+        if session.shared_blocks == 0:
+            return 0
+        return kv_cache_bytes(
+            config,
+            session.shared_blocks * self.block_size,
+            bits=self.kv_bits,
+        )
 
     def total_kv_bytes(self) -> int:
         with self._lock:
@@ -500,8 +563,8 @@ class SessionCache:
                 return 0
             session.swapped = True
             if self.pool is not None:
-                self.pool.discharge(len(session.blocks))
-            return len(session.blocks)
+                self.pool.discharge(session.private_blocks)
+            return session.private_blocks
 
     def swap_in(self, session_id: str) -> int:
         """Re-admit a preempted session's pages into the pool budget."""
@@ -511,8 +574,8 @@ class SessionCache:
                 return 0
             session.swapped = False
             if self.pool is not None:
-                self.pool.charge(len(session.blocks))
-            return len(session.blocks)
+                self.pool.charge(session.private_blocks)
+            return session.private_blocks
 
     def pop_session(self, session_id: str) -> Session:
         """Remove and return a session wholesale (KV-migration export).
@@ -523,12 +586,18 @@ class SessionCache:
         list travels with the** :class:`Session` object (and its pool
         budget is discharged here), so a migrated session's functional
         state, page layout, and therefore its bits are unchanged.
+
+        Custody follows the one rule every mover shares: resident
+        **private** pages are pool-charged; swapped sessions carry no
+        charge (the ``swapped`` flag travels with the session so the
+        adopting pool is not double-charged); shared prefix pages
+        always belong to the tier, never the pool.
         """
         with self._lock:
             session = self.session(session_id)
             del self._sessions[session_id]
             if self.pool is not None and not session.swapped:
-                self.pool.discharge(len(session.blocks))
+                self.pool.discharge(session.private_blocks)
             return session
 
     def adopt_session(self, session: Session) -> Session:
@@ -546,7 +615,94 @@ class SessionCache:
                 )
             self._sessions[session.session_id] = session
             if self.pool is not None and not session.swapped:
-                self.pool.charge(len(session.blocks))
+                self.pool.charge(session.private_blocks)
+            return session
+
+    # -- prefix sharing (shared cache tier) ----------------------------------
+    def export_prefix(
+        self, session_id: str, prefix_id: str, tokens: int | None = None
+    ) -> PrefixChain:
+        """Freeze a session's leading pages into a shareable chain.
+
+        The first ``tokens`` of context (default: the whole context)
+        become a :class:`PrefixChain`: custody of those pages transfers
+        out of this cache's :class:`BlockPool` (discharged here, the
+        same custody rule :meth:`pop_session` applies to migration) and
+        the session keeps aliasing them read-only via
+        ``shared_blocks``.  The boundary must be page-aligned or cover
+        the whole context, so the chain never splits a page.
+        """
+        config = self._require_config()
+        with self._lock:
+            session = self.session(session_id)
+            if session.shared_blocks:
+                raise ValueError(
+                    f"session {session_id!r} already shares prefix "
+                    f"{session.prefix_id!r}"
+                )
+            if session.swapped:
+                raise ValueError(
+                    "cannot export a prefix from a swapped-out session"
+                )
+            if session.prompt_len != session.prompt_slots:
+                raise ValueError(
+                    "cannot export an implicit (unmaterialized) prompt prefix"
+                )
+            if tokens is None:
+                tokens = session.context_len
+            if tokens < 1 or tokens > session.context_len:
+                raise ValueError(
+                    f"prefix of {tokens} tokens outside context "
+                    f"{session.context_len}"
+                )
+            if tokens != session.context_len and tokens % self.block_size:
+                raise ValueError(
+                    f"prefix boundary {tokens} must be page-aligned "
+                    f"(block_size={self.block_size}) or the whole context"
+                )
+            n_blocks = -(-tokens // self.block_size)
+            chain = PrefixChain(
+                prefix_id=prefix_id,
+                tokens=tokens,
+                blocks=tuple(session.blocks[:n_blocks]),
+                block_size=self.block_size,
+                nbytes=kv_cache_bytes(
+                    config, n_blocks * self.block_size, bits=self.kv_bits
+                ),
+            )
+            session.shared_blocks = n_blocks
+            session.prefix_id = prefix_id
+            if self.pool is not None:
+                self.pool.discharge(n_blocks)
+            return chain
+
+    def adopt_prefix(self, session_id: str, chain: PrefixChain) -> Session:
+        """Open a session whose prompt is a shared :class:`PrefixChain`.
+
+        The new session aliases the chain's pages (prompt fully
+        materialized: ``prompt_len == prompt_slots == chain.tokens``)
+        without charging this cache's pool — the tier already accounts
+        for the chain once fleet-wide.  The first decode step allocates
+        a fresh private page (see :attr:`Session.has_room`), so
+        adopters never write into shared state.
+        """
+        with self._lock:
+            if session_id in self._sessions:
+                raise ValueError(f"session {session_id!r} already open")
+            if chain.block_size != self.block_size:
+                raise ValueError(
+                    f"prefix pages of {chain.block_size} tokens do not fit a "
+                    f"cache paged at {self.block_size}"
+                )
+            session = Session(
+                session_id=session_id,
+                prompt_len=chain.tokens,
+                blocks=list(chain.blocks),
+                prompt_slots=chain.tokens,
+                shared_blocks=len(chain.blocks),
+                prefix_id=chain.prefix_id,
+            )
+            self._sessions[session_id] = session
             return session
 
     def session_ids(self) -> list[str]:
@@ -557,18 +713,22 @@ class SessionCache:
     def close_session(self, session_id: str) -> int:
         """Drop a session; returns the bytes it was holding.
 
-        Resident pages go back on the pool free list for reuse;
-        swapped pages are recycled without a budget credit (they were
-        discharged at preemption).
+        Resident **private** pages go back on the pool free list for
+        reuse; swapped pages are recycled without a budget credit (they
+        were discharged at preemption).  Shared prefix pages are simply
+        dropped from this cache — the tier owns them and other sessions
+        may still be reading them; releasing the tier's refcount is the
+        cluster's job.
         """
         with self._lock:
             freed = self.session_bytes(session_id) if self.config else 0
             session = self._sessions.pop(session_id)
+            private = session.blocks[session.shared_blocks :]
             if self.pool is not None:
                 if session.swapped:
-                    self.pool.recycle(session.blocks)
+                    self.pool.recycle(private)
                 else:
-                    self.pool.release(session.blocks)
+                    self.pool.release(private)
             session.blocks = []
             return freed
 
@@ -582,6 +742,12 @@ class SessionCache:
         with self._lock:
             return sum(1 for s in self._sessions.values() if s.swapped)
 
+    @property
+    def prefix_sessions(self) -> int:
+        """Open sessions aliasing a shared prefix chain."""
+        with self._lock:
+            return sum(1 for s in self._sessions.values() if s.shared_blocks)
+
     # -- observability -------------------------------------------------------
     def stats(self) -> dict:
         stats = {
@@ -592,6 +758,7 @@ class SessionCache:
             "memo_bytes": self.memo_bytes,
             "open_sessions": self.open_sessions,
             "swapped_sessions": self.swapped_sessions,
+            "prefix_sessions": self.prefix_sessions,
             "block_size": self.block_size,
             "total_kv_bytes": self.total_kv_bytes() if self.config else 0,
             "resident_kv_bytes": self.resident_kv_bytes() if self.config else 0,

@@ -30,6 +30,7 @@ from repro.neural.autograd import no_grad
 from repro.serving.batcher import BatchingPolicy, DynamicBatcher
 from repro.serving.cache import MISS, SessionCache
 from repro.serving.clock import WallClock
+from repro.serving.config import SCHEDULERS, EngineConfig, warn_deprecated_kwargs
 from repro.serving.metrics import Metrics
 from repro.serving.request import (
     EngineClosed,
@@ -41,8 +42,7 @@ from repro.serving.request import (
 from repro.serving.scheduler import IterationCost, IterationScheduler
 from repro.serving.servable import Servable
 
-#: Batch-composition modes of the engine (see ``scheduler=``).
-SCHEDULERS = ("request", "continuous")
+__all__ = ["SCHEDULERS", "ServingEngine"]
 
 
 def _isolated(value: Any) -> Any:
@@ -55,8 +55,13 @@ class ServingEngine:
 
     Args:
         servable: the model adapter executing coalesced batches.
+        config: an :class:`~repro.serving.config.EngineConfig` carrying
+            every construction knob (the preferred API).  The legacy
+            keyword arguments below keep working through a deprecation
+            shim that warns once per process; mixing them with
+            ``config`` is an error.
         policy: batching policy; or pass ``max_batch_size`` /
-            ``max_wait_us`` directly.
+            ``max_wait_us`` directly.  *Deprecated* — use ``config``.
         queue_depth: bound of the admission queue (backpressure).
         clock: time source.  A real clock (default) enables the
             background worker thread; a simulated clock selects manual
@@ -86,33 +91,65 @@ class ServingEngine:
         self,
         servable: Servable,
         *,
+        config: EngineConfig | None = None,
         policy: BatchingPolicy | None = None,
         max_batch_size: int | None = None,
         max_wait_us: float | None = None,
-        queue_depth: int = 64,
+        queue_depth: int | None = None,
         clock=None,
         cache: SessionCache | None = None,
         metrics: Metrics | None = None,
         close_executor: bool = False,
-        scheduler: str = "request",
+        scheduler: str | None = None,
         iteration_cost: IterationCost | None = None,
     ) -> None:
-        if policy is None:
-            policy = BatchingPolicy(
-                max_batch_size=8 if max_batch_size is None else max_batch_size,
-                max_wait_us=1_000.0 if max_wait_us is None else max_wait_us,
+        legacy = {
+            name
+            for name, value in (
+                ("policy", policy),
+                ("max_batch_size", max_batch_size),
+                ("max_wait_us", max_wait_us),
+                ("queue_depth", queue_depth),
+                ("scheduler", scheduler),
+                ("iteration_cost", iteration_cost),
             )
-        elif max_batch_size is not None or max_wait_us is not None:
-            raise ValueError("pass either policy or the individual knobs, not both")
-        if scheduler not in SCHEDULERS:
+            if value is not None
+        }
+        if config is not None and legacy:
             raise ValueError(
-                f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+                "pass either config=EngineConfig(...) or the legacy knobs "
+                f"{sorted(legacy)}, not both"
             )
+        if config is None:
+            if policy is not None and (
+                max_batch_size is not None or max_wait_us is not None
+            ):
+                raise ValueError(
+                    "pass either policy or the individual knobs, not both"
+                )
+            if legacy:
+                warn_deprecated_kwargs("ServingEngine", legacy)
+            batching = (
+                policy
+                if policy is not None
+                else BatchingPolicy(
+                    max_batch_size=8 if max_batch_size is None else max_batch_size,
+                    max_wait_us=1_000.0 if max_wait_us is None else max_wait_us,
+                )
+            )
+            config = EngineConfig(
+                max_batch_size=batching.max_batch_size,
+                max_wait_us=batching.max_wait_us,
+                queue_depth=64 if queue_depth is None else queue_depth,
+                scheduler="request" if scheduler is None else scheduler,
+                iteration_cost=iteration_cost,
+            )
+        self.config = config
         self.servable = servable
-        self.policy = policy
+        self.policy = config.batching
         self.clock = clock if clock is not None else WallClock()
         self.manual = not getattr(self.clock, "real", True)
-        if iteration_cost is not None and not self.manual:
+        if config.iteration_cost is not None and not self.manual:
             raise ValueError(
                 "iteration_cost models virtual service time; it needs a "
                 "SimulatedClock"
@@ -120,17 +157,17 @@ class ServingEngine:
         self.cache = cache
         self.metrics = metrics if metrics is not None else Metrics()
         self._close_executor = close_executor
-        self._queue = RequestQueue(queue_depth)
-        self._batcher = DynamicBatcher(self._queue, policy, self.clock)
-        self.scheduler = scheduler
-        self.iteration_cost = iteration_cost
-        self._continuous = scheduler == "continuous"
+        self._queue = RequestQueue(config.queue_depth)
+        self._batcher = DynamicBatcher(self._queue, self.policy, self.clock)
+        self.scheduler = config.scheduler
+        self.iteration_cost = config.iteration_cost
+        self._continuous = config.scheduler == "continuous"
         # KV residency is governed by the *servable's* session cache
         # (where decode state lives), not the memoization cache.
         session_cache = getattr(servable, "cache", None)
         self._scheduler = (
             IterationScheduler(
-                max_active=policy.max_batch_size,
+                max_active=self.policy.max_batch_size,
                 cache=session_cache
                 if isinstance(session_cache, SessionCache)
                 else None,

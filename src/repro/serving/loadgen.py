@@ -268,6 +268,7 @@ def run_decode_trace(
     idle_tick_s: float = 0.0,
     release: bool = True,
     max_idle_ticks: int = 1_000_000,
+    submit_kwargs: Callable[[int], dict] | None = None,
 ) -> dict:
     """Replay a decode trace closed-loop under a simulated clock.
 
@@ -282,6 +283,9 @@ def run_decode_trace(
     window; continuous mode never needs it).  ``payload_fn(session_index,
     step)`` produces each step's payload.  Sessions are released (KV
     freed) on completion when ``release`` is set.
+    ``submit_kwargs(session_index)`` adds extra keyword arguments to
+    every ``submit`` of that session's steps — e.g. the cluster's
+    ``prefix_id=`` for sessions forked from a shared prompt prefix.
 
     Returns per-session outputs (``outputs[session_id]`` is the list of
     step results, for bit-equality gates), the virtual makespan, and
@@ -299,6 +303,9 @@ def run_decode_trace(
     done = 0
     idle_ticks = 0
 
+    def extra(index: int) -> dict:
+        return submit_kwargs(index) if submit_kwargs is not None else {}
+
     def submit_due() -> None:
         now = clock.now() - start
         while pending and specs[pending[0]].arrival_s <= now + 1e-12:
@@ -306,6 +313,7 @@ def run_decode_trace(
             inflight[index] = target.submit(
                 payload_fn(index, next_step[index]),
                 session_id=specs[index].session_id,
+                **extra(index),
             )
 
     submit_due()
@@ -328,6 +336,7 @@ def run_decode_trace(
                 inflight[index] = target.submit(
                     payload_fn(index, next_step[index]),
                     session_id=spec.session_id,
+                    **extra(index),
                 )
         if progressed:
             idle_ticks = 0

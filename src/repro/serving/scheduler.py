@@ -128,7 +128,9 @@ class IterationScheduler:
         session = self.cache.session(sid)
         headroom = 0 if session.has_room else 1
         if session.swapped:
-            return len(session.blocks) + headroom
+            # Only private pages re-enter the pool budget on swap-in;
+            # shared prefix pages stay in tier custody throughout.
+            return session.private_blocks + headroom
         return headroom
 
     def _pick_victim(self, protected: set[str]) -> str | None:

@@ -131,6 +131,40 @@ def kv_cache_bytes(
     return math.ceil(per_token * context_len * batch * bits / 8)
 
 
+def shared_kv_cache_bytes(
+    config: DecoderConfig,
+    prefix_len: int,
+    context_lens: "list[int]",
+    *,
+    bits: int = 8,
+    block_size: int = 1,
+) -> int:
+    """Fleet KV bytes when sessions share a common prefix's pages.
+
+    The prefix-sharing extension of :func:`kv_cache_bytes`: ``N``
+    sessions forked from the same ``prefix_len``-token prompt charge
+    the prefix's page-rounded bytes **once**, plus each session's own
+    page-rounded suffix (``context - prefix`` generated tokens, which
+    start on a fresh page at the copy-on-write fork boundary).  With
+    ``prefix_len=0`` this degenerates to the unshared per-session sum.
+    """
+    if prefix_len < 0:
+        raise ValueError(f"prefix_len must be >= 0, got {prefix_len}")
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    pages = lambda tokens: -(-tokens // block_size)  # noqa: E731
+    total = kv_cache_bytes(config, pages(prefix_len) * block_size, bits=bits)
+    for context_len in context_lens:
+        if context_len < prefix_len:
+            raise ValueError(
+                f"context {context_len} shorter than the shared prefix "
+                f"{prefix_len}"
+            )
+        suffix = pages(context_len - prefix_len) * block_size
+        total += kv_cache_bytes(config, suffix, bits=bits)
+    return total
+
+
 def pad_prompts(
     prompts: "list",
     *,
@@ -170,10 +204,11 @@ def decode_servable(
     *,
     executor=None,
     cache=None,
-    seed: int = 0,
-    block_size: int = 1,
+    seed: int | None = None,
+    block_size: int | None = None,
     kv_capacity_bytes: int | None = None,
-    kv_bits: int = 8,
+    kv_bits: int | None = None,
+    engine=None,
 ):
     """Serving entry point: a decode-step servable for this decoder.
 
@@ -189,10 +224,31 @@ def decode_servable(
     :class:`~repro.serving.cache.BlockPool` — the budget the
     continuous scheduler enforces by preemption.  Ignored when an
     explicit ``cache`` is supplied.
+
+    ``engine`` (an :class:`~repro.serving.config.EngineConfig`) supplies
+    the seed, paging, and accelerator knobs in one object — the unified
+    serving API; explicit keyword arguments override the corresponding
+    engine fields.
     """
     # Lazy import: workloads stays importable without the serving layer.
     from repro.serving.servable import DecodeServable
 
+    if engine is not None and executor is None:
+        from repro.neural.photonic import PhotonicExecutor
+
+        executor = PhotonicExecutor.ideal(
+            num_cores=engine.num_cores,
+            shard_axis=engine.shard_axis,
+            backend=engine.backend,
+        )
+    if seed is None:
+        seed = engine.seed if engine is not None else 0
+    if block_size is None:
+        block_size = engine.block_size if engine is not None else 1
+    if kv_capacity_bytes is None and engine is not None:
+        kv_capacity_bytes = engine.kv_capacity_bytes
+    if kv_bits is None:
+        kv_bits = engine.kv_bits if engine is not None else 8
     if cache is not None:
         return DecodeServable(
             config, executor=executor, cache=cache, seed=seed, kv_bits=kv_bits

@@ -300,7 +300,8 @@ def servable_model(
     *,
     executor=None,
     vocab_size: int = 32,
-    seed: int = 0,
+    seed: int | None = None,
+    engine=None,
 ):
     """Functional serving entry point: a model matching this architecture.
 
@@ -317,15 +318,34 @@ def servable_model(
             single-channel: the functional patch embedding consumes
             ``[H, W]`` images).
         executor: shared :class:`~repro.neural.photonic.PhotonicExecutor`
-            (defaults to the model's own ideal executor).
+            (defaults to the model's own ideal executor, or — when
+            ``engine`` is given — an ideal executor with the engine's
+            ``num_cores`` / ``shard_axis`` / ``backend``).
         vocab_size: token vocabulary for text configs.
         seed: weight-initialisation seed (equal seeds give bit-identical
             models — the serving equivalence gate relies on this).
+            Defaults to ``engine.seed`` when an engine config is given,
+            else 0.
+        engine: an :class:`~repro.serving.config.EngineConfig` supplying
+            the accelerator and seed knobs in one object (the unified
+            serving API); an explicit ``executor``/``seed`` overrides
+            the corresponding engine field.
     """
     # Lazy import: workloads stays an analytic layer; only this entry
     # point pulls in the functional neural stack.
     from repro.neural.text import TinyBERT
     from repro.neural.vision import TinyViT
+
+    if engine is not None and executor is None:
+        from repro.neural.photonic import PhotonicExecutor
+
+        executor = PhotonicExecutor.ideal(
+            num_cores=engine.num_cores,
+            shard_axis=engine.shard_axis,
+            backend=engine.backend,
+        )
+    if seed is None:
+        seed = engine.seed if engine is not None else 0
 
     if config.kind == KIND_VISION:
         if config.in_channels != 1:

@@ -1,0 +1,450 @@
+"""Cluster-level shared cache tier: fleet-wide memo hits that survive
+any routing policy, prefix-fork adoption (shared and private), cache-
+aware placement, failover custody of chains and swapped sessions, and
+adopt/release properties that never orphan or double-free KV pages."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterConfig,
+    ServingCluster,
+    SharedCacheTier,
+)
+from repro.serving import (
+    DecodeServable,
+    EngineConfig,
+    IterationCost,
+    ServingEngine,
+    SessionCache,
+    SimulatedClock,
+    decode_payload,
+)
+from repro.workloads.llm import DecoderConfig, kv_cache_bytes
+
+DECODER = DecoderConfig("tier-test", depth=2, dim=16, heads=2, mlp_ratio=2.0)
+COST = IterationCost(base_s=2e-4, per_request_s=5e-5)
+BLOCK = 2
+PROMPT = 4  # page-aligned: two BLOCK-token pages
+PREFIX = "sys"
+
+
+class EchoServable:
+    name = "echo"
+
+    def prepare(self, payload):
+        return payload
+
+    def execute(self, requests):
+        return [2 * request.payload for request in requests]
+
+
+def echo_tier_cluster(replicas=2, policy="round_robin", *, shared=True):
+    config = ClusterConfig(
+        replicas=replicas,
+        policy=policy,
+        engine=EngineConfig(max_wait_us=0.0),
+        shared_cache=shared,
+        memo_bytes=1 << 20,
+        close_executors=False,
+    )
+    return ServingCluster(
+        lambda rid: EchoServable(), config=config, clock=SimulatedClock()
+    )
+
+
+def decode_tier_cluster(
+    replicas=3, policy="cache_aware", *, share=True, kv_capacity_bytes=None
+):
+    engine = EngineConfig(
+        max_batch_size=4,
+        max_wait_us=0.0,
+        queue_depth=256,
+        scheduler="continuous",
+        iteration_cost=COST,
+        block_size=BLOCK,
+        kv_capacity_bytes=kv_capacity_bytes,
+        seed=0,
+    )
+    config = ClusterConfig(
+        replicas=replicas,
+        policy=policy,
+        engine=engine,
+        shared_cache=True,
+        share_prefixes=share,
+        close_executors=False,
+    )
+    cluster = ServingCluster(
+        lambda rid: DecodeServable(
+            DECODER, seed=0, block_size=BLOCK, kv_capacity_bytes=kv_capacity_bytes
+        ),
+        config=config,
+        clock=SimulatedClock(),
+    )
+    cluster.register_prefix(PREFIX, PROMPT)
+    return cluster
+
+
+def payload_fn(i, t):
+    return decode_payload(9, i, t, DECODER.dim)
+
+
+def solo_reference(session_steps):
+    """Each session decoded alone with its prompt pre-opened."""
+    outputs = {}
+    for i, (sid, steps) in enumerate(sorted(session_steps.items())):
+        servable = DecodeServable(DECODER, seed=0, block_size=BLOCK)
+        engine = ServingEngine(
+            servable,
+            config=EngineConfig(max_batch_size=1, max_wait_us=0.0),
+            clock=SimulatedClock(),
+        )
+        with engine:
+            servable.cache.open_session(sid, prompt_len=PROMPT)
+            outs = []
+            for t in range(steps):
+                handle = engine.submit(payload_fn(i, t), session_id=sid)
+                engine.step()
+                outs.append(handle.result(timeout=0))
+            outputs[sid] = outs
+    return outputs
+
+
+def owner_of(cluster, session_id):
+    for replica in cluster.replicas.values():
+        cache = replica.session_cache
+        if replica.alive and cache is not None and cache.has_session(session_id):
+            return replica
+    return None
+
+
+class TestFleetMemo:
+    def test_hit_crosses_replicas_under_round_robin(self):
+        with echo_tier_cluster(shared=True) as cluster:
+            first = cluster.submit(np.ones(4), cache_key="k")
+            cluster.run_until_idle()
+            np.testing.assert_array_equal(first.result(timeout=0), 2 * np.ones(4))
+            # Round-robin sends the repeat to the *other* replica; the
+            # tier hit resolves it at submit, before any dispatch.
+            second = cluster.submit(np.ones(4), cache_key="k")
+            np.testing.assert_array_equal(second.result(timeout=0), 2 * np.ones(4))
+            assert cluster.tier.hits == 1
+            snapshot = cluster.snapshot()
+            assert snapshot["cache"]["hits"] == 1
+            assert snapshot["cache"]["hit_rate"] == 0.5
+            assert snapshot["tier"]["hits"] == 1
+
+    def test_private_memos_forfeit_the_cross_replica_hit(self):
+        with echo_tier_cluster(shared=False) as cluster:
+            cluster.submit(np.ones(4), cache_key="k")
+            cluster.run_until_idle()
+            repeat = cluster.submit(np.ones(4), cache_key="k")
+            cluster.run_until_idle()
+            np.testing.assert_array_equal(repeat.result(timeout=0), 2 * np.ones(4))
+            assert cluster.snapshot()["cache"]["hits"] == 0
+
+    def test_hit_values_are_isolated(self):
+        with echo_tier_cluster(shared=True) as cluster:
+            first = cluster.submit(np.ones(4), cache_key="k")
+            cluster.run_until_idle()
+            first.result(timeout=0)[:] = 99  # caller scribbles on it
+            second = cluster.submit(np.ones(4), cache_key="k")
+            np.testing.assert_array_equal(second.result(timeout=0), 2 * np.ones(4))
+
+
+class TestPrefixRegistration:
+    def test_submit_requires_registered_prefix(self):
+        with decode_tier_cluster() as cluster:
+            with pytest.raises(ValueError, match="unregistered prefix"):
+                cluster.submit(
+                    payload_fn(0, 0), session_id="s", prefix_id="ghost"
+                )
+
+    def test_prefix_requires_session(self):
+        with decode_tier_cluster() as cluster:
+            with pytest.raises(ValueError, match="session_id"):
+                cluster.submit(payload_fn(0, 0), prefix_id=PREFIX)
+
+    def test_reregister_idempotent_but_length_strict(self):
+        with decode_tier_cluster() as cluster:
+            cluster.register_prefix(PREFIX, PROMPT)  # same length: fine
+            with pytest.raises(ValueError):
+                cluster.register_prefix(PREFIX, PROMPT + 1)
+
+    def test_sharing_needs_decoder_replicas(self):
+        config = ClusterConfig(
+            replicas=1,
+            engine=EngineConfig(max_wait_us=0.0),
+            shared_cache=True,
+            close_executors=False,
+        )
+        with ServingCluster(
+            lambda rid: EchoServable(), config=config, clock=SimulatedClock()
+        ) as cluster:
+            with pytest.raises(ValueError, match="SessionCache"):
+                cluster.register_prefix(PREFIX, PROMPT)
+
+
+class TestPrefixAdoption:
+    def test_shared_forks_alias_the_chain(self):
+        with decode_tier_cluster() as cluster:
+            for i, sid in enumerate(("a", "b")):
+                cluster.submit(payload_fn(i, 0), session_id=sid, prefix_id=PREFIX)
+            cluster.run_until_idle()
+            assert cluster.tier.refcount(PREFIX) == 2
+            snapshot = cluster.snapshot()
+            assert snapshot["prefixes"]["shared_adoptions"] == 2
+            assert snapshot["prefixes"]["private_adoptions"] == 0
+            chain = cluster.tier.prefix(PREFIX)
+            for sid in ("a", "b"):
+                session = owner_of(cluster, sid).session_cache.session(sid)
+                assert session.prefix_id == PREFIX
+                assert session.shared_blocks == chain.n_blocks
+                # the leading pages ARE the chain's pages, not copies
+                for own, shared in zip(session.blocks, chain.blocks):
+                    assert own is shared
+                assert session.private_blocks == 1  # one generated token
+
+    def test_private_mode_materializes_prompts(self):
+        with decode_tier_cluster(share=False) as cluster:
+            cluster.submit(payload_fn(0, 0), session_id="a", prefix_id=PREFIX)
+            cluster.run_until_idle()
+            assert cluster.tier.prefix(PREFIX) is None  # no chain built
+            snapshot = cluster.snapshot()
+            assert snapshot["prefixes"]["shared_adoptions"] == 0
+            assert snapshot["prefixes"]["private_adoptions"] == 1
+            session = owner_of(cluster, "a").session_cache.session("a")
+            assert session.shared_blocks == 0
+            assert session.prompt_len == PROMPT
+
+    @pytest.mark.parametrize("share", [True, False])
+    def test_forked_sessions_bit_equal_solo(self, share):
+        steps = {"a": 3, "b": 2, "c": 4}
+        reference = solo_reference(steps)
+        with decode_tier_cluster(share=share) as cluster:
+            outputs = {sid: [] for sid in steps}
+            for t in range(max(steps.values())):
+                handles = {
+                    sid: cluster.submit(
+                        payload_fn(i, t), session_id=sid, prefix_id=PREFIX
+                    )
+                    for i, (sid, n) in enumerate(sorted(steps.items()))
+                    if t < n
+                }
+                cluster.run_until_idle()
+                for sid, handle in handles.items():
+                    outputs[sid].append(handle.result(timeout=0))
+        for sid in steps:
+            for got, want in zip(outputs[sid], reference[sid]):
+                np.testing.assert_array_equal(got, want)
+
+    def test_release_returns_chain_refs_and_pages(self):
+        with decode_tier_cluster() as cluster:
+            for i, sid in enumerate(("a", "b")):
+                cluster.submit(payload_fn(i, 0), session_id=sid, prefix_id=PREFIX)
+            cluster.run_until_idle()
+            for sid in ("a", "b"):
+                cluster.release_session(sid)
+            assert cluster.tier.refcount(PREFIX) == 0
+            assert cluster.tier.replicas_holding(PREFIX) == []
+            assert all(
+                r.session_cache.pool.in_use == 0
+                for r in cluster.replicas.values()
+                if r.session_cache is not None
+            )
+            # the chain survives for the next fork
+            cluster.submit(payload_fn(5, 0), session_id="c", prefix_id=PREFIX)
+            cluster.run_until_idle()
+            assert cluster.tier.refcount(PREFIX) == 1
+
+
+class TestCacheAwarePlacement:
+    def test_forks_colocate_with_the_chain_holder(self):
+        with decode_tier_cluster(policy="cache_aware") as cluster:
+            cluster.submit(payload_fn(0, 0), session_id="a", prefix_id=PREFIX)
+            cluster.run_until_idle()
+            anchor = owner_of(cluster, "a")
+            for i, sid in enumerate(("b", "c"), start=1):
+                cluster.submit(payload_fn(i, 0), session_id=sid, prefix_id=PREFIX)
+            cluster.run_until_idle()
+            assert owner_of(cluster, "b") is anchor
+            assert owner_of(cluster, "c") is anchor
+            assert cluster.tier.replicas_holding(PREFIX) == [anchor.replica_id]
+
+    def test_round_robin_spreads_the_same_forks(self):
+        with decode_tier_cluster(policy="round_robin") as cluster:
+            for i, sid in enumerate(("a", "b", "c")):
+                cluster.submit(payload_fn(i, 0), session_id=sid, prefix_id=PREFIX)
+            cluster.run_until_idle()
+            assert len(cluster.tier.replicas_holding(PREFIX)) == 3
+
+
+class TestFailoverCustody:
+    def test_holders_move_with_rehomed_sessions(self):
+        steps = {"a": 4, "b": 4}
+        reference = solo_reference(steps)
+        with decode_tier_cluster(policy="cache_aware") as cluster:
+            outputs = {sid: [] for sid in steps}
+            for t in range(2):
+                handles = {
+                    sid: cluster.submit(
+                        payload_fn(i, t), session_id=sid, prefix_id=PREFIX
+                    )
+                    for i, sid in enumerate(sorted(steps))
+                }
+                cluster.run_until_idle()
+                for sid, handle in handles.items():
+                    outputs[sid].append(handle.result(timeout=0))
+            anchor = owner_of(cluster, "a")
+            assert owner_of(cluster, "b") is anchor
+            cluster.fail_replica(anchor.replica_id)
+            target = owner_of(cluster, "a")
+            assert target is not None and target is not anchor
+            assert cluster.tier.replicas_holding(PREFIX) == [target.replica_id]
+            assert cluster.tier.refcount(PREFIX) == 2
+            for t in range(2, 4):
+                handles = {
+                    sid: cluster.submit(
+                        payload_fn(i, t), session_id=sid, prefix_id=PREFIX
+                    )
+                    for i, sid in enumerate(sorted(steps))
+                }
+                cluster.run_until_idle()
+                for sid, handle in handles.items():
+                    outputs[sid].append(handle.result(timeout=0))
+        for sid in steps:
+            for got, want in zip(outputs[sid], reference[sid]):
+                np.testing.assert_array_equal(got, want)
+
+    def test_rehome_to_nobody_releases_the_chain(self):
+        with decode_tier_cluster(replicas=1) as cluster:
+            cluster.submit(payload_fn(0, 0), session_id="a", prefix_id=PREFIX)
+            cluster.run_until_idle()
+            assert cluster.tier.refcount(PREFIX) == 1
+            cluster.fail_replica(0)
+            # No survivor could adopt: the ref must not leak as pinned.
+            assert cluster.tier.refcount(PREFIX) == 0
+            assert cluster.tier.replicas_holding(PREFIX) == []
+
+
+class TestSwappedSessionFailover:
+    """Regression: a preempted (swapped-out) session that fails over
+    must keep its ``swapped`` flag through pop/adopt, so the target
+    pool is never charged for pages that are not resident."""
+
+    def test_no_double_charge_and_bit_equal(self):
+        capacity = kv_cache_bytes(DECODER, 2 * BLOCK)  # two private pages
+        steps = {"a": 4, "b": 3}
+        reference = solo_reference(steps)
+        with decode_tier_cluster(
+            policy="cache_aware", kv_capacity_bytes=capacity
+        ) as cluster:
+            outputs = {sid: [] for sid in steps}
+
+            def run_step(sid, i, t):
+                handle = cluster.submit(
+                    payload_fn(i, t), session_id=sid, prefix_id=PREFIX
+                )
+                cluster.run_until_idle()
+                outputs[sid].append(handle.result(timeout=0))
+
+            for t in range(2):  # each session fills one private page
+                run_step("a", 0, t)
+                run_step("b", 1, t)
+            run_step("a", 0, 2)  # needs a second page: preempts "b"
+            anchor = owner_of(cluster, "a")
+            source_cache = anchor.session_cache
+            assert source_cache.session("b").swapped
+            assert source_cache.pool.in_use == 2
+            cluster.fail_replica(anchor.replica_id)
+            target = owner_of(cluster, "a")
+            cache = target.session_cache
+            assert cache.session("b").swapped  # flag survived the move
+            assert cache.pool.in_use == 2  # only "a" is resident
+            assert cache.resident_kv_bytes() == cache.pool.in_use_bytes
+            run_step("b", 1, 2)  # swaps "b" back in (and "a" out)
+            run_step("a", 0, 3)
+            assert cache.resident_kv_bytes() == cache.pool.in_use_bytes
+        for sid in steps:
+            assert len(outputs[sid]) == steps[sid]
+            for got, want in zip(outputs[sid], reference[sid]):
+                np.testing.assert_array_equal(got, want)
+
+
+class TestSnapshotTier:
+    def test_snapshot_reports_tier_stats(self):
+        with decode_tier_cluster() as cluster:
+            cluster.submit(payload_fn(0, 0), session_id="a", prefix_id=PREFIX)
+            cluster.run_until_idle()
+            snapshot = cluster.snapshot()
+            tier = snapshot["tier"]
+            assert tier["prefixes"] == 1
+            assert tier["referenced_prefixes"] == 1
+            assert tier["shared_bytes"] == cluster.tier.shared_bytes
+            assert snapshot["cache"]["hit_rate"] == 0.0
+
+    def test_untiered_cluster_has_no_tier_section(self):
+        with echo_tier_cluster(shared=False) as cluster:
+            assert "tier" not in cluster.snapshot()
+
+
+class TestAdoptReleaseProperties:
+    """Random adopt/append/close interleavings across three replica
+    caches: the chain's pages must never enter a pool free list (no
+    double-free) and every private page must be released (no orphans)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=0, max_value=3),
+            ),
+            max_size=24,
+        )
+    )
+    def test_never_orphans_or_double_frees(self, ops):
+        tier = SharedCacheTier()
+        chain = tier.ensure_prefix(PREFIX, PROMPT, config=DECODER, block_size=BLOCK)
+        chain_ids = {id(block) for block in chain.blocks}
+        fills = [block.fill for block in chain.blocks]
+        caches = [SessionCache(DECODER, block_size=BLOCK) for _ in range(3)]
+        open_sessions = []
+        counter = 0
+        token = np.ones(DECODER.dim)
+
+        def check():
+            assert tier.refcount(PREFIX) == len(open_sessions)
+            for i, cache in enumerate(caches):
+                private = sum(
+                    cache.session(sid).private_blocks
+                    for r, sid in open_sessions
+                    if r == i
+                )
+                assert cache.pool.in_use == private
+                assert all(id(b) not in chain_ids for b in cache.pool._free)
+            assert [block.fill for block in chain.blocks] == fills
+
+        for replica, action in ops:
+            if action == 0 and open_sessions:
+                r, sid = open_sessions.pop(0)
+                caches[r].close_session(sid)
+                tier.release_prefix(PREFIX, r)
+            else:
+                sid = f"s{counter}"
+                counter += 1
+                caches[replica].adopt_prefix(
+                    sid, tier.acquire_prefix(PREFIX, replica)
+                )
+                for _ in range(max(1, action) - 1):
+                    caches[replica].append_kv(sid, token, token)
+                open_sessions.append((replica, sid))
+            check()
+        while open_sessions:
+            r, sid = open_sessions.pop(0)
+            caches[r].close_session(sid)
+            tier.release_prefix(PREFIX, r)
+        check()
+        assert all(cache.pool.in_use == 0 for cache in caches)

@@ -1,0 +1,304 @@
+"""KVStore conformance suite (all backends) and SharedCacheTier units:
+namespacing, TTL under a simulated clock, scan ordering, memo LRU, and
+prefix-chain refcount/holder custody."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import LocalKVStore, ShardedKVStore, SharedCacheTier
+from repro.cluster.store import NS_MEMO, NS_PREFIX
+from repro.serving import SimulatedClock
+from repro.serving.cache import MISS, PrefixChain
+from repro.workloads.llm import DecoderConfig, kv_cache_bytes
+
+BACKENDS = {
+    "local": lambda clock: LocalKVStore(clock=clock),
+    "sharded": lambda clock: ShardedKVStore(shards=3, clock=clock),
+}
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def backend(request):
+    clock = SimulatedClock()
+    return BACKENDS[request.param](clock), clock
+
+
+def toy_decoder() -> DecoderConfig:
+    return DecoderConfig("store-test", depth=2, dim=16, heads=2, mlp_ratio=2.0)
+
+
+class TestKVStoreConformance:
+    def test_put_get_roundtrip(self, backend):
+        store, _ = backend
+        store.put("ns", "k", {"a": 1})
+        assert store.get("ns", "k") == {"a": 1}
+
+    def test_miss_returns_default(self, backend):
+        store, _ = backend
+        assert store.get("ns", "absent") is None
+        assert store.get("ns", "absent", default=7) == 7
+
+    def test_namespaces_isolate_keys(self, backend):
+        store, _ = backend
+        store.put("alpha", "k", 1)
+        store.put("beta", "k", 2)
+        assert store.get("alpha", "k") == 1
+        assert store.get("beta", "k") == 2
+        assert store.delete("alpha", "k")
+        assert store.get("alpha", "k") is None
+        assert store.get("beta", "k") == 2
+
+    def test_delete_reports_presence(self, backend):
+        store, _ = backend
+        store.put("ns", "k", 1)
+        assert store.delete("ns", "k") is True
+        assert store.delete("ns", "k") is False
+
+    def test_scan_is_sorted_and_prefix_filtered(self, backend):
+        store, _ = backend
+        for key in ("b/2", "a", "b/1", "c"):
+            store.put("ns", key, key)
+        assert store.scan("ns") == ["a", "b/1", "b/2", "c"]
+        assert store.scan("ns", prefix="b/") == ["b/1", "b/2"]
+        assert store.scan("other") == []
+
+    def test_size_counts_live_entries(self, backend):
+        store, _ = backend
+        for i in range(5):
+            store.put("ns", f"k{i}", i)
+        assert store.size("ns") == 5
+        store.delete("ns", "k0")
+        assert store.size("ns") == 4
+
+    def test_ttl_expires_at_exact_boundary(self, backend):
+        store, clock = backend
+        store.put("ns", "k", 1, ttl_s=2.0)
+        clock.advance(1.999)
+        assert store.get("ns", "k") == 1
+        clock.advance(0.001)  # now == expires_at: expired
+        assert store.get("ns", "k") is None
+        assert store.scan("ns") == []
+        assert store.size("ns") == 0
+
+    def test_rewrite_without_ttl_unpins_expiry(self, backend):
+        store, clock = backend
+        store.put("ns", "k", 1, ttl_s=1.0)
+        store.put("ns", "k", 2)  # no TTL: pinned
+        clock.advance(10.0)
+        assert store.get("ns", "k") == 2
+
+    def test_negative_ttl_rejected(self, backend):
+        store, _ = backend
+        with pytest.raises(ValueError):
+            store.put("ns", "k", 1, ttl_s=-0.5)
+
+
+class TestShardedStore:
+    def test_shard_count_validation(self):
+        with pytest.raises(ValueError):
+            ShardedKVStore(shards=0)
+
+    def test_scan_merges_across_shards_sorted(self):
+        store = ShardedKVStore(shards=4)
+        keys = [f"key-{i:03d}" for i in range(20)]
+        for key in reversed(keys):
+            store.put("ns", key, key)
+        assert store.scan("ns") == keys
+        assert store.size("ns") == 20
+
+
+class TestTierMemo:
+    def test_miss_then_hit_with_counters(self):
+        tier = SharedCacheTier()
+        assert tier.get_memo("k") is MISS
+        tier.put_memo("k", np.arange(4.0))
+        np.testing.assert_array_equal(tier.get_memo("k"), np.arange(4.0))
+        assert tier.hits == 1 and tier.misses == 1
+
+    def test_values_are_isolated_copies(self):
+        tier = SharedCacheTier()
+        value = np.ones(3)
+        tier.put_memo("k", value)
+        value[:] = 0  # caller mutation must not corrupt the store
+        out = tier.get_memo("k")
+        np.testing.assert_array_equal(out, np.ones(3))
+        out[:] = 5
+        np.testing.assert_array_equal(tier.get_memo("k"), np.ones(3))
+
+    def test_lru_eviction_under_byte_budget(self):
+        entry = np.zeros(16)  # 128 bytes
+        tier = SharedCacheTier(memo_capacity_bytes=3 * entry.nbytes)
+        for i in range(3):
+            tier.put_memo(f"k{i}", entry)
+        assert tier.get_memo("k0") is not MISS  # refresh k0
+        tier.put_memo("k3", entry)  # evicts k1, the LRU
+        assert tier.get_memo("k1") is MISS
+        assert tier.get_memo("k0") is not MISS
+        assert tier.evictions == 1
+        assert tier.memo_entries == 3
+        assert tier.memo_bytes == 3 * entry.nbytes
+
+    def test_overwrite_replaces_bytes_not_duplicates(self):
+        tier = SharedCacheTier(memo_capacity_bytes=1 << 10)
+        tier.put_memo("k", np.zeros(8))
+        tier.put_memo("k", np.zeros(16))  # same key, larger value
+        assert tier.memo_entries == 1
+        assert tier.memo_bytes == 128
+        np.testing.assert_array_equal(tier.get_memo("k"), np.zeros(16))
+
+    def test_oversized_entry_never_admitted(self):
+        tier = SharedCacheTier(memo_capacity_bytes=8)
+        tier.put_memo("big", np.zeros(100))
+        assert tier.memo_entries == 0 and tier.get_memo("big") is MISS
+
+    def test_ttl_expiry_reconciles_byte_ledger(self):
+        clock = SimulatedClock()
+        tier = SharedCacheTier(clock=clock, memo_ttl_s=1.0)
+        tier.put_memo("k", np.zeros(8))
+        assert tier.memo_bytes == 64
+        clock.advance(2.0)
+        assert tier.get_memo("k") is MISS
+        assert tier.memo_bytes == 0 and tier.memo_entries == 0
+
+    def test_non_string_keys(self):
+        tier = SharedCacheTier()
+        tier.put_memo((1, "a"), np.ones(2))
+        assert tier.get_memo((1, "a")) is not MISS
+        assert tier.get_memo((1, "b")) is MISS
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SharedCacheTier(memo_capacity_bytes=-1)
+
+
+class TestTierPrefixChains:
+    def test_ensure_prefix_pages_and_bytes(self):
+        config = toy_decoder()
+        tier = SharedCacheTier()
+        chain = tier.ensure_prefix("sys", 5, config=config, block_size=2)
+        assert chain.n_blocks == 3  # ceil(5 / 2) pages
+        assert [b.fill for b in chain.blocks] == [2, 2, 1]
+        assert chain.nbytes == kv_cache_bytes(config, 6)  # page-rounded
+        assert tier.prefix_ids == ["sys"]
+        assert tier.shared_bytes == chain.nbytes
+
+    def test_ensure_prefix_idempotent_and_strict(self):
+        config = toy_decoder()
+        tier = SharedCacheTier()
+        chain = tier.ensure_prefix("sys", 4, config=config, block_size=2)
+        assert tier.ensure_prefix("sys", 4, config=config, block_size=2) is chain
+        with pytest.raises(ValueError, match="already registered with"):
+            tier.ensure_prefix("sys", 6, config=config, block_size=2)
+        with pytest.raises(ValueError):
+            tier.ensure_prefix("other", 0, config=config)
+
+    def test_register_rejects_slash_and_duplicates(self):
+        config = toy_decoder()
+        tier = SharedCacheTier()
+        tier.ensure_prefix("sys", 2, config=config)
+        bad = PrefixChain(
+            prefix_id="a/b", tokens=1, blocks=(), block_size=1, nbytes=0
+        )
+        with pytest.raises(ValueError, match="must not contain"):
+            tier.register_prefix(bad)
+        dup = PrefixChain(
+            prefix_id="sys", tokens=1, blocks=(), block_size=1, nbytes=0
+        )
+        with pytest.raises(ValueError, match="already registered"):
+            tier.register_prefix(dup)
+
+    def test_refcount_and_holder_custody(self):
+        tier = SharedCacheTier()
+        tier.ensure_prefix("sys", 2, config=toy_decoder())
+        assert tier.refcount("sys") == 0
+        tier.acquire_prefix("sys", replica_id=1)
+        tier.acquire_prefix("sys", replica_id=0)
+        tier.acquire_prefix("sys", replica_id=1)
+        assert tier.refcount("sys") == 3
+        assert tier.replicas_holding("sys") == [0, 1]
+        assert tier.release_prefix("sys", replica_id=1) == 2
+        assert tier.replicas_holding("sys") == [0, 1]  # 1 still holds one
+        assert tier.release_prefix("sys", replica_id=1) == 1
+        assert tier.replicas_holding("sys") == [0]
+        assert tier.release_prefix("sys", replica_id=0) == 0
+        assert tier.replicas_holding("sys") == []
+
+    def test_acquire_unregistered_raises(self):
+        tier = SharedCacheTier()
+        with pytest.raises(KeyError):
+            tier.acquire_prefix("ghost", replica_id=0)
+
+    def test_release_guards(self):
+        tier = SharedCacheTier()
+        tier.ensure_prefix("sys", 2, config=toy_decoder())
+        with pytest.raises(ValueError, match="not referenced"):
+            tier.release_prefix("sys", replica_id=0)
+        tier.acquire_prefix("sys", replica_id=0)
+        with pytest.raises(ValueError):
+            tier.release_prefix("sys", replica_id=3)  # holds none
+
+    def test_referenced_chain_is_pinned_against_ttl(self):
+        clock = SimulatedClock()
+        tier = SharedCacheTier(clock=clock, prefix_ttl_s=1.0)
+        tier.ensure_prefix("sys", 2, config=toy_decoder())
+        tier.acquire_prefix("sys", replica_id=0)
+        clock.advance(100.0)
+        assert tier.prefix("sys") is not None  # pinned while referenced
+        tier.release_prefix("sys", replica_id=0)
+        assert tier.prefix("sys") is not None  # cached, now evictable
+        clock.advance(100.0)
+        assert tier.prefix("sys") is None  # TTL finally applies
+
+    def test_move_holder_follows_migration(self):
+        tier = SharedCacheTier()
+        tier.ensure_prefix("sys", 2, config=toy_decoder())
+        tier.acquire_prefix("sys", replica_id=0)
+        tier.move_holder("sys", 0, 2)
+        assert tier.replicas_holding("sys") == [2]
+        assert tier.refcount("sys") == 1
+        tier.move_holder("sys", 2, 2)  # same-replica move is a no-op
+        assert tier.replicas_holding("sys") == [2]
+        with pytest.raises(ValueError):
+            tier.move_holder("sys", 0, 1)  # source holds none
+
+    def test_drop_prefix_guard(self):
+        tier = SharedCacheTier()
+        tier.ensure_prefix("sys", 2, config=toy_decoder())
+        tier.acquire_prefix("sys", replica_id=0)
+        with pytest.raises(ValueError, match="referenced"):
+            tier.drop_prefix("sys")
+        tier.release_prefix("sys", replica_id=0)
+        assert tier.drop_prefix("sys") is True
+        assert tier.drop_prefix("sys") is False
+
+    def test_stats_sections(self):
+        tier = SharedCacheTier()
+        tier.put_memo("k", np.zeros(4))
+        tier.get_memo("k")
+        tier.get_memo("absent")
+        tier.ensure_prefix("sys", 3, config=toy_decoder(), block_size=2)
+        tier.acquire_prefix("sys", replica_id=0)
+        stats = tier.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["memo_entries"] == 1 and stats["memo_bytes"] == 32
+        assert stats["prefixes"] == 1
+        assert stats["shared_bytes"] == tier.shared_bytes
+        assert stats["referenced_prefixes"] == 1
+
+    def test_sharded_backend_supports_prefix_custody(self):
+        tier = SharedCacheTier(ShardedKVStore(shards=3))
+        tier.ensure_prefix("sys", 2, config=toy_decoder())
+        tier.acquire_prefix("sys", replica_id=4)
+        tier.acquire_prefix("sys", replica_id=2)
+        assert tier.replicas_holding("sys") == [2, 4]
+        assert tier.refcount("sys") == 2
+
+
+class TestStoreNamespaceLayout:
+    def test_tier_uses_documented_namespaces(self):
+        store = LocalKVStore()
+        tier = SharedCacheTier(store)
+        tier.put_memo("k", np.zeros(2))
+        tier.ensure_prefix("sys", 2, config=toy_decoder())
+        assert store.scan(NS_MEMO) == ["k"]
+        assert store.scan(NS_PREFIX) == ["sys"]

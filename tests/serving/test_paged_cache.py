@@ -281,3 +281,111 @@ class TestValidation:
         cache.open_session("s", prompt_len=1)
         k = np.ones(4)
         assert cache.append_kv("s", k, k) == 2
+
+
+class TestPrefixExportAdopt:
+    """Copy-on-write prefix sharing: export transfers page custody out
+    of the pool, adopters alias the chain without charging it, and the
+    first generated token lands on a fresh private page."""
+
+    def test_export_discharges_and_keeps_alias(self):
+        config = toy_decoder()
+        cache = SessionCache(config, block_size=2)
+        cache.open_session("donor", prompt_len=4)
+        assert cache.pool.in_use == 2
+        chain = cache.export_prefix("donor", "sys")
+        assert chain.tokens == 4 and chain.n_blocks == 2
+        assert cache.pool.in_use == 0  # custody moved to the tier
+        session = cache.session("donor")
+        assert session.shared_blocks == 2 and session.prefix_id == "sys"
+        assert session.private_blocks == 0
+        assert cache.session_bytes("donor") == 0
+        assert cache.shared_session_bytes("donor") == kv_cache_bytes(config, 4)
+
+    def test_export_boundary_must_be_page_aligned(self):
+        config = toy_decoder()
+        cache = SessionCache(config, block_size=2)
+        cache.open_session("s", prompt_len=5)
+        with pytest.raises(ValueError, match="page-aligned"):
+            cache.export_prefix("s", "sys", tokens=3)
+        chain = cache.export_prefix("s", "sys", tokens=4)
+        assert chain.n_blocks == 2
+        assert cache.session("s").private_blocks == 1  # the ragged tail
+
+    def test_export_whole_context_may_end_ragged(self):
+        cache = SessionCache(toy_decoder(), block_size=2)
+        cache.open_session("s", prompt_len=5)
+        chain = cache.export_prefix("s", "sys")  # 3 pages, last half-full
+        assert chain.tokens == 5 and chain.n_blocks == 3
+        assert cache.pool.in_use == 0
+
+    def test_export_guards(self):
+        config = toy_decoder()
+        cache = SessionCache(config, block_size=2)
+        cache.open_session("s", prompt_len=2)
+        cache.export_prefix("s", "sys")
+        with pytest.raises(ValueError, match="already shares"):
+            cache.export_prefix("s", "again")
+        cache.open_session("t", prompt_len=2)
+        cache.swap_out("t")
+        with pytest.raises(ValueError, match="swapped"):
+            cache.export_prefix("t", "sys2")
+        with pytest.raises(ValueError):
+            cache.open_session("u", prompt_len=2)
+            cache.export_prefix("u", "sys3", tokens=9)
+
+    def test_adopt_aliases_without_charging(self):
+        config = toy_decoder()
+        donor = SessionCache(config, block_size=2)
+        donor.open_session("d", prompt_len=4)
+        chain = donor.export_prefix("d", "sys")
+        cache = SessionCache(config, block_size=2)
+        session = cache.adopt_prefix("fork", chain)
+        assert cache.pool.in_use == 0  # shared pages are tier custody
+        assert session.prompt_len == session.prompt_slots == 4
+        assert not session.has_room  # first append must open a new page
+        k = np.ones(config.dim)
+        cache.append_kv("fork", k, k)
+        assert cache.pool.in_use == 1  # fresh private page, not the chain
+        assert session.blocks[0] is chain.blocks[0]
+        assert chain.blocks[-1].fill == 2  # shared pages never written
+
+    def test_adopt_rejects_open_session_and_page_mismatch(self):
+        config = toy_decoder()
+        donor = SessionCache(config, block_size=2)
+        donor.open_session("d", prompt_len=2)
+        chain = donor.export_prefix("d", "sys")
+        cache = SessionCache(config, block_size=2)
+        cache.open_session("busy", prompt_len=1)
+        with pytest.raises(ValueError, match="already open"):
+            cache.adopt_prefix("busy", chain)
+        mismatched = SessionCache(config, block_size=4)
+        with pytest.raises(ValueError, match="do not fit"):
+            mismatched.adopt_prefix("fork", chain)
+
+    def test_close_frees_only_private_tail(self):
+        config = toy_decoder()
+        donor = SessionCache(config, block_size=2)
+        donor.open_session("d", prompt_len=4)
+        chain = donor.export_prefix("d", "sys")
+        cache = SessionCache(config, block_size=2)
+        cache.adopt_prefix("fork", chain)
+        k = np.ones(config.dim)
+        cache.append_kv("fork", k, k)
+        cache.close_session("fork")
+        assert cache.pool.in_use == 0
+        assert len(cache.pool._free) == 1  # the private page only
+        assert all(id(b) not in {id(c) for c in chain.blocks}
+                   for b in cache.pool._free)
+        assert chain.blocks[0].fill == 2  # chain intact for the next fork
+
+    def test_prefix_sessions_in_stats(self):
+        config = toy_decoder()
+        donor = SessionCache(config, block_size=2)
+        donor.open_session("d", prompt_len=2)
+        chain = donor.export_prefix("d", "sys")
+        cache = SessionCache(config, block_size=2)
+        cache.adopt_prefix("fork", chain)
+        assert cache.prefix_sessions == 1
+        assert cache.stats()["prefix_sessions"] == 1
+        assert donor.prefix_sessions == 1
