@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli report [--skip-accuracy]
     python -m repro.cli serve-bench [--model tiny-vit|tiny-bert] [--requests N]
     python -m repro.cli cluster-bench [--replicas N] [--policy NAME] [--autoscale]
+    python -m repro.cli hotpath-bench [--batch N] [--chunk-size C] [--out FILE]
 
 The serving verbs construct from the unified config objects
 (:class:`~repro.serving.config.EngineConfig` /
@@ -186,7 +187,15 @@ def _load_config_data(text: str) -> dict:
 def _engine_overrides(args: argparse.Namespace) -> dict:
     """EngineConfig field overrides from the per-field CLI flags."""
     overrides = {}
-    for flag in ("max_batch_size", "max_wait_us", "scheduler", "num_cores", "seed"):
+    for flag in (
+        "max_batch_size",
+        "max_wait_us",
+        "scheduler",
+        "num_cores",
+        "chunk_size",
+        "pipeline_depth",
+        "seed",
+    ):
         value = getattr(args, flag, None)
         if value is not None:
             overrides[flag] = value
@@ -472,6 +481,109 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_hotpath_bench(args: argparse.Namespace) -> int:
+    """Engine hot-path profile: per-stage timings + pipelined throughput.
+
+    Also asserts the invariant that makes pipelining safe: pipelined
+    execution is bit-identical to the sequential chunk schedule for
+    equal seeds (same draws, same order, reordered only in wall-clock).
+    """
+    import json
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+
+    import numpy as np
+
+    from repro.core.dptc import DPTC
+    from repro.core.hotpath import pipelined_matmul, profile_stages
+    from repro.core.noise import NoiseModel
+
+    if min(args.batch, args.m, args.d, args.n) < 1:
+        raise SystemExit("hotpath-bench: --batch/--m/--d/--n must be >= 1")
+    if args.repeats < 1:
+        raise SystemExit("hotpath-bench: --repeats must be >= 1")
+    chunk = args.chunk_size if args.chunk_size is not None else max(1, args.batch // 4)
+    depth = args.pipeline_depth if args.pipeline_depth is not None else 1
+    core = DPTC(noise=NoiseModel.paper_default())
+    rng = np.random.default_rng(args.seed)
+    a = rng.uniform(-1.0, 1.0, (args.batch, args.m, args.d))
+    b = rng.uniform(-1.0, 1.0, (args.batch, args.d, args.n))
+
+    stages = profile_stages(core, a, b, seed=args.seed, repeats=args.repeats)
+    sequential = pipelined_matmul(
+        core, a, b, np.random.default_rng(args.seed),
+        chunk_size=chunk, pipeline_depth=0,
+    )
+    with ThreadPoolExecutor(max_workers=1) as prefetch:
+        pipelined = pipelined_matmul(
+            core, a, b, np.random.default_rng(args.seed),
+            chunk_size=chunk, pipeline_depth=depth, prefetch=prefetch,
+        )
+        if not np.array_equal(sequential, pipelined):
+            raise SystemExit(
+                "hotpath-bench: pipelined result differs from sequential"
+            )
+
+        def best_of(fn) -> float:
+            samples = []
+            for _ in range(args.repeats):
+                start = time.perf_counter()
+                fn()
+                samples.append(time.perf_counter() - start)
+            return min(samples)
+
+        seq_s = best_of(
+            lambda: pipelined_matmul(
+                core, a, b, np.random.default_rng(args.seed),
+                chunk_size=chunk, pipeline_depth=0,
+            )
+        )
+        pipe_s = best_of(
+            lambda: pipelined_matmul(
+                core, a, b, np.random.default_rng(args.seed),
+                chunk_size=chunk, pipeline_depth=depth, prefetch=prefetch,
+            )
+        )
+    flop = 2.0 * args.batch * args.m * args.d * args.n
+    report = {
+        "shape": {"batch": args.batch, "m": args.m, "d": args.d, "n": args.n},
+        "chunk_size": chunk,
+        "pipeline_depth": depth,
+        "stage_seconds": stages,
+        "sequential_seconds": seq_s,
+        "pipelined_seconds": pipe_s,
+        "pipelined_speedup": seq_s / pipe_s,
+        "throughput_gflops": flop / stages["total"] / 1e9,
+        "bit_identical": True,
+    }
+    rows = [
+        {"stage": name, "best_us": stages[name] * 1e6,
+         "share_pct": 100.0 * stages[name] / stages["total"]}
+        for name in ("sample", "encode", "compute", "detect")
+    ]
+    rows.append({"stage": "total", "best_us": stages["total"] * 1e6, "share_pct": 100.0})
+    print(
+        render_table(
+            rows,
+            title=(
+                f"hotpath-bench [{args.batch}x{args.m}x{args.d}]x"
+                f"[{args.batch}x{args.d}x{args.n}], chunk={chunk}, depth={depth}"
+            ),
+        )
+    )
+    print(
+        f"matmul throughput: {report['throughput_gflops']:.3f} GFLOP/s; "
+        f"pipelined {pipe_s * 1e6:.1f} us vs sequential {seq_s * 1e6:.1f} us "
+        f"({report['pipelined_speedup']:.2f}x); bit-identical: yes"
+    )
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -543,6 +655,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="batch composition: request-level or iteration-level "
             "(default request)",
         )
+        p.add_argument(
+            "--chunk-size", type=int, default=None,
+            help="hot-path pipelining chunk along the batch axis "
+            "(default: no chunking)",
+        )
+        p.add_argument(
+            "--pipeline-depth", type=int, default=None,
+            help="chunks the prefetch stage may run ahead (default 1)",
+        )
         p.add_argument("--seed", type=int, default=None, help="(default 0)")
 
     p_serve = sub.add_parser(
@@ -604,6 +725,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="p95 latency SLO for --autoscale (milliseconds)",
     )
     p_cluster.set_defaults(func=cmd_cluster_bench)
+
+    p_hotpath = sub.add_parser(
+        "hotpath-bench",
+        help="engine hot-path profile (per-stage timings, pipelined speedup)",
+    )
+    p_hotpath.add_argument("--batch", type=int, default=64)
+    p_hotpath.add_argument("--m", type=int, default=24)
+    p_hotpath.add_argument("--d", type=int, default=32)
+    p_hotpath.add_argument("--n", type=int, default=24)
+    p_hotpath.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="stacks per pipeline chunk (default batch/4)",
+    )
+    p_hotpath.add_argument(
+        "--pipeline-depth", type=int, default=None,
+        help="chunks the prefetch stage may run ahead (default 1)",
+    )
+    p_hotpath.add_argument("--repeats", type=int, default=3)
+    p_hotpath.add_argument("--seed", type=int, default=0)
+    p_hotpath.add_argument("--out", metavar="FILE", help="write the JSON report")
+    p_hotpath.set_defaults(func=cmd_hotpath_bench)
 
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_report.add_argument("--output", default="EXPERIMENTS.md")

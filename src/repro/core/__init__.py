@@ -10,6 +10,9 @@
   with digital partial-sum accumulation (the multi-core scaling axes
   of the accelerator), each core with its own RNG stream and
   calibration state, on a thread- or process-pool backend.
+* :mod:`repro.core.hotpath` — chunked, double-buffered pipelining of
+  the engine's SAMPLE/ENCODE/COMPUTE/DETECT stages (bit-identical to
+  sequential execution for equal seeds) plus the per-stage profiler.
 * Noise and dispersion models of Sec. III-C, shared by the accuracy
   studies and the circuit-level validation.
 """
@@ -22,7 +25,18 @@ from repro.core.calibration import (
 )
 from repro.core.ddot import DDot, analytic_output
 from repro.core.dispersion import DispersionProfile, dispersion_profile
-from repro.core.dptc import DPTC, DPTCGeometry, DPTCNoiseDraw
+from repro.core.dptc import (
+    CHANNEL_CACHE_SIZE,
+    DPTC,
+    DPTCGeometry,
+    DPTCNoiseDraw,
+    PreparedMatmul,
+)
+from repro.core.hotpath import (
+    chunk_bounds,
+    pipelined_matmul,
+    profile_stages,
+)
 from repro.core.noise import (
     DEFAULT_MAGNITUDE_STD,
     DEFAULT_PHASE_STD_DEG,
@@ -42,15 +56,20 @@ from repro.core.sharding import (
 
 __all__ = [
     "BACKENDS",
+    "CHANNEL_CACHE_SIZE",
     "CalibratedDPTC",
     "DDot",
     "DPTC",
     "DigitalAccumulator",
+    "PreparedMatmul",
     "SHARD_AXES",
+    "chunk_bounds",
     "contraction_slabs",
     "additive_correction",
     "channel_gains",
     "dispersion_error_reduction",
+    "pipelined_matmul",
+    "profile_stages",
     "DPTCGeometry",
     "DPTCNoiseDraw",
     "DEFAULT_MAGNITUDE_STD",

@@ -19,10 +19,12 @@ stochastic noise model it removes the deterministic bias.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.dispersion import DispersionProfile
-from repro.core.dptc import DPTC, DPTCGeometry
+from repro.core.dptc import DPTC, DPTCGeometry, DPTCNoiseDraw, PreparedMatmul
 from repro.core.noise import NoiseModel
 from repro.optics.wdm import WDMGrid
 
@@ -63,6 +65,14 @@ def additive_correction(
     return row_term[..., :, None] - col_term[..., None, :]
 
 
+@dataclass
+class CalibratedPrepared:
+    """A prepared chunk plus the digital correction its DETECT subtracts."""
+
+    inner: PreparedMatmul
+    correction: np.ndarray
+
+
 class CalibratedDPTC(DPTC):
     """A DPTC with dispersion calibration applied around every matmul.
 
@@ -70,6 +80,14 @@ class CalibratedDPTC(DPTC):
     and to the measured output (digital subtraction of the additive
     term).  Both use only the *known* dispersion profile — stochastic
     encoding noise remains, as in hardware.
+
+    The calibration is woven into the hot-path stage pair
+    (:meth:`prepare_chunk` / :meth:`finish_chunk`) rather than wrapped
+    around :meth:`matmul`, so chunked/pipelined execution calibrates
+    each chunk exactly like the whole-batch call would.  The
+    compensated operand has the same shape and the same zero set as the
+    raw one (channel gains are finite and nonzero), so the sampling
+    order and the all-zero short-circuit are untouched.
     """
 
     def __init__(
@@ -80,25 +98,27 @@ class CalibratedDPTC(DPTC):
     ) -> None:
         super().__init__(geometry, noise, grid)
 
-    def matmul(
+    def prepare_chunk(
         self,
         a: np.ndarray,
         b: np.ndarray,
         rng: np.random.Generator | None = None,
-        draw=None,
-    ) -> np.ndarray:
+        draw: DPTCNoiseDraw | None = None,
+    ) -> CalibratedPrepared | PreparedMatmul | None:
+        if not self.noise.include_dispersion:
+            return super().prepare_chunk(a, b, rng=rng, draw=draw)
         a = np.asarray(a, dtype=float)
         b = np.asarray(b, dtype=float)
-        self._broadcast_out_shape(a.shape, b.shape)
-        if self.noise.is_ideal or not self.noise.include_dispersion:
-            return super().matmul(a, b, rng=rng, draw=draw)
-
         d = a.shape[-1]
         gains = channel_gains(self.profile, d)
         # Pre-compensate operand B so the analog multiplicative factor
         # cancels; the uncalibrated engine then runs as-is.
         b_comp = b * gains[:, None]
-        compensated = super().matmul(a, b_comp, rng=rng, draw=draw)
+        inner = super().prepare_chunk(a, b_comp, rng=rng, draw=draw)
+        if inner is None:
+            # All-zero short-circuit: the correction below would be
+            # fully masked to zero anyway, so zeros are the answer.
+            return None
 
         # Digitally remove the additive dispersion term.  It arises from
         # the *encoded* values: reproduce the engine's per-matrix
@@ -115,7 +135,14 @@ class CalibratedDPTC(DPTC):
             0.0,
             correction * (beta_a * beta_b),
         )
-        return compensated - correction
+        return CalibratedPrepared(inner=inner, correction=correction)
+
+    def finish_chunk(
+        self, prepared: CalibratedPrepared | PreparedMatmul
+    ) -> np.ndarray:
+        if isinstance(prepared, CalibratedPrepared):
+            return super().finish_chunk(prepared.inner) - prepared.correction
+        return super().finish_chunk(prepared)
 
 
 def dispersion_error_reduction(

@@ -24,11 +24,31 @@ computed as single whole-batch einsum/matmul expressions.  The
 per-matrix Python loop of the original engine is preserved verbatim as
 :meth:`DPTC.matmul_reference` so the equivalence and speedup of the
 vectorised path stay measurable.
+
+**Hot-path staging.**  A noisy matmul is four stages — SAMPLE (the
+fused RNG draw of :meth:`DPTC.sample_noise`), ENCODE (per-matrix
+normalisation, magnitude factors, and the trig operand products),
+COMPUTE (the two exact matmuls plus the additive dispersion terms) and
+DETECT (systematic factors, ``beta`` rescaling, zero masking).  The
+pair :meth:`DPTC.prepare_chunk` / :meth:`DPTC.finish_chunk` exposes
+that split — ``finish_chunk(prepare_chunk(a, b, rng))`` *is*
+``matmul(a, b, rng=rng)``, bit for bit, because :meth:`DPTC.matmul`
+itself is implemented on top of the pair.  The split is what
+:mod:`repro.core.hotpath` pipelines: SAMPLE+ENCODE of batch chunk
+``k+1`` runs on a prefetch thread while COMPUTE+DETECT of chunk ``k``
+occupies the caller, reordering the stages in wall-clock time without
+touching the documented RNG sampling order.
+
+The per-contraction-length dispersion factor cache is a small LRU
+(:data:`CHANNEL_CACHE_SIZE` entries): long-lived serving engines see
+ragged traffic with unbounded distinct contraction lengths, and an
+uncapped cache is a slow memory leak.
 """
 
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -138,6 +158,36 @@ class DPTCNoiseDraw:
     systematic: np.ndarray | float
 
 
+@dataclass
+class PreparedMatmul:
+    """SAMPLE+ENCODE output of one (chunk of a) noisy matmul.
+
+    Everything COMPUTE+DETECT needs, produced by
+    :meth:`DPTC.prepare_chunk` and consumed exactly once by
+    :meth:`DPTC.finish_chunk`.  Holding one of these per in-flight
+    pipeline chunk is what lets the hot path overlap stages in
+    wall-clock time without reordering any floating-point operation.
+    """
+
+    out_shape: tuple[int, ...]
+    beta_a: np.ndarray
+    beta_b: np.ndarray
+    has_zero: bool
+    systematic: np.ndarray | float
+    a_cos: np.ndarray
+    a_sin: np.ndarray
+    b_cos: np.ndarray
+    b_sin: np.ndarray
+    row_term: np.ndarray
+    col_term: np.ndarray
+
+
+#: Entries kept in the per-contraction-length dispersion factor cache.
+#: One entry per distinct ``d`` seen by the engine; ragged serving
+#: traffic would grow an uncapped cache without bound.
+CHANNEL_CACHE_SIZE = 32
+
+
 class DPTC:
     """Functional (optionally noisy) executor for DPTC matrix multiplies.
 
@@ -166,7 +216,9 @@ class DPTC:
             self.profile = dispersion_profile(self.grid)
         else:
             self.profile = DispersionProfile.ideal(self.geometry.n_lambda)
-        self._channel_cache: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._channel_cache: OrderedDict[
+            int, tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = OrderedDict()
 
     def tile_matmul(
         self,
@@ -265,7 +317,11 @@ class DPTC:
         """Per-contraction-element dispersion factors (cyclic channels).
 
         Cached per contraction length: the profile is fixed at
-        construction, so the cyclic tiling never changes.
+        construction, so the cyclic tiling never changes.  The cache is
+        a small LRU capped at :data:`CHANNEL_CACHE_SIZE` entries —
+        ragged serving traffic (variable-``d`` GEMVs against a
+        long-lived engine) touches unboundedly many distinct lengths,
+        and evicted entries are merely recomputed, never wrong.
         """
         cached = self._channel_cache.get(d)
         if cached is None:
@@ -274,6 +330,10 @@ class DPTC:
             two_tk = 2.0 * np.sqrt(kappa * (1.0 - kappa))
             cached = (kappa, phase_deviation, two_tk)
             self._channel_cache[d] = cached
+            if len(self._channel_cache) > CHANNEL_CACHE_SIZE:
+                self._channel_cache.popitem(last=False)
+        else:
+            self._channel_cache.move_to_end(d)
         return cached
 
     def matmul(
@@ -313,6 +373,58 @@ class DPTC:
         out_shape = self._broadcast_out_shape(a.shape, b.shape)
         if self.noise.is_ideal:
             return np.matmul(a, b)
+        prepared = self.prepare_chunk(a, b, rng=rng, draw=draw)
+        if prepared is None:
+            return np.zeros(out_shape)
+        return self.finish_chunk(prepared)
+
+    def predraw(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        rng: np.random.Generator | None,
+    ) -> DPTCNoiseDraw | None:
+        """The draw ``matmul(a, b, rng=rng)`` would consume, pre-sampled.
+
+        ``None`` when the call would short-circuit without sampling: an
+        ideal engine, or an all-zero operand (the caller then fills
+        zeros).  Used by the process backend to ship *pre-drawn* noise
+        with shard jobs — the parent consumes the per-core stream in
+        exactly the order the worker would have, so results stay
+        bit-identical while the hot path stops pickling generators.
+        """
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        if self.noise.is_ideal:
+            return None
+        if not np.abs(a).any() or not np.abs(b).any():
+            return None
+        if rng is None:
+            rng = np.random.default_rng()
+        return self.sample_noise(a.shape, b.shape, rng)
+
+    def prepare_chunk(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        rng: np.random.Generator | None = None,
+        draw: DPTCNoiseDraw | None = None,
+    ) -> PreparedMatmul | None:
+        """SAMPLE+ENCODE stages of one noisy matmul (or chunk thereof).
+
+        Returns the :class:`PreparedMatmul` that :meth:`finish_chunk`
+        turns into the result, or ``None`` when the draw-less all-zero
+        short-circuit fires (the caller returns zeros; the RNG stream
+        is untouched, exactly like :meth:`matmul`).  Requires a
+        non-ideal noise model — the ideal path has no stages to split.
+
+        ``finish_chunk(prepare_chunk(a, b, rng=rng))`` is bit-identical
+        to ``matmul(a, b, rng=rng)`` by construction: ``matmul`` is
+        implemented on this very pair.
+        """
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        out_shape = self._broadcast_out_shape(a.shape, b.shape)
 
         # Per-matrix normalisation: each [m, d] / [d, n] slice of the
         # stack gets its own beta (all-zero slices are masked at the end).
@@ -323,7 +435,7 @@ class DPTC:
                 # An all-zero operand short-circuits before any noise is
                 # sampled, like the reference loop's per-matrix early
                 # return — the shared RNG stream stays aligned.
-                return np.zeros(out_shape)
+                return None
             if rng is None:
                 rng = np.random.default_rng()
             draw = self.sample_noise(a.shape, b.shape, rng)
@@ -366,17 +478,51 @@ class DPTC:
         else:
             a_cos = a_hat * math.cos(draw.phase_a)
             a_sin = a_hat * math.sin(draw.phase_a)
-        out = a_cos @ b_cos
-        out += a_sin @ b_sin
+        return PreparedMatmul(
+            out_shape=out_shape,
+            beta_a=beta_a,
+            beta_b=beta_b,
+            has_zero=has_zero,
+            systematic=draw.systematic,
+            a_cos=a_cos,
+            a_sin=a_sin,
+            b_cos=b_cos,
+            b_sin=b_sin,
+            row_term=row_term,
+            col_term=col_term,
+        )
 
-        out += 0.5 * row_term[..., :, None]
-        out -= 0.5 * col_term[..., None, :]
+    def compute_chunk(self, prepared: PreparedMatmul) -> np.ndarray:
+        """COMPUTE stage: the two exact matmuls plus the additive terms.
 
-        out *= draw.systematic
-        out *= beta_a * beta_b
-        if has_zero:
-            out = np.where((beta_a == 0.0) | (beta_b == 0.0), 0.0, out)
+        Repeatable — it never mutates ``prepared`` (the profiling
+        harness relies on that).
+        """
+        out = prepared.a_cos @ prepared.b_cos
+        out += prepared.a_sin @ prepared.b_sin
+        out += 0.5 * prepared.row_term[..., :, None]
+        out -= 0.5 * prepared.col_term[..., None, :]
         return out
+
+    def detect_chunk(
+        self, prepared: PreparedMatmul, out: np.ndarray
+    ) -> np.ndarray:
+        """DETECT stage: systematic factors, beta rescale, zero masking.
+
+        Consumes ``out`` (in-place scaling) — pass a fresh
+        :meth:`compute_chunk` result, or a copy when profiling.
+        """
+        out *= prepared.systematic
+        out *= prepared.beta_a * prepared.beta_b
+        if prepared.has_zero:
+            out = np.where(
+                (prepared.beta_a == 0.0) | (prepared.beta_b == 0.0), 0.0, out
+            )
+        return out
+
+    def finish_chunk(self, prepared: PreparedMatmul) -> np.ndarray:
+        """COMPUTE+DETECT stages: turn a prepared chunk into its result."""
+        return self.detect_chunk(prepared, self.compute_chunk(prepared))
 
     def matmul_reference(
         self,

@@ -63,10 +63,15 @@ class EncodingNoise:
 
         Consumes the same RNG stream as :meth:`perturb_magnitude` (and
         nothing at ``std == 0``, where the factor is the scalar 1).
+        The ``1 +`` shift is fused in place on the freshly drawn array
+        (bit-identical to ``1.0 + rng.normal(...)``, one fewer
+        temporary — the hot-path allocation discipline).
         """
         if self.magnitude_std == 0.0:
             return 1.0
-        return 1.0 + rng.normal(0.0, self.magnitude_std, shape)
+        factors = rng.normal(0.0, self.magnitude_std, shape)
+        factors += 1.0
+        return factors
 
     def sample_phase(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
         """Sample per-element phase drifts (rad)."""
@@ -96,11 +101,15 @@ class SystematicNoise:
     ) -> np.ndarray | float:
         """Multiplicative output factors ``1 + eps`` (scalar 1 at std 0).
 
-        Consumes the same RNG stream as :meth:`apply`.
+        Consumes the same RNG stream as :meth:`apply`; the ``1 +``
+        shift is fused in place on the drawn array (bit-identical,
+        one fewer temporary).
         """
         if self.std == 0.0:
             return 1.0
-        return 1.0 + rng.normal(0.0, self.std, shape)
+        factors = rng.normal(0.0, self.std, shape)
+        factors += 1.0
+        return factors
 
 
 @dataclass(frozen=True)

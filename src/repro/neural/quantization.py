@@ -72,18 +72,28 @@ def quantize_array(
     # inputs are returned unchanged instead, identically on both paths
     # (so per-matrix slices still quantize exactly like per-sample
     # calls on the same slice).
+    # The snap chain (divide, round, clip, rescale) runs through one
+    # reused buffer — each ufunc writes over the previous result, which
+    # is bit-identical to the chained temporaries and allocates once.
     tiny = np.finfo(float).tiny
     if per_matrix and values.ndim > 2:
         max_abs = np.max(np.abs(values), axis=(-2, -1), keepdims=True)
         degenerate = max_abs < tiny
         scale = np.where(degenerate, 1.0, max_abs) / levels
-        snapped = np.clip(np.round(values / scale), -levels, levels) * scale
+        snapped = values / scale
+        np.round(snapped, out=snapped)
+        np.clip(snapped, -levels, levels, out=snapped)
+        snapped *= scale
         return np.where(degenerate, values, snapped)
     max_abs = np.max(np.abs(values))
     if max_abs < tiny:
         return values.copy()
     scale = max_abs / levels
-    return np.clip(np.round(values / scale), -levels, levels) * scale
+    snapped = values / scale
+    np.round(snapped, out=snapped)
+    np.clip(snapped, -levels, levels, out=snapped)
+    snapped *= scale
+    return snapped
 
 
 def fake_quantize(tensor: Tensor, bits: int, per_matrix: bool = False) -> Tensor:
@@ -97,10 +107,37 @@ def fake_quantize(tensor: Tensor, bits: int, per_matrix: bool = False) -> Tensor
     return Tensor.make(quantized, (tensor,), backward)
 
 
-def quantization_error(values: np.ndarray, bits: int) -> float:
-    """RMS relative quantization error of a tensor at ``bits``."""
+def quantization_error(
+    values: np.ndarray, bits: int, per_matrix: bool = False
+) -> float | np.ndarray:
+    """Relative (Frobenius) quantization error of a tensor at ``bits``.
+
+    Args:
+        values: array of any rank.
+        bits: grid precision.
+        per_matrix: quantize and normalise each trailing ``[m, n]``
+            slice independently — the scale discipline the executor
+            actually uses (``quantize_array(..., per_matrix=True)``).
+            For a stacked tensor this returns one error per slice (a
+            ``batch``-shaped array), each matching the error of the
+            slice quantized on its own — the quantized values are
+            bit-identical; the norm reduction itself may differ by one
+            ULP from the 2-D call (BLAS vs ufunc summation order).  The
+            default reports a single
+            global-scale error, which cross-couples the batch.  All-zero
+            slices report 0.0.  2-D inputs return a float either way.
+    """
     values = np.asarray(values, dtype=float)
+    if per_matrix and values.ndim > 2:
+        diff = values - quantize_array(values, bits, per_matrix=True)
+        reference = np.linalg.norm(values, axis=(-2, -1))
+        error = np.linalg.norm(diff, axis=(-2, -1))
+        zero = reference == 0.0
+        return error / np.where(zero, 1.0, reference)
     reference = float(np.linalg.norm(values))
     if reference == 0.0:
         return 0.0
-    return float(np.linalg.norm(values - quantize_array(values, bits)) / reference)
+    return float(
+        np.linalg.norm(values - quantize_array(values, bits, per_matrix=per_matrix))
+        / reference
+    )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import DPTC, DPTCGeometry, NoiseModel
+from repro.core import CHANNEL_CACHE_SIZE, DPTC, DPTCGeometry, NoiseModel
 from repro.core.noise import EncodingNoise, SystematicNoise
 
 
@@ -167,3 +167,151 @@ class TestNoisyExecution:
         out1 = dptc.matmul(a, b, rng=np.random.default_rng(0))
         out2 = dptc.matmul(a, b, rng=np.random.default_rng(0))
         assert np.array_equal(out1, out2)
+
+
+class TestChannelCacheLRU:
+    """The per-contraction-length dispersion cache is a bounded LRU."""
+
+    def test_cache_never_exceeds_cap(self):
+        dptc = DPTC(noise=NoiseModel.paper_default())
+        rng = np.random.default_rng(0)
+        for d in range(1, 3 * CHANNEL_CACHE_SIZE + 1):
+            a = rng.normal(size=(2, d))
+            b = rng.normal(size=(d, 2))
+            dptc.matmul(a, b, rng=rng)
+            assert len(dptc._channel_cache) <= CHANNEL_CACHE_SIZE
+
+    def test_eviction_never_changes_results(self):
+        """Evicted entries are recomputed, bit-identically: a hammered
+        engine matches a fresh one on every contraction length."""
+        hammered = DPTC(noise=NoiseModel.paper_default())
+        rng = np.random.default_rng(1)
+        lengths = list(range(1, 2 * CHANNEL_CACHE_SIZE + 1))
+        cases = {
+            d: (rng.normal(size=(3, d)), rng.normal(size=(d, 3)))
+            for d in lengths
+        }
+        for d in lengths:  # fill far past the cap, evicting early entries
+            hammered.matmul(*cases[d], rng=np.random.default_rng(d))
+        for d in lengths:  # revisit every length, including evicted ones
+            fresh = DPTC(noise=NoiseModel.paper_default())
+            want = fresh.matmul(*cases[d], rng=np.random.default_rng(d))
+            got = hammered.matmul(*cases[d], rng=np.random.default_rng(d))
+            assert np.array_equal(want, got)
+
+    def test_recently_used_entries_survive(self):
+        dptc = DPTC(noise=NoiseModel.paper_default())
+        rng = np.random.default_rng(2)
+        dptc.matmul(rng.normal(size=(2, 7)), rng.normal(size=(7, 2)), rng=rng)
+        for d in range(10, 10 + CHANNEL_CACHE_SIZE - 1):
+            dptc.matmul(
+                rng.normal(size=(2, d)), rng.normal(size=(d, 2)), rng=rng
+            )
+            # Touching d=7 each round keeps it most-recently-used.
+            dptc.matmul(
+                rng.normal(size=(2, 7)), rng.normal(size=(7, 2)), rng=rng
+            )
+        assert 7 in dptc._channel_cache
+
+
+class TestSampleNoiseFusedDraw:
+    """The fused standard-normal draw is bit-identical to the five
+    sequential per-component draws, in the documented order
+    (magnitude A, magnitude B, phase A, phase B, systematic)."""
+
+    A_SHAPE = (3, 4, 24)
+    B_SHAPE = (3, 24, 5)
+    OUT_SHAPE = (3, 4, 5)
+
+    def sequential_draw(self, noise, rng):
+        """Component-by-component oracle using the pre-fusion recipe."""
+        draws = []
+        for shape, std, base in (
+            (self.A_SHAPE, noise.encoding.magnitude_std, 1.0),
+            (self.B_SHAPE, noise.encoding.magnitude_std, 1.0),
+            (self.A_SHAPE, noise.encoding.phase_std_rad, 0.0),
+            (self.B_SHAPE, noise.encoding.phase_std_rad, 0.0),
+            (self.OUT_SHAPE, noise.systematic.std, 1.0),
+        ):
+            if std == 0.0:
+                draws.append(base)
+            else:
+                block = rng.normal(0.0, std, shape)
+                if base != 0.0:
+                    block += base
+                draws.append(block)
+        return draws
+
+    def assert_draw_matches(self, noise):
+        dptc = DPTC(noise=noise)
+        draw = dptc.sample_noise(
+            self.A_SHAPE, self.B_SHAPE, np.random.default_rng(9)
+        )
+        want = self.sequential_draw(noise, np.random.default_rng(9))
+        got = (
+            draw.magnitude_a,
+            draw.magnitude_b,
+            draw.phase_a,
+            draw.phase_b,
+            draw.systematic,
+        )
+        for expected, actual in zip(want, got):
+            if isinstance(expected, float):
+                assert actual == expected  # scalar collapse, no draw
+            else:
+                assert np.array_equal(actual, expected)
+
+    def test_full_model_matches_sequential(self):
+        self.assert_draw_matches(NoiseModel.paper_default())
+
+    def test_magnitude_only(self):
+        self.assert_draw_matches(
+            NoiseModel(
+                encoding=EncodingNoise(0.03, 0.0),
+                systematic=SystematicNoise(0.0),
+            )
+        )
+
+    def test_phase_only(self):
+        self.assert_draw_matches(
+            NoiseModel(
+                encoding=EncodingNoise(0.0, 2.0),
+                systematic=SystematicNoise(0.0),
+            )
+        )
+
+    def test_systematic_only(self):
+        self.assert_draw_matches(
+            NoiseModel(
+                encoding=EncodingNoise(0.0, 0.0),
+                systematic=SystematicNoise(0.05),
+            )
+        )
+
+    def test_all_ideal_components_consume_no_stream(self):
+        """An all-zero-std model collapses every component to a scalar
+        and leaves the generator untouched."""
+        dptc = DPTC(
+            noise=NoiseModel(
+                encoding=EncodingNoise(0.0, 0.0),
+                systematic=SystematicNoise(0.0),
+                include_dispersion=True,
+            )
+        )
+        rng = np.random.default_rng(4)
+        draw = dptc.sample_noise(self.A_SHAPE, self.B_SHAPE, rng)
+        assert draw.magnitude_a == 1.0 and draw.magnitude_b == 1.0
+        assert draw.phase_a == 0.0 and draw.phase_b == 0.0
+        assert draw.systematic == 1.0
+        # Stream untouched: the next value equals a fresh generator's.
+        assert rng.standard_normal() == np.random.default_rng(4).standard_normal()
+
+    def test_mixed_model_interleaves_correctly(self):
+        """Zero-std components are skipped without consuming stream, so
+        the live components read a contiguous prefix of the stream."""
+        self.assert_draw_matches(
+            NoiseModel(
+                encoding=EncodingNoise(0.03, 0.0),
+                systematic=SystematicNoise(0.05),
+            )
+        )

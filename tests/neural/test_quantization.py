@@ -171,3 +171,60 @@ class TestFakeQuantize:
         (fake_quantize(t, 8) ** 2).sum().backward()
         # STE: d/dt (q(t)^2) ~ 2*q(t)
         assert np.allclose(t.grad, 2 * fake_quantize(Tensor(t.data), 8).data)
+
+
+class TestPerMatrixQuantizationError:
+    """quantization_error(per_matrix=True): one decoupled error per slice."""
+
+    def test_stack_errors_equal_independent_slice_errors(self):
+        # The quantized grids are bit-identical per slice; the norm
+        # reduction may differ by one ULP (BLAS dot vs ufunc reduce),
+        # hence the machine-precision tolerance.
+        rng = np.random.default_rng(0)
+        stack = rng.normal(size=(5, 6, 7)) * rng.uniform(0.1, 10.0, (5, 1, 1))
+        errors = quantization_error(stack, 4, per_matrix=True)
+        assert errors.shape == (5,)
+        for index in range(stack.shape[0]):
+            want = quantization_error(stack[index], 4)
+            assert np.isclose(errors[index], want, rtol=1e-14, atol=0.0)
+
+    def test_nested_batch_axes(self):
+        rng = np.random.default_rng(1)
+        stack = rng.normal(size=(2, 3, 4, 5))
+        errors = quantization_error(stack, 4, per_matrix=True)
+        assert errors.shape == (2, 3)
+        for i in range(2):
+            for j in range(3):
+                want = quantization_error(stack[i, j], 4)
+                assert np.isclose(errors[i, j], want, rtol=1e-14, atol=0.0)
+
+    def test_zero_slice_reports_zero(self):
+        rng = np.random.default_rng(2)
+        stack = rng.normal(size=(3, 4, 4))
+        stack[1] = 0.0
+        errors = quantization_error(stack, 4, per_matrix=True)
+        assert errors[1] == 0.0
+        assert np.all(errors >= 0.0)
+
+    def test_two_dim_returns_float_either_way(self):
+        values = np.random.default_rng(3).normal(size=(6, 6))
+        global_error = quantization_error(values, 4)
+        per_matrix_error = quantization_error(values, 4, per_matrix=True)
+        assert isinstance(per_matrix_error, float)
+        assert per_matrix_error == global_error
+
+    def test_global_scale_cross_couples_where_per_matrix_does_not(self):
+        """A wide-range stack inflates the small slice's *global* error;
+        the per-matrix errors stay at each slice's native resolution."""
+        rng = np.random.default_rng(4)
+        stack = np.stack(
+            [rng.normal(size=(8, 8)), 1e4 * rng.normal(size=(8, 8))]
+        )
+        per_slice = quantization_error(stack, 4, per_matrix=True)
+        coupled_small = quantization_error(stack, 4)
+        assert per_slice[0] < coupled_small * 10  # sanity: same order
+        # The small slice quantized on its own grid beats the global grid.
+        assert np.isclose(
+            per_slice[0], quantization_error(stack[0], 4), rtol=1e-14, atol=0.0
+        )
+        assert per_slice[0] < 1.0

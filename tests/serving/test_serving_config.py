@@ -49,6 +49,8 @@ class TestEngineConfigValidation:
             {"num_cores": 0},
             {"shard_axis": "diagonal"},
             {"backend": "quantum"},
+            {"chunk_size": 0},
+            {"pipeline_depth": -1},
             {"block_size": 0},
             {"kv_capacity_bytes": -1},
             {"kv_bits": 0},
@@ -95,6 +97,17 @@ class TestEngineConfigRoundTrip:
         config = EngineConfig.from_dict({"max_batch_size": 2})
         assert config.max_batch_size == 2
         assert config.queue_depth == EngineConfig().queue_depth
+
+    def test_hotpath_knobs_round_trip(self):
+        config = EngineConfig(chunk_size=8, pipeline_depth=2)
+        data = config.to_dict()
+        assert data["chunk_size"] == 8 and data["pipeline_depth"] == 2
+        assert EngineConfig.from_dict(data) == config
+
+    def test_hotpath_knobs_default_off(self):
+        config = EngineConfig()
+        assert config.chunk_size is None
+        assert config.pipeline_depth == 1
 
 
 class TestClusterConfigValidation:

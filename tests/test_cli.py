@@ -177,3 +177,47 @@ class TestSchedulerFlag:
             main(["serve-bench", "--scheduler", "sorcery"])
         with pytest.raises(SystemExit):
             main(["cluster-bench", "--scheduler", "sorcery"])
+
+
+class TestHotpathBenchCommand:
+    def test_stage_table_and_summary(self, capsys):
+        assert main([
+            "hotpath-bench", "--batch", "8", "--m", "4", "--d", "12",
+            "--n", "4", "--repeats", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        for stage in ("sample", "encode", "compute", "detect"):
+            assert stage in out
+        assert "bit-identical" in out
+        assert "GFLOP/s" in out
+
+    def test_writes_json_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "BENCH_hotpath.json"
+        assert main([
+            "hotpath-bench", "--batch", "8", "--m", "4", "--d", "12",
+            "--n", "4", "--repeats", "1", "--chunk-size", "2",
+            "--pipeline-depth", "2", "--out", str(artifact),
+        ]) == 0
+        import json
+
+        report = json.loads(artifact.read_text())
+        assert report["bit_identical"] is True
+        assert report["chunk_size"] == 2
+        assert report["pipeline_depth"] == 2
+        assert set(report["stage_seconds"]) >= {
+            "sample", "encode", "compute", "detect", "total"
+        }
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["hotpath-bench", "--batch", "0"])
+
+
+class TestHotpathKnobFlags:
+    def test_serve_bench_accepts_hotpath_knobs(self, capsys):
+        assert main([
+            "serve-bench", "--model", "tiny-vit", "--requests", "4",
+            "--max-batch-size", "4", "--users", "2", "--rounds", "1",
+            "--chunk-size", "2", "--pipeline-depth", "2",
+        ]) == 0
+        assert "requests" in capsys.readouterr().out

@@ -36,6 +36,10 @@ REGISTERED_GATES: list[tuple[str, float]] = [
     # holder counts, TTL); a miscount silently corrupts every replica,
     # so its file is gated tighter than its package.
     ("repro/cluster/store", 90.0),
+    # The hot path reorders RNG-consuming stages across threads and
+    # processes; an untested branch there is a silent bit-equality
+    # break, so its file is gated tighter than its package.
+    ("repro/core/hotpath", 90.0),
 ]
 
 
