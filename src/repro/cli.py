@@ -10,6 +10,13 @@ Usage::
     python -m repro.cli serve-bench [--model tiny-vit|tiny-bert] [--requests N]
     python -m repro.cli cluster-bench [--replicas N] [--policy NAME] [--autoscale]
     python -m repro.cli hotpath-bench [--batch N] [--chunk-size C] [--out FILE]
+    python -m repro.cli trace  [--seed N] [--requests N] [--out FILE]
+
+``trace`` runs the deterministic demo workload from
+:mod:`repro.obs.demo` and dumps the span tree (JSONL by default; a
+``--out`` ending in anything but ``.jsonl`` writes Chrome trace-event
+JSON for Perfetto).  The bench verbs take ``--trace PATH`` to capture
+the same span tree for a real benchmark run.
 
 The serving verbs construct from the unified config objects
 (:class:`~repro.serving.config.EngineConfig` /
@@ -169,6 +176,42 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Deterministic demo trace: run the obs workload, dump the spans."""
+    from repro.obs import to_jsonl, write_trace
+    from repro.obs.demo import run_trace_workload
+
+    if args.requests < 1:
+        raise SystemExit("trace: --requests must be >= 1")
+    collector = run_trace_workload(
+        seed=args.seed,
+        requests=args.requests,
+        max_batch_size=args.max_batch_size,
+    )
+    if args.out:
+        path = write_trace(collector, args.out)
+        print(f"wrote {len(collector)} spans -> {path}")
+    else:
+        sys.stdout.write(to_jsonl(collector))
+    return 0
+
+
+def _build_tracer(args: argparse.Namespace):
+    """The bench verbs' ``--trace PATH`` tracer (``None`` when off)."""
+    if not getattr(args, "trace", None):
+        return None
+    from repro.obs import Tracer
+
+    return Tracer()
+
+
+def _dump_tracer(tracer, path: str) -> None:
+    from repro.obs import write_trace
+
+    written = write_trace(tracer.collector, path)
+    print(f"wrote {len(tracer.collector)} spans -> {written}")
+
+
 #: Small serving-demo architectures (fast enough for interactive runs).
 SERVE_MODELS = ("tiny-vit", "tiny-bert")
 
@@ -264,11 +307,12 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     except ValueError as error:
         raise SystemExit(f"serve-bench: {error}")
     servable, payloads = _serve_setup(args, engine_config)
+    tracer = _build_tracer(args)
     rng = np.random.default_rng(engine_config.seed + 1)
     gaps = poisson_gaps(len(payloads), 1.0 / args.rate, rng)
     rows = []
     with ServingEngine(
-        servable, config=engine_config, close_executor=True
+        servable, config=engine_config, close_executor=True, tracer=tracer
     ) as engine:
         rows.append(run_open_loop(engine, payloads, gaps))
         users = min(args.users, len(payloads))
@@ -300,6 +344,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                 f"{size}x{count}" for size, count in iteration_occupancy.items()
             )
         )
+    if tracer is not None:
+        _dump_tracer(tracer, args.trace)
     return 0
 
 
@@ -410,11 +456,13 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
     target_replicas = config.replicas
     if args.autoscale:
         config = config.replace(replicas=1)
+    tracer = _build_tracer(args)
     cluster = ServingCluster(
         factory,
         config=config,
         clock=SimulatedClock(),
         autoscaler=autoscaler,
+        tracer=tracer,
     )
     rng = np.random.default_rng(seed + 1)
     with cluster:
@@ -478,6 +526,8 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
             f"replica-{event['replica_id']} (fleet {event['fleet_size']}): "
             f"{event['reason']}"
         )
+    if tracer is not None:
+        _dump_tracer(tracer, args.trace)
     return 0
 
 
@@ -504,7 +554,10 @@ def cmd_hotpath_bench(args: argparse.Namespace) -> int:
         raise SystemExit("hotpath-bench: --repeats must be >= 1")
     chunk = args.chunk_size if args.chunk_size is not None else max(1, args.batch // 4)
     depth = args.pipeline_depth if args.pipeline_depth is not None else 1
-    core = DPTC(noise=NoiseModel.paper_default())
+    core = (
+        DPTC() if args.noise == "off" else DPTC(noise=NoiseModel.paper_default())
+    )
+    tracer = _build_tracer(args)
     rng = np.random.default_rng(args.seed)
     a = rng.uniform(-1.0, 1.0, (args.batch, args.m, args.d))
     b = rng.uniform(-1.0, 1.0, (args.batch, args.d, args.n))
@@ -515,10 +568,19 @@ def cmd_hotpath_bench(args: argparse.Namespace) -> int:
         chunk_size=chunk, pipeline_depth=0,
     )
     with ThreadPoolExecutor(max_workers=1) as prefetch:
-        pipelined = pipelined_matmul(
-            core, a, b, np.random.default_rng(args.seed),
-            chunk_size=chunk, pipeline_depth=depth, prefetch=prefetch,
-        )
+        if tracer is None:
+            pipelined = pipelined_matmul(
+                core, a, b, np.random.default_rng(args.seed),
+                chunk_size=chunk, pipeline_depth=depth, prefetch=prefetch,
+            )
+        else:
+            # Trace only the correctness-check run: the timing loops
+            # below stay untraced so the reported numbers are clean.
+            with tracer.activate():
+                pipelined = pipelined_matmul(
+                    core, a, b, np.random.default_rng(args.seed),
+                    chunk_size=chunk, pipeline_depth=depth, prefetch=prefetch,
+                )
         if not np.array_equal(sequential, pipelined):
             raise SystemExit(
                 "hotpath-bench: pipelined result differs from sequential"
@@ -549,6 +611,7 @@ def cmd_hotpath_bench(args: argparse.Namespace) -> int:
         "shape": {"batch": args.batch, "m": args.m, "d": args.d, "n": args.n},
         "chunk_size": chunk,
         "pipeline_depth": depth,
+        "noise": args.noise,
         "stage_seconds": stages,
         "sequential_seconds": seq_s,
         "pipelined_seconds": pipe_s,
@@ -560,6 +623,7 @@ def cmd_hotpath_bench(args: argparse.Namespace) -> int:
         {"stage": name, "best_us": stages[name] * 1e6,
          "share_pct": 100.0 * stages[name] / stages["total"]}
         for name in ("sample", "encode", "compute", "detect")
+        if name in stages
     ]
     rows.append({"stage": "total", "best_us": stages["total"] * 1e6, "share_pct": 100.0})
     print(
@@ -567,7 +631,8 @@ def cmd_hotpath_bench(args: argparse.Namespace) -> int:
             rows,
             title=(
                 f"hotpath-bench [{args.batch}x{args.m}x{args.d}]x"
-                f"[{args.batch}x{args.d}x{args.n}], chunk={chunk}, depth={depth}"
+                f"[{args.batch}x{args.d}x{args.n}], chunk={chunk}, "
+                f"depth={depth}, noise={args.noise}"
             ),
         )
     )
@@ -581,6 +646,8 @@ def cmd_hotpath_bench(args: argparse.Namespace) -> int:
 
         Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True))
         print(f"wrote {args.out}")
+    if tracer is not None:
+        _dump_tracer(tracer, args.trace)
     return 0
 
 
@@ -665,6 +732,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="chunks the prefetch stage may run ahead (default 1)",
         )
         p.add_argument("--seed", type=int, default=None, help="(default 0)")
+        p.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="capture a span trace of the run (.jsonl for JSON lines, "
+            "anything else for Chrome trace-event JSON)",
+        )
 
     p_serve = sub.add_parser(
         "serve-bench",
@@ -744,8 +816,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_hotpath.add_argument("--repeats", type=int, default=3)
     p_hotpath.add_argument("--seed", type=int, default=0)
+    p_hotpath.add_argument(
+        "--noise", choices=("paper", "off"), default="paper",
+        help="noise model: the paper's calibrated stack, or an ideal "
+        "(noise-free) engine profiling compute/detect only",
+    )
     p_hotpath.add_argument("--out", metavar="FILE", help="write the JSON report")
+    p_hotpath.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="capture a span trace of the correctness-check run",
+    )
     p_hotpath.set_defaults(func=cmd_hotpath_bench)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="deterministic demo span trace (request -> iteration -> "
+        "shard -> stage)",
+    )
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--requests", type=int, default=12)
+    p_trace.add_argument("--max-batch-size", type=int, default=4)
+    p_trace.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the trace here (.jsonl for JSON lines, anything else "
+        "for Chrome trace-event JSON viewable in Perfetto); default: "
+        "JSONL to stdout",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_report.add_argument("--output", default="EXPERIMENTS.md")

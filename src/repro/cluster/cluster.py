@@ -56,6 +56,7 @@ from repro.cluster.replica import (
 )
 from repro.cluster.router import NoHealthyReplica, Router, RoutingPolicy
 from repro.cluster.store import SharedCacheTier
+from repro.obs.trace import NULL_TRACER
 from repro.serving.batcher import BatchingPolicy
 from repro.serving.cache import MISS, SessionCache
 from repro.serving.clock import WallClock
@@ -84,6 +85,8 @@ class _InFlight:
     tenant: str | None = None
     prefix_id: str | None = None
     retries: int = field(default=0)
+    #: Open cluster.request trace span (None with tracing disabled).
+    span: Any = None
 
 
 class ServingCluster:
@@ -117,6 +120,12 @@ class ServingCluster:
         service_model: virtual per-batch service times (manual mode
             only).
         autoscaler: an :class:`AutoscalerPolicy` to enable scaling.
+        tracer: an :class:`~repro.obs.trace.Tracer` for cluster.request
+            spans (route / failover / retry / complete events), a root
+            ``cluster`` span carrying fleet lifecycle events, and —
+            passed through to every replica engine — the full
+            request -> iteration -> shard -> stage chain beneath.
+            Defaults to the no-op :data:`~repro.obs.trace.NULL_TRACER`.
         max_retries: re-dispatches after a non-failover execution error
             before the handle fails.
         close_executors: close each servable's photonic executor when
@@ -140,6 +149,7 @@ class ServingCluster:
         clock=None,
         autoscaler: AutoscalerPolicy | None = None,
         tier: SharedCacheTier | None = None,
+        tracer=None,
         replicas: int | None = None,
         policy: "str | RoutingPolicy | None" = None,
         batching: BatchingPolicy | None = None,
@@ -232,6 +242,12 @@ class ServingCluster:
         self.max_retries = config.max_retries
         self._close_executors = config.close_executors
         self.metrics = ClusterMetrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Root span carrying fleet lifecycle events (scale_up / drain /
+        #: retire / replica_failed); None with tracing disabled.
+        self._span = (
+            self.tracer.start_span("cluster") if self.tracer.enabled else None
+        )
         self.router = Router(
             policy_obj if policy_obj is not None else config.policy
         )
@@ -278,11 +294,17 @@ class ServingCluster:
             clock=self.clock,
             close_executor=self._close_executors,
             memo_cache=memo_cache,
+            tracer=self.tracer,
         )
         self._replicas[replica_id] = replica
         if self._running:
             replica.engine.start()
         return replica
+
+    def _trace_event(self, kind: str, **attrs: Any) -> None:
+        """Mirror one fleet lifecycle event onto the root cluster span."""
+        if self._span is not None:
+            self._span.add_event(kind, **attrs)
 
     def _healthy_locked(self) -> list[Replica]:
         return sorted(
@@ -298,6 +320,9 @@ class ServingCluster:
                 len(self._healthy_locked()), reason,
             )
         )
+        self._trace_event(
+            "scale_up", replica_id=replica.replica_id, reason=reason
+        )
         return replica
 
     def _begin_drain_locked(self, replica: Replica, now: float, reason: str) -> None:
@@ -307,6 +332,9 @@ class ServingCluster:
                 now, "drain", replica.replica_id,
                 len(self._healthy_locked()), reason,
             )
+        )
+        self._trace_event(
+            "drain", replica_id=replica.replica_id, reason=reason
         )
 
     def add_replica(self, reason: str = "manual") -> Replica:
@@ -371,6 +399,8 @@ class ServingCluster:
         for replica in replicas:
             if not replica.engine.closed:
                 replica.engine.close(drain=drain)
+        if self._span is not None:
+            self.tracer.end(self._span)
 
     @property
     def closed(self) -> bool:
@@ -472,6 +502,16 @@ class ServingCluster:
                 raise ValueError("prefix_id needs a session_id to fork")
             self._next_request_id += 1
             handle = ClusterHandle(self._next_request_id - 1, self.clock.now())
+            span = None
+            if self.tracer.enabled:
+                span = self.tracer.start_span(
+                    "cluster.request",
+                    parent=self._span,
+                    request_id=handle.request_id,
+                    session_id=session_id,
+                    tenant=tenant,
+                )
+                span.add_event("submit")
             if cache_key is not None and self.tier is not None:
                 hit = self.tier.get_memo(cache_key)
                 if hit is not MISS:
@@ -487,11 +527,15 @@ class ServingCluster:
                             cache_hit=True, tenant=tenant,
                         )
                     )
+                    if span is not None:
+                        span.set_attr("cache_hit", True)
+                        span.add_event("complete", tier_hit=True)
+                        self.tracer.end(span)
                     return handle
         record = _InFlight(
             handle, payload,
             cache_key=cache_key, session_id=session_id, tenant=tenant,
-            prefix_id=prefix_id,
+            prefix_id=prefix_id, span=span,
         )
         self._dispatch(record)
         return handle
@@ -529,6 +573,13 @@ class ServingCluster:
                 affinity_hit=decision.affinity_hit,
                 new_session=decision.new_session,
             )
+            if record.span is not None:
+                record.span.add_event(
+                    "route",
+                    replica_id=replica.replica_id,
+                    affinity_hit=decision.affinity_hit,
+                    migrated=decision.migrate_from is not None,
+                )
         engine_handle.add_done_callback(
             lambda eh, rec=record, rep=replica: self._on_done(rep, rec, eh)
         )
@@ -611,6 +662,13 @@ class ServingCluster:
                         tenant=record.tenant,
                     )
                 )
+                if record.span is not None:
+                    record.span.add_event(
+                        "complete",
+                        replica_id=replica.replica_id,
+                        cache_hit=engine_handle.cache_hit,
+                    )
+                    self.tracer.end(record.span)
                 return
             if record.handle.done():
                 return  # already settled (double-failure race)
@@ -628,10 +686,16 @@ class ServingCluster:
         if failover or retryable:
             if failover:
                 self.metrics.record_failover()
+                if record.span is not None:
+                    record.span.add_event(
+                        "failover", from_replica=replica.replica_id
+                    )
             else:
                 record.retries += 1
                 record.handle.retries = record.retries
                 self.metrics.record_retry()
+                if record.span is not None:
+                    record.span.add_event("retry", attempt=record.retries)
             try:
                 self._dispatch(record)
                 return
@@ -644,6 +708,9 @@ class ServingCluster:
             batch_size=engine_handle.batch_size,
         )
         self.metrics.record_failure()
+        if record.span is not None:
+            record.span.add_event("failed", error=type(error).__name__)
+            self.tracer.end(record.span)
 
     def release_session(self, session_id: str) -> int:
         """Retire a finished decode session fleet-wide.
@@ -693,6 +760,9 @@ class ServingCluster:
                     len(self._healthy_locked()), "fault injection",
                 )
             )
+            self._trace_event(
+                "replica_failed", replica_id=replica_id, evicted=len(records)
+            )
         # Outside the lock: joins the worker thread, whose completion
         # callbacks re-enter the cluster lock.
         replica.shutdown()
@@ -700,12 +770,17 @@ class ServingCluster:
             self._rehome_sessions_locked(replica)
         rerouted = 0
         for record in records:
+            if record.span is not None:
+                record.span.add_event("failover", from_replica=replica_id)
             try:
                 self._dispatch(record)
                 rerouted += 1
             except ServingError as error:
                 record.handle._fail(error)
                 self.metrics.record_failure()
+                if record.span is not None:
+                    record.span.add_event("failed", error=type(error).__name__)
+                    self.tracer.end(record.span)
         self.metrics.record_failover(rerouted)
         return rerouted
 
@@ -781,6 +856,7 @@ class ServingCluster:
                         len(self._healthy_locked()), "drain complete",
                     )
                 )
+                self._trace_event("retire", replica_id=replica.replica_id)
         for replica in ready:
             replica.engine.close(drain=True)
 

@@ -14,6 +14,13 @@
   retire, failure) as a timestamped :class:`ClusterEvent`.  Under a
   :class:`~repro.serving.clock.SimulatedClock` the log is
   bit-deterministic, which is exactly what ``bench_cluster.py`` gates.
+
+Like the per-engine :class:`~repro.serving.metrics.Metrics`, the
+counters sit on a :class:`~repro.obs.registry.MetricsRegistry`
+(``cluster_*`` families, Prometheus exposition via
+:meth:`ClusterMetrics.to_prometheus`) while raw records and the event
+log stay exact.  The legacy attribute reads (``metrics.failovers`` and
+friends) are properties over the registry instruments.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import threading
 from collections import Counter
 from dataclasses import asdict, dataclass
 
+from repro.obs.registry import MetricsRegistry
 from repro.serving.metrics import Metrics, span_throughput, summarize
 
 
@@ -63,22 +71,56 @@ class ClusterEvent:
 class ClusterMetrics:
     """Thread-safe recorder the :class:`ServingCluster` reports into."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._lock = threading.Lock()
         self._records: list[ClusterRecord] = []
-        self._failed = 0
-        self._dispatches: Counter[int] = Counter()
-        self._tenants: Counter[str] = Counter()
-        self.affinity_hits = 0
-        self.affinity_misses = 0
-        self.sessions_placed = 0
-        self.migrations = 0
-        self.migrated_bytes = 0
-        self.sessions_rehomed = 0
-        self.failovers = 0
-        self.retries = 0
-        self.prefix_adoptions_shared = 0
-        self.prefix_adoptions_private = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        counter = self.registry.counter
+        self._completed_c = counter(
+            "cluster_requests_completed_total", "Resolved cluster requests"
+        )
+        self._failed_c = counter(
+            "cluster_requests_failed_total", "Failed cluster requests"
+        )
+        self._cache_hits_c = counter(
+            "cluster_cache_hits_total", "Requests served from cache"
+        )
+        self._affinity_hits_c = counter(
+            "cluster_affinity_total", "Session-affinity routing", outcome="hit"
+        )
+        self._affinity_misses_c = counter(
+            "cluster_affinity_total", "Session-affinity routing", outcome="miss"
+        )
+        self._sessions_placed_c = counter(
+            "cluster_sessions_placed_total", "New sessions placed"
+        )
+        self._migrations_c = counter(
+            "cluster_migrations_total", "KV session migrations"
+        )
+        self._migrated_bytes_c = counter(
+            "cluster_migrated_bytes_total", "KV bytes migrated"
+        )
+        self._rehomed_c = counter(
+            "cluster_sessions_rehomed_total", "Sessions re-homed on failure"
+        )
+        self._failovers_c = counter(
+            "cluster_failovers_total", "Requests re-dispatched on failover"
+        )
+        self._retries_c = counter(
+            "cluster_retries_total", "Requests retried after errors"
+        )
+        self._prefix_shared_c = counter(
+            "cluster_prefix_adoptions_total", "Prefix forks", shared="true"
+        )
+        self._prefix_private_c = counter(
+            "cluster_prefix_adoptions_total", "Prefix forks", shared="false"
+        )
+        self._latency_h = self.registry.histogram(
+            "cluster_request_latency_seconds", "End-to-end cluster latency"
+        )
+        self._queue_wait_h = self.registry.histogram(
+            "cluster_queue_wait_seconds", "Admission-to-execution wait"
+        )
         self.events: list[ClusterEvent] = []
 
     # -- write side ----------------------------------------------------------
@@ -90,50 +132,67 @@ class ClusterMetrics:
         affinity_hit: bool | None = None,
         new_session: bool = False,
     ) -> None:
+        dispatch = self.registry.counter(
+            "cluster_dispatches_total", "Dispatches per replica",
+            replica=replica_id,
+        )
+        tenant_c = (
+            self.registry.counter(
+                "cluster_tenant_dispatches_total", "Dispatches per tenant",
+                tenant=tenant,
+            )
+            if tenant is not None
+            else None
+        )
         with self._lock:
-            self._dispatches[replica_id] += 1
-            if tenant is not None:
-                self._tenants[tenant] += 1
+            dispatch.inc()
+            if tenant_c is not None:
+                tenant_c.inc()
             if affinity_hit is True:
-                self.affinity_hits += 1
+                self._affinity_hits_c.inc()
             elif affinity_hit is False:
-                self.affinity_misses += 1
+                self._affinity_misses_c.inc()
             if new_session:
-                self.sessions_placed += 1
+                self._sessions_placed_c.inc()
 
     def record_migration(self, nbytes: int) -> None:
         with self._lock:
-            self.migrations += 1
-            self.migrated_bytes += int(nbytes)
+            self._migrations_c.inc()
+            self._migrated_bytes_c.inc(int(nbytes))
 
     def record_rehome(self, count: int = 1) -> None:
         with self._lock:
-            self.sessions_rehomed += count
+            self._rehomed_c.inc(count)
 
     def record_failover(self, count: int = 1) -> None:
         with self._lock:
-            self.failovers += count
+            self._failovers_c.inc(count)
 
     def record_retry(self) -> None:
         with self._lock:
-            self.retries += 1
+            self._retries_c.inc()
 
     def record_prefix_adoption(self, *, shared: bool) -> None:
         """One session opened from a registered prefix — adopting the
         tier's shared chain, or privately materializing its pages."""
         with self._lock:
             if shared:
-                self.prefix_adoptions_shared += 1
+                self._prefix_shared_c.inc()
             else:
-                self.prefix_adoptions_private += 1
+                self._prefix_private_c.inc()
 
     def record_request(self, record: ClusterRecord) -> None:
         with self._lock:
             self._records.append(record)
+            self._completed_c.inc()
+            if record.cache_hit:
+                self._cache_hits_c.inc()
+            self._latency_h.observe(record.latency)
+            self._queue_wait_h.observe(record.queue_wait)
 
     def record_failure(self, count: int = 1) -> None:
         with self._lock:
-            self._failed += count
+            self._failed_c.inc(count)
 
     def record_event(self, event: ClusterEvent) -> None:
         with self._lock:
@@ -148,7 +207,47 @@ class ClusterMetrics:
     @property
     def failed(self) -> int:
         with self._lock:
-            return self._failed
+            return int(self._failed_c.value)
+
+    @property
+    def affinity_hits(self) -> int:
+        return int(self._affinity_hits_c.value)
+
+    @property
+    def affinity_misses(self) -> int:
+        return int(self._affinity_misses_c.value)
+
+    @property
+    def sessions_placed(self) -> int:
+        return int(self._sessions_placed_c.value)
+
+    @property
+    def migrations(self) -> int:
+        return int(self._migrations_c.value)
+
+    @property
+    def migrated_bytes(self) -> int:
+        return int(self._migrated_bytes_c.value)
+
+    @property
+    def sessions_rehomed(self) -> int:
+        return int(self._rehomed_c.value)
+
+    @property
+    def failovers(self) -> int:
+        return int(self._failovers_c.value)
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries_c.value)
+
+    @property
+    def prefix_adoptions_shared(self) -> int:
+        return int(self._prefix_shared_c.value)
+
+    @property
+    def prefix_adoptions_private(self) -> int:
+        return int(self._prefix_private_c.value)
 
     def records(self) -> list[ClusterRecord]:
         with self._lock:
@@ -182,12 +281,25 @@ class ClusterMetrics:
             return hits / len(self._records)
 
     def dispatch_counts(self) -> dict[int, int]:
-        with self._lock:
-            return dict(sorted(self._dispatches.items()))
+        series = self.registry.counter_series(
+            "cluster_dispatches_total", "replica"
+        )
+        return {
+            rid: count
+            for rid, count in sorted(
+                (int(rid), int(count)) for rid, count in series.items()
+            )
+        }
 
     def tenant_counts(self) -> dict[str, int]:
-        with self._lock:
-            return dict(sorted(self._tenants.items()))
+        series = self.registry.counter_series(
+            "cluster_tenant_dispatches_total", "tenant"
+        )
+        return {tenant: int(count) for tenant, count in sorted(series.items())}
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of the registry instruments."""
+        return self.registry.to_prometheus()
 
     def throughput(self) -> float:
         """Fleet requests per second (same definition as per-engine

@@ -92,6 +92,7 @@ class Replica:
         scheduler: str | None = None,
         iteration_cost=None,
         memo_cache: SessionCache | None = None,
+        tracer=None,
     ) -> None:
         self.replica_id = replica_id
         self.name = f"replica-{replica_id}"
@@ -117,6 +118,7 @@ class Replica:
             config=config,
             clock=clock,
             cache=memo_cache,
+            tracer=tracer,
             close_executor=close_executor,
         )
         self.state = HEALTHY

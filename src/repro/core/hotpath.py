@@ -43,6 +43,7 @@ and the ``repro hotpath-bench`` CLI verb.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from concurrent.futures import CancelledError, Executor
@@ -50,6 +51,7 @@ from concurrent.futures import CancelledError, Executor
 import numpy as np
 
 from repro.core.dptc import DPTC
+from repro.obs.trace import current_tracer
 
 try:  # pragma: no cover - absent only on exotic builds
     from multiprocessing import shared_memory
@@ -136,6 +138,12 @@ def pipelined_matmul(
         rng = np.random.default_rng()
 
     batch_rank = len(batch)
+    tracer = current_tracer()
+    if tracer.enabled:
+        return _pipelined_matmul_traced(
+            tracer, core, a, b, rng, bounds, batch_rank, out_shape,
+            pipeline_depth=pipeline_depth, prefetch=prefetch,
+        )
 
     def prepare(k: int):
         start, stop = bounds[k]
@@ -151,6 +159,88 @@ def pipelined_matmul(
             return np.zeros((stop - start,) + out_shape[1:])
         return core.finish_chunk(prepared)
 
+    return _run_chunk_schedule(
+        bounds, prepare, finish, pipeline_depth=pipeline_depth,
+        prefetch=prefetch,
+    )
+
+
+def _pipelined_matmul_traced(
+    tracer,
+    core: DPTC,
+    a: np.ndarray,
+    b: np.ndarray,
+    rng: np.random.Generator,
+    bounds: list[tuple[int, int]],
+    batch_rank: int,
+    out_shape: tuple[int, ...],
+    *,
+    pipeline_depth: int,
+    prefetch: Executor | None,
+) -> np.ndarray:
+    """The traced chunk schedule: per-stage spans, bit-identical math.
+
+    SAMPLE is timed through :meth:`DPTC.predraw` and ENCODE through
+    :meth:`DPTC.prepare_chunk` with that pre-sampled draw — the exact
+    RNG consumption and arithmetic of ``prepare_chunk(rng=rng)``, just
+    observable as two stages.  COMPUTE/DETECT likewise split
+    :meth:`DPTC.finish_chunk` into its two public stage calls.  Stage
+    spans parent under one ``hotpath.matmul`` span (captured on the
+    caller thread, passed explicitly — prefetch threads have no ambient
+    context) and carry a ``prefetch`` attribute marking which SAMPLE+
+    ENCODE pairs genuinely overlapped compute on the prefetch worker.
+    """
+    caller_ident = threading.get_ident()
+    span = tracer.start_span(
+        "hotpath.matmul",
+        batch=bounds[-1][1],
+        chunks=len(bounds),
+        pipeline_depth=pipeline_depth if prefetch is not None else 0,
+    )
+
+    def prepare(k: int):
+        start, stop = bounds[k]
+        a_k = slice_batch_operand(a, batch_rank, start, stop)
+        b_k = slice_batch_operand(b, batch_rank, start, stop)
+        overlapped = threading.get_ident() != caller_ident
+        with tracer.span(
+            "stage.sample", parent=span, chunk=k, prefetch=overlapped
+        ):
+            draw = core.predraw(a_k, b_k, rng)
+        if draw is None:  # all-zero chunk: no draws were consumed
+            return None
+        with tracer.span(
+            "stage.encode", parent=span, chunk=k, prefetch=overlapped
+        ):
+            return core.prepare_chunk(a_k, b_k, draw=draw)
+
+    def finish(k: int, prepared) -> np.ndarray:
+        if prepared is None:
+            start, stop = bounds[k]
+            return np.zeros((stop - start,) + out_shape[1:])
+        with tracer.span("stage.compute", parent=span, chunk=k):
+            raw = core.compute_chunk(prepared)
+        with tracer.span("stage.detect", parent=span, chunk=k):
+            return core.detect_chunk(prepared, raw)
+
+    try:
+        return _run_chunk_schedule(
+            bounds, prepare, finish, pipeline_depth=pipeline_depth,
+            prefetch=prefetch,
+        )
+    finally:
+        tracer.end(span)
+
+
+def _run_chunk_schedule(
+    bounds: list[tuple[int, int]],
+    prepare,
+    finish,
+    *,
+    pipeline_depth: int,
+    prefetch: Executor | None,
+) -> np.ndarray:
+    """Run the chunk schedule (sequential or prefetch-overlapped)."""
     n = len(bounds)
     results: list[np.ndarray] = [None] * n  # type: ignore[list-item]
     if pipeline_depth < 1 or prefetch is None:
@@ -319,12 +409,24 @@ def profile_stages(
     on a fresh copy (DETECT scales in place).  Also reports the
     end-to-end ``total`` of a plain :meth:`DPTC.matmul` call, which the
     throughput figures divide by.
+
+    An **ideal** (noiseless) engine has no SAMPLE/ENCODE stages — its
+    matmul is one exact digital product — so the profile degrades to a
+    COMPUTE/DETECT-only breakdown: ``compute`` times the exact product,
+    ``detect`` is zero (no photodetection rescale on the ideal path),
+    and the ``sample``/``encode`` keys are absent.  Consumers iterate
+    the keys that are present (``repro hotpath-bench --noise off``).
     """
-    if core.noise.is_ideal:
-        raise ValueError("profile_stages needs a noisy engine (4-stage path)")
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
     times: dict[str, float] = {}
+    if core.noise.is_ideal:
+        times["compute"] = _best_of(lambda: np.matmul(a, b), repeats)
+        times["detect"] = 0.0
+        times["total"] = _best_of(
+            lambda: core.matmul(a, b, rng=np.random.default_rng(seed)), repeats
+        )
+        return times
     times["sample"] = _best_of(
         lambda: core.sample_noise(a.shape, b.shape, np.random.default_rng(seed)),
         repeats,

@@ -100,6 +100,7 @@ from repro.core.hotpath import (
 )
 from repro.core.hotpath import shared_memory as _shm_module
 from repro.core.noise import NoiseModel
+from repro.obs.trace import current_tracer
 from repro.optics.wdm import WDMGrid
 
 #: Supported sharding axes: leading batch axis or the contraction (K) axis.
@@ -440,13 +441,28 @@ class ShardedDPTC:
         b: np.ndarray,
         stream: np.random.Generator | None,
         sequential: bool = False,
+        trace: tuple | None = None,
     ) -> np.ndarray:
         """One core's shard, chunk-pipelined when ``chunk_size`` is set.
 
         ``sequential=True`` (the ``parallel=False`` engine) runs the
         identical chunk schedule with no prefetch overlap — the
         bit-equality oracle for the pipelined paths.
+
+        ``trace`` is ``(tracer, parent_span)`` captured on the *caller*
+        thread: this method may run on a pool thread where the ambient
+        contextvars are empty, so the shard span crosses explicitly and
+        is re-activated here for the hot path beneath.
         """
+        if trace is not None:
+            tracer, parent = trace
+            with tracer.span(
+                "shard.core", parent=parent, core=index
+            ) as core_span:
+                with tracer.activate(core_span):
+                    return self._core_matmul(
+                        index, a, b, stream, sequential=sequential
+                    )
         core = self.cores[index]
         if self.chunk_size is None:
             return core.matmul(a, b, rng=stream)
@@ -465,19 +481,29 @@ class ShardedDPTC:
             prefetch=prefetch,
         )
 
-    def _run_jobs(self, jobs: list[tuple]) -> list[np.ndarray]:
+    def _run_jobs(
+        self, jobs: list[tuple], trace: tuple | None = None
+    ) -> list[np.ndarray]:
         """Execute ``(core_index, a, b, stream)`` jobs, results in job order."""
         if not self.parallel:
             return [
-                self._core_matmul(index, a, b, stream, sequential=True)
+                self._core_matmul(index, a, b, stream, sequential=True, trace=trace)
                 for index, a, b, stream in jobs
             ]
         if self.backend == "process":
+            if trace is not None:
+                # Spans cannot cross the process boundary; the parent's
+                # SAMPLE stage + dispatch is visible as one point event.
+                trace[1].add_event(
+                    "process_dispatch",
+                    jobs=len(jobs),
+                    cores=sorted({job[0] for job in jobs}),
+                )
             return self._run_jobs_process(jobs)
 
         def run(job: tuple) -> np.ndarray:
             index, a, b, stream = job
-            return self._core_matmul(index, a, b, stream)
+            return self._core_matmul(index, a, b, stream, trace=trace)
 
         return list(self._workers().map(run, jobs))
 
@@ -644,18 +670,36 @@ class ShardedDPTC:
         a = np.asarray(a, dtype=float)
         b = np.asarray(b, dtype=float)
         out_shape = DPTC._broadcast_out_shape(a.shape, b.shape)
-        if self.shard_axis == "contraction":
-            return self._matmul_contraction(a, b, out_shape, rng)
-        return self._matmul_batch(a, b, out_shape, rng)
+        tracer = current_tracer()
+        if not tracer.enabled:
+            if self.shard_axis == "contraction":
+                return self._matmul_contraction(a, b, out_shape, rng)
+            return self._matmul_batch(a, b, out_shape, rng)
+        with tracer.span(
+            "shard.matmul",
+            num_cores=self.num_cores,
+            shard_axis=self.shard_axis,
+            backend=self.backend,
+            batch=list(out_shape[:-2]),
+        ) as span:
+            trace = (tracer, span)
+            if self.shard_axis == "contraction":
+                return self._matmul_contraction(
+                    a, b, out_shape, rng, trace=trace
+                )
+            return self._matmul_batch(a, b, out_shape, rng, trace=trace)
 
     def _single(
         self,
         a: np.ndarray,
         b: np.ndarray,
         stream: np.random.Generator | None,
+        trace: tuple | None = None,
     ) -> np.ndarray:
         """Whole problem on core 0 (chunk-pipelined in the parent)."""
-        return self._core_matmul(0, a, b, stream, sequential=not self.parallel)
+        return self._core_matmul(
+            0, a, b, stream, sequential=not self.parallel, trace=trace
+        )
 
     def _matmul_batch(
         self,
@@ -663,6 +707,7 @@ class ShardedDPTC:
         b: np.ndarray,
         out_shape: tuple[int, ...],
         rng: np.random.Generator | None,
+        trace: tuple | None = None,
     ) -> np.ndarray:
         """Leading-batch-axis sharding (concatenate in shard order)."""
         batch = out_shape[:-2]
@@ -670,7 +715,7 @@ class ShardedDPTC:
         # <= 1 covers the zero-size batch axis too: core 0 returns the
         # empty stack exactly like the single-core engine.
         if not batch or batch[0] <= 1 or self.num_cores == 1:
-            return self._single(a, b, streams[0])
+            return self._single(a, b, streams[0], trace=trace)
 
         batch_rank = len(batch)
         jobs = []  # (core_index, a_shard, b_shard, stream)
@@ -689,7 +734,7 @@ class ShardedDPTC:
             )
         # batch[0] >= 2 and num_cores >= 2 here, so there are always at
         # least two non-empty shards.
-        results = self._run_jobs(jobs)
+        results = self._run_jobs(jobs, trace=trace)
         out = np.concatenate(results, axis=0)
         assert out.shape == out_shape
         return out
@@ -700,6 +745,7 @@ class ShardedDPTC:
         b: np.ndarray,
         out_shape: tuple[int, ...],
         rng: np.random.Generator | None,
+        trace: tuple | None = None,
     ) -> np.ndarray:
         """Contraction-axis sharding with digital partial-sum accumulation.
 
@@ -719,7 +765,7 @@ class ShardedDPTC:
             # Ideal: exact digital accumulation == the exact product.
             # num_cores == 1 (or a single-element contraction): the
             # plain batched engine, one slab on core 0 / stream 0.
-            return self._single(a, b, streams[0])
+            return self._single(a, b, streams[0], trace=trace)
 
         a_slabs = contraction_slabs(a, self.num_cores, axis=-1)
         b_slabs = contraction_slabs(b, self.num_cores, axis=-2)
@@ -728,7 +774,7 @@ class ShardedDPTC:
             for index, (a_slab, b_slab) in enumerate(zip(a_slabs, b_slabs))
             if a_slab.shape[-1] > 0  # num_cores > d: trailing cores idle
         ]
-        partials = self._run_jobs(jobs)
+        partials = self._run_jobs(jobs, trace=trace)
         out = DigitalAccumulator.accumulate(partials)
         assert out.shape == out_shape
         return out

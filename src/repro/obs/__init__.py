@@ -1,0 +1,68 @@
+"""repro.obs: deterministic tracing + the unified telemetry registry.
+
+The observability subsystem of the serving stack:
+
+* :mod:`repro.obs.trace` — clock-injected :class:`Tracer` emitting
+  nested :class:`Span` trees (request lifecycle, iterations, shards,
+  hot-path stages) into a :class:`SpanCollector`; the
+  :data:`NULL_TRACER` default keeps every instrumented path at its
+  pre-tracing behaviour.
+* :mod:`repro.obs.registry` — :class:`MetricsRegistry`
+  (counters/gauges/histograms with labels) with JSON snapshot and
+  Prometheus text exposition; the substrate under
+  :class:`~repro.serving.metrics.Metrics` and
+  :class:`~repro.cluster.metrics.ClusterMetrics`.
+* :mod:`repro.obs.export` — JSONL and Chrome trace-event (Perfetto)
+  writers; byte-stable under a simulated clock.
+* :mod:`repro.obs.demo` — the small noisy traced workload behind
+  ``repro trace`` and ``benchmarks/bench_obs.py`` (imported lazily to
+  keep this package import-light).
+"""
+
+from repro.obs.export import (
+    span_lines,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanCollector,
+    SpanEvent,
+    Tracer,
+    current_span,
+    current_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanCollector",
+    "SpanEvent",
+    "Tracer",
+    "current_span",
+    "current_tracer",
+    "span_lines",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]

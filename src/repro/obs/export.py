@@ -1,0 +1,125 @@
+"""Trace export: JSONL span dumps and Chrome trace-event (Perfetto) files.
+
+Two serialized forms of one :class:`~repro.obs.trace.SpanCollector`:
+
+* :func:`to_jsonl` — one JSON object per span, sorted by span id, with
+  sorted keys and fixed separators.  Under a simulated clock this dump
+  is **byte-for-byte reproducible** across reruns of the same seed
+  (the ``repro trace`` determinism gate).
+* :func:`to_chrome_trace` — the Chrome trace-event format
+  (``chrome://tracing`` / https://ui.perfetto.dev): complete ``"X"``
+  events with microsecond timestamps, span attributes and events in
+  ``args``.  Parent nesting is conveyed by time containment per track;
+  spans map to tracks (``tid``) by their root span so concurrent
+  requests render as parallel lanes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.trace import Span, SpanCollector
+
+#: Seconds -> microseconds (the trace-event timestamp unit).
+_US = 1e6
+
+
+def span_lines(collector: SpanCollector) -> list[str]:
+    """One canonical JSON line per span, in span-id order."""
+    return [
+        json.dumps(span.as_dict(), sort_keys=True, separators=(",", ":"))
+        for span in collector.spans()
+    ]
+
+
+def to_jsonl(collector: SpanCollector) -> str:
+    """The JSONL dump (trailing newline; empty string for no spans)."""
+    lines = span_lines(collector)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(collector: SpanCollector, path: str | Path) -> Path:
+    """Write the JSONL dump; returns the path."""
+    path = Path(path)
+    path.write_text(to_jsonl(collector))
+    return path
+
+
+def _root_of(span: Span, by_id: dict[int, Span]) -> int:
+    """The root ancestor's span id (cycle-safe: falls back to self)."""
+    seen = set()
+    current = span
+    while current.parent_id is not None and current.parent_id in by_id:
+        if current.span_id in seen:  # pragma: no cover - defensive
+            break
+        seen.add(current.span_id)
+        current = by_id[current.parent_id]
+    return current.span_id
+
+
+def to_chrome_trace(collector: SpanCollector, *, pid: int = 1) -> dict:
+    """Chrome trace-event JSON (the ``traceEvents`` envelope).
+
+    Every span becomes one complete event (``ph="X"``); span point
+    events become instant events (``ph="i"``) on the same track.  Track
+    ids group spans under their root, so one request's tree renders as
+    one lane.
+    """
+    spans = collector.spans()
+    by_id = {span.span_id: span for span in spans}
+    events = []
+    for span in spans:
+        tid = _root_of(span, by_id)
+        start_us = span.start * _US
+        end = span.end if span.end is not None else span.start
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": start_us,
+                "dur": max((end - span.start) * _US, 0.0),
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    **span.attrs,
+                },
+            }
+        )
+        for event in span.events:
+            events.append(
+                {
+                    "name": f"{span.name}.{event.name}",
+                    "ph": "i",
+                    "s": "t",  # thread-scoped instant
+                    "ts": event.time * _US,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": dict(event.attrs),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    collector: SpanCollector, path: str | Path, *, pid: int = 1
+) -> Path:
+    """Write a Perfetto-loadable trace JSON; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(to_chrome_trace(collector, pid=pid), sort_keys=True)
+    )
+    return path
+
+
+def write_trace(collector: SpanCollector, path: str | Path) -> Path:
+    """Write by extension: ``.jsonl`` -> JSONL, anything else -> Chrome.
+
+    The dispatch behind every ``--trace PATH`` CLI flag.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return write_jsonl(collector, path)
+    return write_chrome_trace(collector, path)

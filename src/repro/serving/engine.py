@@ -27,6 +27,7 @@ from typing import Any
 import numpy as np
 
 from repro.neural.autograd import no_grad
+from repro.obs.trace import NULL_TRACER
 from repro.serving.batcher import BatchingPolicy, DynamicBatcher
 from repro.serving.cache import MISS, SessionCache
 from repro.serving.clock import WallClock
@@ -69,6 +70,12 @@ class ServingEngine:
         cache: optional :class:`SessionCache` consulted at submit time
             for ``cache_key`` memoization (hits bypass the queue).
         metrics: recorder; a fresh :class:`Metrics` by default.
+        tracer: an :class:`~repro.obs.trace.Tracer` to emit request /
+            iteration / batch spans into (and to activate around batch
+            execution, so the sharded engine and hot path beneath trace
+            too).  Defaults to the no-op
+            :data:`~repro.obs.trace.NULL_TRACER` — with it, every
+            instrumented path executes its exact pre-tracing code.
         close_executor: close the servable's photonic executor (its
             sharded worker pools) when the engine closes.
         scheduler: batch-composition mode.  ``"request"`` (default) is
@@ -99,6 +106,7 @@ class ServingEngine:
         clock=None,
         cache: SessionCache | None = None,
         metrics: Metrics | None = None,
+        tracer=None,
         close_executor: bool = False,
         scheduler: str | None = None,
         iteration_cost: IterationCost | None = None,
@@ -156,6 +164,7 @@ class ServingEngine:
             )
         self.cache = cache
         self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._close_executor = close_executor
         self._queue = RequestQueue(config.queue_depth)
         self._batcher = DynamicBatcher(self._queue, self.policy, self.clock)
@@ -228,6 +237,9 @@ class ServingEngine:
             for request in abandoned:
                 request.handle._fail(EngineClosed("engine closed before execution"))
                 self.metrics.record_failures()
+                if request.span is not None:
+                    request.span.add_event("abandoned")
+                    self.tracer.end(request.span)
         self._queue.close()  # worker drains the remainder, then exits
         if thread is not None:
             thread.join()
@@ -262,6 +274,13 @@ class ServingEngine:
             with self._sched_lock:
                 evicted += self._scheduler.drain()
             evicted.sort(key=lambda request: request.request_id)
+        for request in evicted:
+            # The engine-level span ends here; a re-dispatch elsewhere
+            # opens a fresh one on the adopting engine.
+            if request.span is not None:
+                request.span.add_event("evicted")
+                self.tracer.end(request.span)
+                request.span = None
         return evicted
 
     def release_session(self, session_id: str) -> int:
@@ -309,6 +328,13 @@ class ServingEngine:
             self._next_id += 1
         arrival = self.clock.now()
         handle = RequestHandle(request_id, arrival)
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start_span(
+                "request", request_id=request_id, session_id=session_id
+            )
+            span.add_event("submit")
         # Consult the cache before prepare(): hits skip validation and
         # padding entirely — the memoization path stays allocation-free.
         if cache_key is not None and self.cache is not None:
@@ -322,6 +348,10 @@ class ServingEngine:
                     cache_hit=True,
                 )
                 self.metrics.record_request(handle)
+                if span is not None:
+                    span.set_attr("cache_hit", True)
+                    span.add_event("complete", cache_hit=True)
+                    tracer.end(span)
                 return handle
         prepared = self.servable.prepare(payload)
         request = InferenceRequest(
@@ -331,8 +361,19 @@ class ServingEngine:
             cache_key=cache_key,
             session_id=session_id,
             request_id=request_id,
+            span=span,
         )
-        self._queue.put(request, block=block and not self.manual, timeout=timeout)
+        try:
+            self._queue.put(
+                request, block=block and not self.manual, timeout=timeout
+            )
+        except Exception as error:  # backpressure rejection / closed queue
+            if span is not None:
+                span.add_event("rejected", error=type(error).__name__)
+                tracer.end(span)
+            raise
+        if span is not None:
+            span.add_event("queue", depth=len(self._queue))
         return handle
 
     @property
@@ -364,19 +405,62 @@ class ServingEngine:
     def _step_continuous(self) -> int:
         """Ingest arrivals, compose one iteration, execute it."""
         arrivals = self._queue.drain_pending()
-        with self._sched_lock:
-            for request in arrivals:
-                self._scheduler.enqueue(request)
-            iteration = self._scheduler.compose()
-        for request in iteration.doomed:
-            request.handle._fail(self._scheduler.doom_error(request))
-            self.metrics.record_failures()
-        if iteration.batch:
-            self.metrics.record_iteration(len(iteration.batch))
-            self._execute(iteration.batch)
         # Doomed requests count as progress: run_until_idle must keep
         # stepping past a doom-only iteration while work remains.
-        return len(iteration.batch) + len(iteration.doomed)
+        return self._run_iteration(arrivals)
+
+    def _run_iteration(self, arrivals: list[InferenceRequest]) -> int:
+        """Admit ``arrivals``, compose one iteration, execute it.
+
+        Shared by manual stepping and the wall-clock continuous worker.
+        Returns requests progressed (executed + doomed).
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            with self._sched_lock:
+                for request in arrivals:
+                    self._scheduler.enqueue(request)
+                iteration = self._scheduler.compose()
+            for request in iteration.doomed:
+                request.handle._fail(self._scheduler.doom_error(request))
+                self.metrics.record_failures()
+            if iteration.batch:
+                self.metrics.record_iteration(len(iteration.batch))
+                self._execute(iteration.batch)
+            return len(iteration.batch) + len(iteration.doomed)
+        span = tracer.start_span("engine.iteration", arrivals=len(arrivals))
+        try:
+            with self._sched_lock:
+                for request in arrivals:
+                    self._scheduler.enqueue(request)
+                iteration = self._scheduler.compose()
+            if arrivals:
+                span.add_event(
+                    "admission",
+                    requests=[request.request_id for request in arrivals],
+                )
+            for victim in iteration.preempted:
+                span.add_event("preempt", session_id=victim)
+            for sid in iteration.swapped_in:
+                span.add_event("swap_in", session_id=sid)
+            for request in iteration.doomed:
+                span.add_event(
+                    "doom",
+                    request_id=request.request_id,
+                    session_id=request.session_id,
+                )
+                if request.span is not None:
+                    request.span.add_event("doomed")
+                    tracer.end(request.span)
+                request.handle._fail(self._scheduler.doom_error(request))
+                self.metrics.record_failures()
+            span.set_attr("batch", len(iteration.batch))
+            if iteration.batch:
+                self.metrics.record_iteration(len(iteration.batch))
+                self._execute_traced(iteration.batch, parent=span)
+            return len(iteration.batch) + len(iteration.doomed)
+        finally:
+            tracer.end(span)
 
     def run_until_idle(self) -> int:
         """Step until the queue is empty; returns requests processed."""
@@ -423,16 +507,7 @@ class ServingEngine:
                 ):
                     return
                 arrivals = queue.pop_locked(len(queue._items))
-            with self._sched_lock:
-                for request in arrivals:
-                    self._scheduler.enqueue(request)
-                iteration = self._scheduler.compose()
-            for request in iteration.doomed:
-                request.handle._fail(self._scheduler.doom_error(request))
-                self.metrics.record_failures()
-            if iteration.batch:
-                self.metrics.record_iteration(len(iteration.batch))
-                self._execute(iteration.batch)
+            self._run_iteration(arrivals)
 
     def _finished_time(self, batch_size: int) -> float:
         """Completion timestamp; charges the virtual iteration cost."""
@@ -441,6 +516,9 @@ class ServingEngine:
         return self.clock.now()
 
     def _execute(self, batch: list[InferenceRequest]) -> None:
+        if self.tracer.enabled:
+            self._execute_traced(batch)
+            return
         started = self.clock.now()
         try:
             with no_grad():
@@ -469,3 +547,68 @@ class ServingEngine:
                 output, started=started, finished=finished, batch_size=len(batch)
             )
             self.metrics.record_request(request.handle)
+
+    def _execute_traced(self, batch: list[InferenceRequest], parent=None) -> None:
+        """The traced twin of :meth:`_execute`.
+
+        Identical control flow plus an ``engine.batch`` span (activated
+        around ``servable.execute`` so the sharded engine and hot path
+        trace beneath it) and dispatch/complete/failed events on each
+        request's span.  Kept as a separate body so the default
+        untraced path stays byte-identical to its pre-tracing code.
+        """
+        tracer = self.tracer
+        span = tracer.start_span(
+            "engine.batch",
+            parent=parent,
+            size=len(batch),
+            request_ids=[request.request_id for request in batch],
+        )
+        for request in batch:
+            if request.span is not None:
+                request.span.add_event("dispatch", batch_size=len(batch))
+        started = self.clock.now()
+        try:
+            try:
+                with tracer.activate(span):
+                    with no_grad():
+                        outputs = self.servable.execute(batch)
+                if len(outputs) != len(batch):
+                    raise ServingError(
+                        f"servable returned {len(outputs)} outputs for a "
+                        f"batch of {len(batch)}"
+                    )
+            except Exception as error:  # noqa: BLE001 - failures go to handles
+                finished = self._finished_time(len(batch))
+                span.add_event("failed", error=type(error).__name__)
+                for request in batch:
+                    request.handle._fail(
+                        error,
+                        started=started,
+                        finished=finished,
+                        batch_size=len(batch),
+                    )
+                    if request.span is not None:
+                        request.span.add_event(
+                            "failed", error=type(error).__name__
+                        )
+                        tracer.end(request.span)
+                self.metrics.record_failures(len(batch))
+                return
+            finished = self._finished_time(len(batch))
+            self.metrics.record_batch(len(batch))
+            for request, output in zip(batch, outputs):
+                if request.cache_key is not None and self.cache is not None:
+                    self.cache.put(request.cache_key, _isolated(output))
+                request.handle._resolve(
+                    output,
+                    started=started,
+                    finished=finished,
+                    batch_size=len(batch),
+                )
+                if request.span is not None:
+                    request.span.add_event("complete", batch_size=len(batch))
+                    tracer.end(request.span)
+                self.metrics.record_request(request.handle)
+        finally:
+            tracer.end(span)

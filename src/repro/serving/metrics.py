@@ -4,16 +4,24 @@ Every number is derived from request timestamps stamped by the engine's
 clock, so under a simulated clock the whole snapshot — including the
 p50/p95/p99 latencies — is bit-deterministic and testable without a
 single sleep.
+
+:class:`Metrics` sits on the unified
+:class:`~repro.obs.registry.MetricsRegistry` substrate: counts,
+occupancy series, and latency distributions are registry instruments
+(shared naming, JSON snapshot, Prometheus exposition via
+:meth:`Metrics.to_prometheus`), while raw :class:`RequestRecord` rows
+are kept alongside so percentiles and span throughput stay *exact* —
+registry histograms bucket, records don't.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import Counter
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.registry import MetricsRegistry
 from repro.serving.request import RequestHandle
 
 #: Percentiles of the latency summaries.
@@ -81,14 +89,40 @@ def span_throughput(records) -> float:
 
 
 class Metrics:
-    """Thread-safe recorder the :class:`ServingEngine` reports into."""
+    """Thread-safe recorder the :class:`ServingEngine` reports into.
 
-    def __init__(self) -> None:
+    Counts and distributions live in a
+    :class:`~repro.obs.registry.MetricsRegistry` (pass one in to share
+    it across recorders; a private one is built by default); exact
+    per-request rows live in ``_records``.  Exact occupancy histograms
+    are labelled counter series (``size="4"``), which keeps them
+    lossless across merges.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._lock = threading.Lock()
         self._records: list[RequestRecord] = []
-        self._batch_sizes: Counter[int] = Counter()
-        self._iteration_sizes: Counter[int] = Counter()
-        self._failed = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._completed_c = self.registry.counter(
+            "serving_requests_completed_total", "Resolved requests"
+        )
+        self._failed_c = self.registry.counter(
+            "serving_requests_failed_total", "Failed requests"
+        )
+        self._cache_hits_c = self.registry.counter(
+            "serving_cache_hits_total", "Requests served from cache"
+        )
+        self._latency_h = self.registry.histogram(
+            "serving_request_latency_seconds", "End-to-end request latency"
+        )
+        self._queue_wait_h = self.registry.histogram(
+            "serving_queue_wait_seconds", "Admission-to-execution wait"
+        )
+
+    def _occupancy_counter(self, name: str, size: int):
+        return self.registry.counter(
+            name, "Exact occupancy histogram (labelled counter)", size=size
+        )
 
     # -- engine side ---------------------------------------------------------
     def record_request(self, handle: RequestHandle) -> None:
@@ -102,28 +136,34 @@ class Metrics:
             batch_size=handle.batch_size or 0,
             cache_hit=handle.cache_hit,
         )
-        with self._lock:
-            self._records.append(record)
+        self.record(record)
 
     def record_batch(self, size: int) -> None:
         """Record one executed batch's occupancy."""
+        counter = self._occupancy_counter("serving_batches_total", size)
         with self._lock:
-            self._batch_sizes[size] += 1
+            counter.inc()
 
     def record_iteration(self, active: int) -> None:
         """Record one continuous-scheduler iteration's active-session
         count (sessionless fill-in requests count as one lane each)."""
+        counter = self._occupancy_counter("serving_iterations_total", active)
         with self._lock:
-            self._iteration_sizes[active] += 1
+            counter.inc()
 
     def record_failures(self, count: int = 1) -> None:
         with self._lock:
-            self._failed += count
+            self._failed_c.inc(count)
 
     def record(self, record: RequestRecord) -> None:
         """Record one already-built :class:`RequestRecord` (merging path)."""
         with self._lock:
             self._records.append(record)
+            self._completed_c.inc()
+            if record.cache_hit:
+                self._cache_hits_c.inc()
+            self._latency_h.observe(record.latency)
+            self._queue_wait_h.observe(record.queue_wait)
 
     # -- read side -----------------------------------------------------------
     def records(self) -> list[RequestRecord]:
@@ -138,15 +178,17 @@ class Metrics:
         The cluster layer merges per-replica recorders with this to get
         fleet-wide latency and queue-wait percentiles computed from the
         raw records — not averaged from per-replica summaries, which
-        would be wrong for percentiles.
+        would be wrong for percentiles.  Registry families merge too
+        (counters and labelled occupancy series sum, so batch *and*
+        iteration occupancy histograms are preserved exactly), and the
+        edge cases hold: no parts yields an empty recorder, and parts
+        holding only failures contribute their failure counts.
         """
         out = cls()
         for part in parts:
             with part._lock:
                 out._records.extend(part._records)
-                out._batch_sizes.update(part._batch_sizes)
-                out._iteration_sizes.update(part._iteration_sizes)
-                out._failed += part._failed
+                out.registry.merge_from(part.registry)
         return out
 
     @property
@@ -157,12 +199,12 @@ class Metrics:
     @property
     def failed(self) -> int:
         with self._lock:
-            return self._failed
+            return int(self._failed_c.value)
 
     @property
     def cache_hits(self) -> int:
         with self._lock:
-            return sum(1 for record in self._records if record.cache_hit)
+            return int(self._cache_hits_c.value)
 
     def throughput(self) -> float:
         """Completed requests per second (see :func:`span_throughput`)."""
@@ -180,15 +222,23 @@ class Metrics:
             values = [record.queue_wait for record in self._records]
         return _summary(values)
 
+    def _occupancy_series(self, name: str) -> dict[int, int]:
+        series = self.registry.counter_series(name, "size")
+        return {
+            size: count
+            for size, count in sorted(
+                (int(value), int(total)) for value, total in series.items()
+            )
+        }
+
     def batch_occupancy(self) -> dict[int, int]:
         """Histogram: batch size -> number of batches executed."""
-        with self._lock:
-            return dict(sorted(self._batch_sizes.items()))
+        return self._occupancy_series("serving_batches_total")
 
     def mean_occupancy(self) -> float:
-        with self._lock:
-            total = sum(size * n for size, n in self._batch_sizes.items())
-            batches = sum(self._batch_sizes.values())
+        occupancy = self.batch_occupancy()
+        total = sum(size * n for size, n in occupancy.items())
+        batches = sum(occupancy.values())
         return total / batches if batches else 0.0
 
     def iteration_occupancy(self) -> dict[int, int]:
@@ -197,14 +247,17 @@ class Metrics:
         Empty unless the engine ran with ``scheduler="continuous"`` —
         the iteration-level counterpart of :meth:`batch_occupancy`.
         """
-        with self._lock:
-            return dict(sorted(self._iteration_sizes.items()))
+        return self._occupancy_series("serving_iterations_total")
 
     def mean_iteration_occupancy(self) -> float:
-        with self._lock:
-            total = sum(size * n for size, n in self._iteration_sizes.items())
-            iterations = sum(self._iteration_sizes.values())
+        occupancy = self.iteration_occupancy()
+        total = sum(size * n for size, n in occupancy.items())
+        iterations = sum(occupancy.values())
         return total / iterations if iterations else 0.0
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of the registry instruments."""
+        return self.registry.to_prometheus()
 
     def snapshot(self) -> dict:
         """JSON-able summary of everything recorded so far."""

@@ -143,7 +143,13 @@ class RequestHandle:
 
 @dataclass
 class InferenceRequest:
-    """One queued unit of work (payload already ``prepare()``-d)."""
+    """One queued unit of work (payload already ``prepare()``-d).
+
+    ``span`` is the request's open trace span when the engine's tracer
+    is enabled (``None`` otherwise — the default no-tracing path never
+    allocates one); it rides along so dispatch and completion events
+    land on the span that opened at submission.
+    """
 
     payload: Any
     handle: RequestHandle
@@ -151,6 +157,7 @@ class InferenceRequest:
     cache_key: Any = None
     session_id: str | None = None
     request_id: int = field(default=0)
+    span: Any = None
 
 
 class RequestQueue:

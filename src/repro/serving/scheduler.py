@@ -61,10 +61,18 @@ class IterationCost:
 @dataclass
 class Iteration:
     """One composed iteration: the batch to execute plus doomed requests
-    (sessions whose KV demand cannot fit the pool at any priority)."""
+    (sessions whose KV demand cannot fit the pool at any priority).
+
+    ``preempted`` and ``swapped_in`` record the residency actions this
+    composition took (victim sessions swapped out, planned sessions
+    swapped back in), in action order — the engine's iteration span
+    reports them as events.
+    """
 
     batch: list[InferenceRequest] = field(default_factory=list)
     doomed: list[InferenceRequest] = field(default_factory=list)
+    preempted: list[str] = field(default_factory=list)
+    swapped_in: list[str] = field(default_factory=list)
 
     def __bool__(self) -> bool:
         return bool(self.batch or self.doomed)
@@ -158,13 +166,16 @@ class IterationScheduler:
             ),
         )
 
-    def _ensure_resident(self, sid: str, planned: list[str]) -> bool:
+    def _ensure_resident(
+        self, sid: str, planned: list[str], iteration: Iteration
+    ) -> bool:
         """Make ``sid`` runnable this iteration, preempting if needed.
 
         Returns False when the pool cannot host the session right now
         (it stays queued and retries next iteration).  Raises
         :class:`ServingError` via the doomed path in :meth:`compose`
-        when the session can *never* fit.
+        when the session can *never* fit.  Victims and swap-ins are
+        recorded on ``iteration`` for observability.
         """
         pool = self.cache.pool
         needed = self._needed_blocks(sid)
@@ -175,9 +186,11 @@ class IterationScheduler:
                 return False
             self.cache.swap_out(victim)
             self.preemptions += 1
+            iteration.preempted.append(victim)
         if self.cache.has_session(sid) and self.cache.session(sid).swapped:
             self.cache.swap_in(sid)
             self.swap_ins += 1
+            iteration.swapped_in.append(sid)
         return True
 
     # -- composition ----------------------------------------------------------
@@ -200,7 +213,9 @@ class IterationScheduler:
         for sid in runnable:
             if len(planned) >= self.max_active:
                 break
-            if self.cache is not None and not self._ensure_resident(sid, planned):
+            if self.cache is not None and not self._ensure_resident(
+                sid, planned, iteration
+            ):
                 if planned:
                     continue  # blocked behind protected higher-priority work
                 # Nothing is planned and nothing is preemptable: this

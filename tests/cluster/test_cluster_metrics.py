@@ -94,6 +94,27 @@ class TestFleetSummaries:
 
 
 class TestEventsAndSnapshot:
+    def test_cluster_event_as_dict_round_trips(self):
+        event = ClusterEvent(0.5, "replica_failed", 2, 1, "fault injection")
+        payload = json.loads(json.dumps(event.as_dict()))
+        assert payload == {
+            "time": 0.5,
+            "kind": "replica_failed",
+            "replica_id": 2,
+            "fleet_size": 1,
+            "reason": "fault injection",
+        }
+        assert ClusterEvent(**payload) == event
+
+    def test_prometheus_exposition(self):
+        metrics = ClusterMetrics()
+        metrics.record_dispatch(0, tenant="chat-a", affinity_hit=True)
+        metrics.record_failover()
+        text = metrics.to_prometheus()
+        assert 'cluster_dispatches_total{replica="0"} 1' in text
+        assert 'cluster_affinity_total{outcome="hit"} 1' in text
+        assert "cluster_failovers_total 1" in text
+
     def test_event_log_round_trips_to_json(self):
         metrics = ClusterMetrics()
         metrics.record_event(ClusterEvent(1.0, "scale_up", 1, 2, "backlog"))

@@ -1,0 +1,117 @@
+"""Tests for trace export (JSONL + Chrome trace-event) and the demo."""
+
+import json
+
+from repro.obs import (
+    Tracer,
+    to_chrome_trace,
+    to_jsonl,
+    write_jsonl,
+    write_trace,
+)
+from repro.obs.demo import run_trace_workload, run_workload
+from repro.serving.clock import SimulatedClock
+
+
+def sample_collector():
+    clock = SimulatedClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("root", kind="demo") as root:
+        root.add_event("started", step=1)
+        clock.advance(1e-3)
+        with tracer.span("child"):
+            clock.advance(2e-3)
+    return tracer.collector
+
+
+class TestJsonl:
+    def test_one_sorted_line_per_span(self):
+        lines = to_jsonl(sample_collector()).splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["name"] == "root"
+        assert first["events"][0]["name"] == "started"
+        # Canonical form: sorted keys, compact separators.
+        assert lines[0] == json.dumps(
+            first, sort_keys=True, separators=(",", ":")
+        )
+
+    def test_empty_collector_dumps_empty_string(self):
+        assert to_jsonl(Tracer().collector) == ""
+
+    def test_write_jsonl_round_trips(self, tmp_path):
+        path = write_jsonl(sample_collector(), tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == [
+            "root", "child",
+        ]
+
+
+class TestChromeTrace:
+    def test_complete_events_in_microseconds(self):
+        payload = to_chrome_trace(sample_collector())
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        by_name = {event["name"]: event for event in complete}
+        assert by_name["root"]["dur"] == 3e3  # 3 ms in us
+        assert by_name["child"]["ts"] == 1e3
+        assert by_name["child"]["args"]["parent_id"] == 0
+
+    def test_span_events_become_instants_on_root_track(self):
+        payload = to_chrome_trace(sample_collector())
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        assert [event["name"] for event in instants] == ["root.started"]
+        assert instants[0]["args"] == {"step": 1}
+        # Both spans share the root's track.
+        tids = {event["tid"] for event in payload["traceEvents"]}
+        assert tids == {0}
+
+    def test_write_trace_dispatches_by_extension(self, tmp_path):
+        collector = sample_collector()
+        jsonl = write_trace(collector, tmp_path / "trace.jsonl")
+        chrome = write_trace(collector, tmp_path / "trace.json")
+        assert jsonl.read_text().startswith("{")
+        assert "traceEvents" in json.loads(chrome.read_text())
+        assert json.loads(jsonl.read_text().splitlines()[0])["name"] == "root"
+
+
+class TestDemoWorkload:
+    def test_jsonl_is_byte_identical_across_reruns(self):
+        first = to_jsonl(run_trace_workload(seed=3, requests=8))
+        second = to_jsonl(run_trace_workload(seed=3, requests=8))
+        assert first == second
+
+    def test_span_chain_reaches_the_stages(self):
+        collector = run_trace_workload(seed=0, requests=8)
+        by_id = {span.span_id: span for span in collector.spans()}
+        names = {span.name for span in collector.spans()}
+        assert {
+            "request", "engine.iteration", "engine.batch", "shard.matmul",
+            "shard.core", "hotpath.matmul", "stage.sample", "stage.encode",
+            "stage.compute", "stage.detect",
+        } <= names
+        compute = collector.find("stage.compute")[0]
+        chain = []
+        span = compute
+        while span.parent_id is not None:
+            span = by_id[span.parent_id]
+            chain.append(span.name)
+        assert chain == [
+            "hotpath.matmul", "shard.core", "shard.matmul", "engine.batch",
+            "engine.iteration",
+        ]
+
+    def test_request_spans_carry_lifecycle_events(self):
+        collector = run_trace_workload(seed=0, requests=8)
+        requests = collector.find("request")
+        assert len(requests) == 8
+        for span in requests:
+            assert span.parent_id is None
+            events = [event.name for event in span.events]
+            assert events[0] == "submit"
+            assert "complete" in events
+
+    def test_untraced_workload_collects_nothing(self):
+        collector, results, snapshot = run_workload(seed=0, requests=4)
+        assert collector is None
+        assert len(results) == 4
+        assert snapshot["completed"] == 4

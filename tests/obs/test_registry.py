@@ -1,0 +1,132 @@
+"""Tests for the unified telemetry registry."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_is_monotone(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_is_last_write(self):
+        gauge = Gauge()
+        gauge.set(4.0)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+
+    def test_histogram_buckets_and_inf(self):
+        histogram = Histogram(buckets=(1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 99.0):
+            histogram.observe(value)
+        assert histogram.cumulative() == [(1.0, 2), (2.0, 3)]
+        assert histogram.inf == 1
+        assert histogram.total == 4
+        assert histogram.sum == pytest.approx(102.0)
+
+    def test_histogram_merge_requires_equal_bounds(self):
+        a = Histogram(buckets=(1.0,))
+        b = Histogram(buckets=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", "Hits")
+        second = registry.counter("hits_total")
+        assert first is second
+        labelled = registry.counter("hits_total", route="a")
+        assert labelled is not first
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_counter_series_reads_one_label(self):
+        registry = MetricsRegistry()
+        registry.counter("batches_total", size=2).inc(3)
+        registry.counter("batches_total", size=4).inc()
+        assert registry.counter_series("batches_total", "size") == {
+            "2": 3, "4": 1,
+        }
+
+    def test_snapshot_is_json_shaped_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc()
+        registry.gauge("a_depth").set(7)
+        registry.histogram("lat_seconds", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a_depth", "b_total", "lat_seconds"]
+        assert snapshot["lat_seconds"][0]["value"]["count"] == 1
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_names_and_series(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", route="x").inc()
+        registry.gauge("a_depth").set(1)
+        assert registry.names() == ["a_depth", "b_total"]
+        series = registry.series("b_total")
+        assert [labels for labels, _ in series] == [{"route": "x"}]
+        assert registry.series("missing") == []
+
+    def test_merge_sums_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n_total").inc(1)
+        b.counter("n_total").inc(2)
+        b.counter("only_in_b_total", size=4).inc()
+        a.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        b.histogram("h_seconds", buckets=(1.0,)).observe(2.0)
+        a.gauge("depth").set(1)
+        b.gauge("depth").set(9)
+        a.merge_from(b)
+        assert a.counter("n_total").value == 3
+        assert a.counter("only_in_b_total", size=4).value == 1
+        merged_h = a.histogram("h_seconds", buckets=(1.0,))
+        assert merged_h.total == 2
+        assert merged_h.inf == 1
+        assert a.gauge("depth").value == 9
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "Requests", route="a").inc(3)
+        registry.gauge("queue_depth", "Depth").set(2)
+        text = registry.to_prometheus()
+        assert "# HELP req_total Requests" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{route="a"} 3' in text
+        assert "queue_depth 2" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_has_le_sum_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        text = registry.to_prometheus()
+        assert 'lat_seconds_bucket{le="1"} 1' in text
+        assert 'lat_seconds_bucket{le="2"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_sum 5.5" in text
+        assert "lat_seconds_count 2" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", tenant='say "hi"\n').inc()
+        text = registry.to_prometheus()
+        assert 'tenant="say \\"hi\\"\\n"' in text
+
+    def test_empty_registry_exposes_nothing(self):
+        assert MetricsRegistry().to_prometheus() == ""

@@ -85,6 +85,23 @@ class TestMetrics:
         assert snapshot["batch_occupancy"] == {"2": 1}
         assert snapshot["mean_batch_occupancy"] == 2.0
 
+    def test_zero_request_snapshot_has_percentile_keys(self):
+        """Both summaries keep their full key set with no records —
+        dashboards never see a missing key or a NaN."""
+        snapshot = Metrics().snapshot()
+        for key in ("latency_s", "queue_wait_s"):
+            assert set(snapshot[key]) == {"mean", "p50", "p95", "p99"}
+            assert all(value == 0.0 for value in snapshot[key].values())
+
+    def test_prometheus_exposition(self):
+        metrics = Metrics()
+        metrics.record_request(resolved_handle(0.0, 0.5, 1.0))
+        metrics.record_batch(2)
+        text = metrics.to_prometheus()
+        assert "serving_requests_completed_total 1" in text
+        assert 'serving_batches_total{size="2"} 1' in text
+        assert "# TYPE serving_request_latency_seconds histogram" in text
+
     def test_snapshot_exposes_queue_wait_percentiles(self):
         """Queue waits (submit -> batch formation) appear in the JSON."""
         metrics = Metrics()
@@ -143,6 +160,28 @@ class TestMergedMetrics:
         # Merging copies: later records in the parts don't leak in.
         a.record_request(resolved_handle(0.0, 1.0, 1.0))
         assert merged.completed == 4
+
+    def test_merged_of_no_parts_is_empty(self):
+        merged = Metrics.merged([])
+        assert merged.completed == 0
+        assert merged.failed == 0
+        assert merged.throughput() == 0.0
+        snapshot = merged.snapshot()
+        assert snapshot["latency_s"] == {
+            "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+        assert snapshot["batch_occupancy"] == {}
+
+    def test_merged_failures_only_parts(self):
+        """Parts that saw only failures still contribute their counts."""
+        a, b = Metrics(), Metrics()
+        a.record_failures(2)
+        b.record_failures(1)
+        merged = Metrics.merged([a, b])
+        assert merged.completed == 0
+        assert merged.failed == 3
+        assert merged.throughput() == 0.0
+        assert merged.latency_summary()["p99"] == 0.0
 
     def test_record_accepts_prebuilt_records(self):
         source = Metrics()

@@ -212,6 +212,86 @@ class TestHotpathBenchCommand:
         with pytest.raises(SystemExit):
             main(["hotpath-bench", "--batch", "0"])
 
+    def test_noise_off_profiles_compute_and_detect_only(self, capsys):
+        assert main([
+            "hotpath-bench", "--batch", "8", "--m", "4", "--d", "12",
+            "--n", "4", "--repeats", "1", "--noise", "off",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "noise=off" in out
+        assert "compute" in out and "detect" in out
+        assert "sample" not in out and "encode" not in out
+
+    def test_trace_flag_writes_spans(self, tmp_path, capsys):
+        trace = tmp_path / "hotpath.jsonl"
+        assert main([
+            "hotpath-bench", "--batch", "8", "--m", "4", "--d", "12",
+            "--n", "4", "--repeats", "1", "--trace", str(trace),
+        ]) == 0
+        import json
+
+        lines = trace.read_text().splitlines()
+        names = {json.loads(line)["name"] for line in lines}
+        assert "hotpath.matmul" in names
+        assert "stage.compute" in names
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_stdout_jsonl_is_deterministic(self, capsys):
+        assert main(["trace", "--seed", "1", "--requests", "8"]) == 0
+        first = capsys.readouterr().out
+        assert main(["trace", "--seed", "1", "--requests", "8"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        import json
+
+        names = {json.loads(line)["name"] for line in first.splitlines()}
+        assert "request" in names
+        assert "stage.detect" in names
+
+    def test_out_extension_selects_format(self, tmp_path, capsys):
+        import json
+
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.json"
+        assert main(["trace", "--requests", "4", "--out", str(jsonl)]) == 0
+        assert main(["trace", "--requests", "4", "--out", str(chrome)]) == 0
+        assert json.loads(jsonl.read_text().splitlines()[0])["span_id"] == 0
+        assert "traceEvents" in json.loads(chrome.read_text())
+        assert "wrote" in capsys.readouterr().out
+
+    def test_bad_requests_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--requests", "0"])
+
+    def test_serve_bench_trace_flag(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "serve.jsonl"
+        assert main([
+            "serve-bench", "--requests", "6", "--trace", str(trace),
+        ]) == 0
+        names = {
+            json.loads(line)["name"]
+            for line in trace.read_text().splitlines()
+        }
+        assert "request" in names
+
+    def test_cluster_bench_trace_flag(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "cluster.jsonl"
+        assert main([
+            "cluster-bench", "--requests", "8", "--trace", str(trace),
+        ]) == 0
+        names = {
+            json.loads(line)["name"]
+            for line in trace.read_text().splitlines()
+        }
+        assert "cluster" in names
+        assert "cluster.request" in names
+
 
 class TestHotpathKnobFlags:
     def test_serve_bench_accepts_hotpath_knobs(self, capsys):

@@ -40,6 +40,10 @@ REGISTERED_GATES: list[tuple[str, float]] = [
     # processes; an untested branch there is a silent bit-equality
     # break, so its file is gated tighter than its package.
     ("repro/core/hotpath", 90.0),
+    # The tracing/telemetry substrate promises byte-determinism and a
+    # zero-cost disabled path; an untested branch is a silent
+    # determinism or overhead regression, so the package gates at 90.
+    ("repro/obs/", 90.0),
 ]
 
 
