@@ -11,12 +11,23 @@ Usage::
     python -m repro.cli cluster-bench [--replicas N] [--policy NAME] [--autoscale]
     python -m repro.cli hotpath-bench [--batch N] [--chunk-size C] [--out FILE]
     python -m repro.cli trace  [--seed N] [--requests N] [--out FILE]
+                               [--sample RATE] [--stream]
+    python -m repro.cli top    [--replicas N] [--frames N] [--fail-replica ID]
+    python -m repro.cli metrics [--requests N] [--port P]
 
 ``trace`` runs the deterministic demo workload from
 :mod:`repro.obs.demo` and dumps the span tree (JSONL by default; a
 ``--out`` ending in anything but ``.jsonl`` writes Chrome trace-event
-JSON for Perfetto).  The bench verbs take ``--trace PATH`` to capture
-the same span tree for a real benchmark run.
+JSON for Perfetto).  ``--sample RATE`` keeps one in RATE traces
+(incident spans always survive) and ``--stream`` exports each span the
+moment it ends instead of holding the run in memory — both produce
+deterministic subsets of the full dump.  ``top`` renders live ANSI
+fleet-dashboard frames over a demo cluster (optionally failing a
+replica mid-run, which drops a flight-recorder postmortem), and
+``metrics`` prints the demo registry in Prometheus text format (with
+``--port``, serves exactly one HTTP scrape of it).  The bench verbs
+take ``--trace PATH`` to capture the same span tree for a real
+benchmark run.
 
 The serving verbs construct from the unified config objects
 (:class:`~repro.serving.config.EngineConfig` /
@@ -178,21 +189,209 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     """Deterministic demo trace: run the obs workload, dump the spans."""
-    from repro.obs import to_jsonl, write_trace
-    from repro.obs.demo import run_trace_workload
+    from repro.obs import (
+        StreamingSpanWriter,
+        TraceSampler,
+        sampled_lines,
+        to_jsonl,
+        write_trace,
+    )
+    from repro.obs.demo import run_trace_workload, run_workload
 
     if args.requests < 1:
         raise SystemExit("trace: --requests must be >= 1")
+    try:
+        sampler = TraceSampler(args.sample) if args.sample is not None else None
+    except ValueError as error:
+        raise SystemExit(f"trace: {error}")
+    if args.stream:
+        if not args.out:
+            raise SystemExit("trace: --stream needs --out FILE")
+        if not args.out.endswith(".jsonl"):
+            raise SystemExit("trace: --stream writes JSONL; --out must end in .jsonl")
+        # Spans hit disk at span end instead of accumulating in memory;
+        # the workload (and therefore every span id/timestamp) is the
+        # batch path's, so the file sorts into the same canonical lines.
+        with StreamingSpanWriter(args.out, sampler=sampler) as writer:
+            run_workload(
+                seed=args.seed,
+                requests=args.requests,
+                max_batch_size=args.max_batch_size,
+                sink=writer,
+            )
+        print(
+            f"streamed {writer.spans_written}/{writer.spans_seen} spans "
+            f"-> {args.out} (peak {writer.peak_open} open)"
+        )
+        return 0
     collector = run_trace_workload(
         seed=args.seed,
         requests=args.requests,
         max_batch_size=args.max_batch_size,
     )
+    if sampler is not None:
+        if args.out and not args.out.endswith(".jsonl"):
+            raise SystemExit(
+                "trace: --sample writes JSONL; --out must end in .jsonl"
+            )
+        lines = sampled_lines(collector, sampler)
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if args.out:
+            from repro.obs.export import _atomic_write_text
+
+            _atomic_write_text(args.out, text)
+            print(
+                f"wrote {len(lines)}/{len(collector)} sampled spans -> {args.out}"
+            )
+        else:
+            sys.stdout.write(text)
+        return 0
     if args.out:
         path = write_trace(collector, args.out)
         print(f"wrote {len(collector)} spans -> {path}")
     else:
         sys.stdout.write(to_jsonl(collector))
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Fleet dashboard frames over a deterministic demo cluster run."""
+    import numpy as np
+
+    from repro.cluster import ClusterConfig, ServiceModel, ServingCluster
+    from repro.obs import (
+        FleetTop,
+        FlightRecorder,
+        SLOMonitor,
+        TimeSeriesRecorder,
+        latency_objective,
+    )
+    from repro.obs.demo import TracedMatmulServable
+    from repro.obs.live import ANSI_HOME
+    from repro.serving import EngineConfig, SimulatedClock
+
+    if args.replicas < 1:
+        raise SystemExit("top: --replicas must be >= 1")
+    if args.requests < 1:
+        raise SystemExit("top: --requests must be >= 1")
+    if args.frames < 1:
+        raise SystemExit("top: --frames must be >= 1")
+    if args.rate <= 0:
+        raise SystemExit("top: --rate must be > 0")
+    from repro.obs import Tracer
+
+    clock = SimulatedClock()
+    recorder = FlightRecorder(clock=clock)
+    # Trace the run and tee span ends into the recorder's ring, so a
+    # mid-run failure freezes actual recent spans into the postmortem.
+    tracer = Tracer(clock=clock)
+    recorder.attach(tracer)
+    config = ClusterConfig(
+        replicas=args.replicas,
+        policy="least_outstanding",
+        engine=EngineConfig(
+            max_batch_size=4,
+            max_wait_us=500.0,
+            queue_depth=max(64, args.requests),
+        ),
+        service_model=ServiceModel(),
+    )
+    cluster = ServingCluster(
+        lambda rid: TracedMatmulServable(seed=args.seed + rid),
+        config=config,
+        clock=clock,
+        tracer=tracer,
+        recorder=recorder,
+    )
+    # The monitor reads the cluster's own registry, so it is built after
+    # the cluster and attached; maintain() ticks it on every step.
+    monitor = SLOMonitor(
+        [
+            latency_objective(
+                "p95-latency", "cluster_request_latency_seconds", 0.01
+            )
+        ],
+        TimeSeriesRecorder(cluster.metrics.registry, interval_s=0.5e-3),
+    )
+    cluster.slo_monitor = monitor
+    top = FleetTop(cluster, monitor=monitor, color=not args.no_color)
+    payload_rng = np.random.default_rng(args.seed + 2)
+    gap_rng = np.random.default_rng(args.seed + 3)
+    servable = TracedMatmulServable(seed=args.seed)
+    frame_every = max(1, args.requests // args.frames)
+    fail_at = args.requests // 2 if args.fail_replica is not None else None
+
+    def show() -> None:
+        if not args.no_color:
+            sys.stdout.write(ANSI_HOME)
+        sys.stdout.write(top.frame())
+
+    with cluster:
+        for index in range(args.requests):
+            clock.advance(float(gap_rng.exponential(1.0 / args.rate)))
+            payload = payload_rng.uniform(-1.0, 1.0, (servable.m, servable.d))
+            cluster.submit(payload, session_id=f"session-{index % 4}")
+            cluster.step(force=False)
+            if fail_at is not None and index == fail_at:
+                try:
+                    cluster.fail_replica(args.fail_replica)
+                except KeyError:
+                    raise SystemExit(
+                        f"top: no replica {args.fail_replica} to fail"
+                    )
+                fail_at = None
+            if (index + 1) % frame_every == 0:
+                show()
+        cluster.run_until_idle()
+        show()
+    for bundle in recorder.bundles:
+        print(
+            f"postmortem: {bundle['reason']} at t={bundle['time'] * 1e3:.3f} ms "
+            f"({len(bundle['spans'])} spans, {len(bundle['events'])} events)"
+        )
+    print(f"{top.frames_rendered} frames rendered")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Prometheus text dump of the demo workload's registry."""
+    import numpy as np
+
+    from repro.obs.demo import TracedMatmulServable, trace_workload_config
+    from repro.obs.live import MetricsExposition, threaded_fetch
+    from repro.serving import ServingEngine, SimulatedClock
+
+    if args.requests < 1:
+        raise SystemExit("metrics: --requests must be >= 1")
+    servable = TracedMatmulServable(seed=args.seed)
+    payload_rng = np.random.default_rng(args.seed + 2)
+    engine = ServingEngine(
+        servable,
+        config=trace_workload_config(args.max_batch_size),
+        clock=SimulatedClock(),
+        close_executor=True,
+    )
+    with engine:
+        handles = [
+            engine.submit(
+                payload_rng.uniform(-1.0, 1.0, (servable.m, servable.d)),
+                session_id=f"session-{index % 3}",
+            )
+            for index in range(args.requests)
+        ]
+        engine.run_until_idle()
+        for handle in handles:
+            handle.result(timeout=0)
+        text = engine.metrics.registry.to_prometheus()
+    if args.port is not None:
+        exposition = MetricsExposition(lambda: text, port=args.port)
+        print(f"serving one scrape at {exposition.url}")
+        if args.self_scrape:
+            threaded_fetch(exposition.url)
+        exposition.serve_once(timeout=args.timeout)
+        print("served 1 scrape")
+        return 0
+    sys.stdout.write(text)
     return 0
 
 
@@ -842,7 +1041,64 @@ def build_parser() -> argparse.ArgumentParser:
         "for Chrome trace-event JSON viewable in Perfetto); default: "
         "JSONL to stdout",
     )
+    p_trace.add_argument(
+        "--sample", type=int, default=None, metavar="RATE",
+        help="head-based sampling: keep one in RATE traces (by root-span "
+        "hash, deterministic across runs); incident spans always kept",
+    )
+    p_trace.add_argument(
+        "--stream", action="store_true",
+        help="stream each span to --out the moment it ends (bounded "
+        "memory) instead of dumping the collector at the end",
+    )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live fleet dashboard over a demo cluster run (virtual time)",
+    )
+    p_top.add_argument("--replicas", type=int, default=3)
+    p_top.add_argument("--requests", type=int, default=48)
+    p_top.add_argument("--frames", type=int, default=6, help="frames to render")
+    p_top.add_argument(
+        "--rate", type=float, default=8_000.0,
+        help="open-loop arrival rate (req/s, virtual time)",
+    )
+    p_top.add_argument("--seed", type=int, default=0)
+    p_top.add_argument(
+        "--fail-replica", type=int, default=None, metavar="ID",
+        help="inject a failure of this replica mid-run (flight recorder "
+        "dumps a postmortem bundle)",
+    )
+    p_top.add_argument(
+        "--no-color", action="store_true",
+        help="plain frames, no ANSI colors or screen clearing",
+    )
+    p_top.set_defaults(func=cmd_top)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="Prometheus text dump of the demo workload's registry",
+    )
+    p_metrics.add_argument("--seed", type=int, default=0)
+    p_metrics.add_argument("--requests", type=int, default=12)
+    p_metrics.add_argument("--max-batch-size", type=int, default=4)
+    p_metrics.add_argument(
+        "--port", type=int, default=None,
+        help="serve exactly one HTTP scrape on this port (0 = ephemeral) "
+        "instead of printing",
+    )
+    p_metrics.add_argument(
+        "--self-scrape", action="store_true",
+        help="with --port: fire the one scrape from a background thread "
+        "(demo/CI mode — no external curl needed)",
+    )
+    p_metrics.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="with --port: give up waiting for the scrape after this "
+        "many seconds",
+    )
+    p_metrics.set_defaults(func=cmd_metrics)
 
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_report.add_argument("--output", default="EXPERIMENTS.md")

@@ -9,6 +9,10 @@ The :class:`Autoscaler` evaluates two signals on every cluster step:
   previous evaluation, against ``latency_slo_s`` (optional).  A breach
   forces a scale-up even when the backlog looks fine — the queue-depth
   signal misses service-time inflation.
+* **SLO burn-rate alerts** (optional) — when built with an
+  :class:`~repro.obs.timeseries.SLOMonitor`, any firing multi-window
+  burn-rate alert forces a scale-up and vetoes scale-down, the same way
+  a raw latency breach does but weighted by error-budget consumption.
 
 Actions are rate-limited by ``cooldown_s`` and bounded by
 ``min_replicas`` / ``max_replicas``.  Scale-down is graceful: the
@@ -63,11 +67,21 @@ class AutoscalerPolicy:
 
 
 class Autoscaler:
-    """Evaluates the policy against a cluster (driven by its step loop)."""
+    """Evaluates the policy against a cluster (driven by its step loop).
 
-    def __init__(self, policy: AutoscalerPolicy, cluster) -> None:
+    ``slo_monitor`` is the optional third signal: an
+    :class:`~repro.obs.timeseries.SLOMonitor` whose currently-firing
+    burn-rate alerts force a scale-up (and veto scale-down) exactly
+    like a raw latency-SLO breach — but budget-aware, so a brief spike
+    that doesn't threaten the error budget never flaps the fleet.
+    """
+
+    def __init__(
+        self, policy: AutoscalerPolicy, cluster, *, slo_monitor=None
+    ) -> None:
         self.policy = policy
         self.cluster = cluster
+        self.slo_monitor = slo_monitor
         self._last_action_at = -float("inf")
         self._record_index = 0
 
@@ -96,19 +110,24 @@ class Autoscaler:
             and latencies
             and float(np.percentile(latencies, 95)) > policy.latency_slo_s
         )
+        alerting = (
+            self.slo_monitor.firing() if self.slo_monitor is not None else []
+        )
         if (
-            now_backlog > policy.high_backlog or slo_breached
+            now_backlog > policy.high_backlog or slo_breached or alerting
         ) and len(healthy) < policy.max_replicas:
-            reason = (
-                f"p95 latency above SLO ({policy.latency_slo_s:g}s)"
-                if slo_breached and now_backlog <= policy.high_backlog
-                else f"backlog {now_backlog:.2f} > {policy.high_backlog:g}"
-            )
+            if now_backlog > policy.high_backlog:
+                reason = f"backlog {now_backlog:.2f} > {policy.high_backlog:g}"
+            elif slo_breached:
+                reason = f"p95 latency above SLO ({policy.latency_slo_s:g}s)"
+            else:
+                reason = f"SLO burn-rate alert: {', '.join(alerting)}"
             self.cluster._scale_up_locked(now, reason)
             self._last_action_at = now
             return "scale_up"
         if (
             not slo_breached
+            and not alerting
             and now_backlog < policy.low_backlog
             and len(healthy) > policy.min_replicas
         ):

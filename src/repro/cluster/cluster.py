@@ -126,6 +126,20 @@ class ServingCluster:
             passed through to every replica engine — the full
             request -> iteration -> shard -> stage chain beneath.
             Defaults to the no-op :data:`~repro.obs.trace.NULL_TRACER`.
+        recorder: an optional
+            :class:`~repro.obs.recorder.FlightRecorder`, shared with
+            every replica engine.  :meth:`fail_replica` freezes a
+            postmortem bundle (recent spans/events + the fleet registry
+            and snapshot) — fault injection as a first-class
+            observability scenario; engine-level dooms and serving
+            errors bundle through the same recorder.
+        slo_monitor: an optional
+            :class:`~repro.obs.timeseries.SLOMonitor`; :meth:`maintain`
+            ticks it each cycle (sampling its
+            :class:`~repro.obs.timeseries.TimeSeriesRecorder` and
+            appending burn-rate transitions to the alert ledger), and
+            the autoscaler — when both are configured — treats firing
+            alerts as a scale-up signal.
         max_retries: re-dispatches after a non-failover execution error
             before the handle fails.
         close_executors: close each servable's photonic executor when
@@ -150,6 +164,8 @@ class ServingCluster:
         autoscaler: AutoscalerPolicy | None = None,
         tier: SharedCacheTier | None = None,
         tracer=None,
+        recorder=None,
+        slo_monitor=None,
         replicas: int | None = None,
         policy: "str | RoutingPolicy | None" = None,
         batching: BatchingPolicy | None = None,
@@ -243,6 +259,8 @@ class ServingCluster:
         self._close_executors = config.close_executors
         self.metrics = ClusterMetrics()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.recorder = recorder
+        self.slo_monitor = slo_monitor
         #: Root span carrying fleet lifecycle events (scale_up / drain /
         #: retire / replica_failed); None with tracing disabled.
         self._span = (
@@ -272,7 +290,9 @@ class ServingCluster:
         for _ in range(config.replicas):
             self._add_replica_locked()
         self.autoscaler = (
-            Autoscaler(autoscaler, self) if autoscaler is not None else None
+            Autoscaler(autoscaler, self, slo_monitor=slo_monitor)
+            if autoscaler is not None
+            else None
         )
 
     # -- fleet management ----------------------------------------------------
@@ -295,6 +315,7 @@ class ServingCluster:
             close_executor=self._close_executors,
             memo_cache=memo_cache,
             tracer=self.tracer,
+            recorder=self.recorder,
         )
         self._replicas[replica_id] = replica
         if self._running:
@@ -782,6 +803,18 @@ class ServingCluster:
                     record.span.add_event("failed", error=type(error).__name__)
                     self.tracer.end(record.span)
         self.metrics.record_failover(rerouted)
+        if self.recorder is not None:
+            self.recorder.note(
+                "replica_failed", replica_id=replica_id, rerouted=rerouted
+            )
+            self.recorder.trigger(
+                "replica_failed",
+                registry=self.metrics.registry,
+                snapshot=self.snapshot(),
+                replica_id=replica_id,
+                evicted=len(records),
+                rerouted=rerouted,
+            )
         return rerouted
 
     def _rehome_sessions_locked(self, replica: Replica) -> None:
@@ -834,8 +867,15 @@ class ServingCluster:
         return executed
 
     def maintain(self) -> None:
-        """Autoscaler evaluation + drain finalization (any mode)."""
+        """SLO tick + autoscaler evaluation + drain finalization.
+
+        The SLO monitor ticks *before* the autoscaler evaluates, so an
+        alert that fires on this cycle's measurements is visible to
+        this cycle's scaling decision.
+        """
         with self._lock:
+            if self.slo_monitor is not None:
+                self.slo_monitor.tick(self.clock.now())
             if self.autoscaler is not None:
                 self.autoscaler.evaluate(self.clock.now())
             ready = [

@@ -93,6 +93,7 @@ class Replica:
         iteration_cost=None,
         memo_cache: SessionCache | None = None,
         tracer=None,
+        recorder=None,
     ) -> None:
         self.replica_id = replica_id
         self.name = f"replica-{replica_id}"
@@ -119,6 +120,7 @@ class Replica:
             clock=clock,
             cache=memo_cache,
             tracer=tracer,
+            recorder=recorder,
             close_executor=close_executor,
         )
         self.state = HEALTHY

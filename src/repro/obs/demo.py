@@ -97,18 +97,26 @@ def run_workload(
     seed: int = 0,
     requests: int = 12,
     max_batch_size: int = 4,
+    sink=None,
 ) -> tuple[SpanCollector | None, list, dict]:
     """Run the demo workload; returns (collector, results, snapshot).
 
     ``traced=False`` runs the identical workload under the default
     no-op tracer — the disabled baseline ``bench_obs.py`` compares the
     traced run against bit for bit.  The collector is ``None`` in that
-    mode.
+    mode.  ``sink`` replaces the tracer's collector (implies tracing):
+    this is how ``repro trace --stream`` hangs a
+    :class:`~repro.obs.stream.StreamingSpanWriter` under the identical
+    workload — spans are *emitted* instead of accumulated, so the
+    returned collector is the sink itself.
     """
     if requests < 1:
         raise ValueError(f"requests must be >= 1, got {requests}")
     clock = SimulatedClock()
-    tracer = Tracer(clock=clock) if traced else None
+    if sink is not None:
+        tracer = Tracer(clock=clock, collector=sink)
+    else:
+        tracer = Tracer(clock=clock) if traced else None
     servable = TracedMatmulServable(seed=seed)
     payload_rng = np.random.default_rng(seed + 2)
     engine = ServingEngine(

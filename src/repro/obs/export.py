@@ -12,11 +12,17 @@ Two serialized forms of one :class:`~repro.obs.trace.SpanCollector`:
   ``args``.  Parent nesting is conveyed by time containment per track;
   spans map to tracks (``tid``) by their root span so concurrent
   requests render as parallel lanes.
+
+File writers are atomic: the dump lands in a temp file in the target's
+directory and is renamed into place, so an interrupted run never leaves
+a truncated ``--trace`` artifact (``os.replace`` is atomic on POSIX).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 from repro.obs.trace import Span, SpanCollector
@@ -25,12 +31,19 @@ from repro.obs.trace import Span, SpanCollector
 _US = 1e6
 
 
+def span_line(span: Span) -> str:
+    """The canonical JSON line of one span (sorted keys, no spaces).
+
+    Shared by the batch dump and the streaming writer, so a streamed
+    file and an in-memory ``to_jsonl`` dump agree byte-for-byte on
+    every span they both contain.
+    """
+    return json.dumps(span.as_dict(), sort_keys=True, separators=(",", ":"))
+
+
 def span_lines(collector: SpanCollector) -> list[str]:
     """One canonical JSON line per span, in span-id order."""
-    return [
-        json.dumps(span.as_dict(), sort_keys=True, separators=(",", ":"))
-        for span in collector.spans()
-    ]
+    return [span_line(span) for span in collector.spans()]
 
 
 def to_jsonl(collector: SpanCollector) -> str:
@@ -39,15 +52,37 @@ def to_jsonl(collector: SpanCollector) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def write_jsonl(collector: SpanCollector, path: str | Path) -> Path:
-    """Write the JSONL dump; returns the path."""
+def _atomic_write_text(path: str | Path, text: str) -> None:
+    """Write via a same-directory temp file + rename (all-or-nothing)."""
     path = Path(path)
-    path.write_text(to_jsonl(collector))
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already renamed/removed
+            pass
+        raise
+
+
+def write_jsonl(collector: SpanCollector, path: str | Path) -> Path:
+    """Atomically write the JSONL dump; returns the path."""
+    path = Path(path)
+    _atomic_write_text(path, to_jsonl(collector))
     return path
 
 
 def _root_of(span: Span, by_id: dict[int, Span]) -> int:
-    """The root ancestor's span id (cycle-safe: falls back to self)."""
+    """The root ancestor's span id (cycle-safe: falls back to self).
+
+    A span whose parent is missing from ``by_id`` (an orphan — its
+    parent was sampled away or never collected) anchors its own track.
+    """
     seen = set()
     current = span
     while current.parent_id is not None and current.parent_id in by_id:
@@ -64,7 +99,9 @@ def to_chrome_trace(collector: SpanCollector, *, pid: int = 1) -> dict:
     Every span becomes one complete event (``ph="X"``); span point
     events become instant events (``ph="i"``) on the same track.  Track
     ids group spans under their root, so one request's tree renders as
-    one lane.
+    one lane.  A span that never ended renders zero-duration and is
+    flagged ``"incomplete": true`` in ``args`` rather than passing
+    silently as an instant operation.
     """
     spans = collector.spans()
     by_id = {span.span_id: span for span in spans}
@@ -73,6 +110,13 @@ def to_chrome_trace(collector: SpanCollector, *, pid: int = 1) -> dict:
         tid = _root_of(span, by_id)
         start_us = span.start * _US
         end = span.end if span.end is not None else span.start
+        args = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            **span.attrs,
+        }
+        if span.end is None:
+            args["incomplete"] = True
         events.append(
             {
                 "name": span.name,
@@ -81,11 +125,7 @@ def to_chrome_trace(collector: SpanCollector, *, pid: int = 1) -> dict:
                 "dur": max((end - span.start) * _US, 0.0),
                 "pid": pid,
                 "tid": tid,
-                "args": {
-                    "span_id": span.span_id,
-                    "parent_id": span.parent_id,
-                    **span.attrs,
-                },
+                "args": args,
             }
         )
         for event in span.events:
@@ -106,20 +146,26 @@ def to_chrome_trace(collector: SpanCollector, *, pid: int = 1) -> dict:
 def write_chrome_trace(
     collector: SpanCollector, path: str | Path, *, pid: int = 1
 ) -> Path:
-    """Write a Perfetto-loadable trace JSON; returns the path."""
+    """Atomically write a Perfetto-loadable trace JSON; returns the path."""
     path = Path(path)
-    path.write_text(
-        json.dumps(to_chrome_trace(collector, pid=pid), sort_keys=True)
+    _atomic_write_text(
+        path, json.dumps(to_chrome_trace(collector, pid=pid), sort_keys=True)
     )
     return path
 
 
 def write_trace(collector: SpanCollector, path: str | Path) -> Path:
-    """Write by extension: ``.jsonl`` -> JSONL, anything else -> Chrome.
+    """Write by extension: ``.jsonl`` -> JSONL, ``.json`` (and anything
+    else) -> Chrome trace-event JSON.
 
-    The dispatch behind every ``--trace PATH`` CLI flag.
+    The dispatch behind every ``--trace PATH`` CLI flag.  ``.json`` is
+    dispatched explicitly — it is the documented Perfetto extension,
+    not a fallback; unknown extensions also get the Chrome form so a
+    bare ``trace.out`` stays loadable.
     """
     path = Path(path)
     if path.suffix == ".jsonl":
         return write_jsonl(collector, path)
+    if path.suffix == ".json":
+        return write_chrome_trace(collector, path)
     return write_chrome_trace(collector, path)

@@ -150,6 +150,14 @@ class SpanCollector:
         with self._lock:
             self._spans.append(span)
 
+    def on_end(self, span: Span) -> None:
+        """Called by the tracer when a span's end is first stamped.
+
+        A no-op here (the collector already holds the span); streaming
+        sinks (:class:`~repro.obs.stream.StreamingSpanWriter`) override
+        it to serialize the finished span and drop it from memory.
+        """
+
     def spans(self) -> list[Span]:
         with self._lock:
             return sorted(self._spans, key=lambda span: span.span_id)
@@ -230,9 +238,17 @@ class Tracer:
         return span
 
     def end(self, span: Span) -> None:
-        """Stamp the span's end time (idempotent keeps the first stamp)."""
+        """Stamp the span's end time (idempotent keeps the first stamp).
+
+        The first stamp also notifies the collector (``on_end``), the
+        hook streaming sinks flush on; repeated ends stay no-ops so a
+        span is never exported twice.
+        """
         if isinstance(span, Span) and span.end is None:
             span.end = self.clock.now()
+            on_end = getattr(self.collector, "on_end", None)
+            if on_end is not None:
+                on_end(span)
 
     @contextmanager
     def span(

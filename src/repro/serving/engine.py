@@ -76,6 +76,13 @@ class ServingEngine:
             too).  Defaults to the no-op
             :data:`~repro.obs.trace.NULL_TRACER` — with it, every
             instrumented path executes its exact pre-tracing code.
+        recorder: an optional
+            :class:`~repro.obs.recorder.FlightRecorder`; the engine
+            freezes a postmortem bundle (recent spans/events + its
+            metrics registry) when an iteration dooms a session or a
+            batch fails with an execution error.  ``None`` (default)
+            keeps every path byte-identical to the unrecorded engine —
+            the failure paths gate on one ``is not None`` check.
         close_executor: close the servable's photonic executor (its
             sharded worker pools) when the engine closes.
         scheduler: batch-composition mode.  ``"request"`` (default) is
@@ -107,6 +114,7 @@ class ServingEngine:
         cache: SessionCache | None = None,
         metrics: Metrics | None = None,
         tracer=None,
+        recorder=None,
         close_executor: bool = False,
         scheduler: str | None = None,
         iteration_cost: IterationCost | None = None,
@@ -165,6 +173,7 @@ class ServingEngine:
         self.cache = cache
         self.metrics = metrics if metrics is not None else Metrics()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.recorder = recorder
         self._close_executor = close_executor
         self._queue = RequestQueue(config.queue_depth)
         self._batcher = DynamicBatcher(self._queue, self.policy, self.clock)
@@ -424,6 +433,7 @@ class ServingEngine:
             for request in iteration.doomed:
                 request.handle._fail(self._scheduler.doom_error(request))
                 self.metrics.record_failures()
+                self._record_doom(request)
             if iteration.batch:
                 self.metrics.record_iteration(len(iteration.batch))
                 self._execute(iteration.batch)
@@ -454,6 +464,7 @@ class ServingEngine:
                     tracer.end(request.span)
                 request.handle._fail(self._scheduler.doom_error(request))
                 self.metrics.record_failures()
+                self._record_doom(request)
             span.set_attr("batch", len(iteration.batch))
             if iteration.batch:
                 self.metrics.record_iteration(len(iteration.batch))
@@ -509,6 +520,38 @@ class ServingEngine:
                 arrivals = queue.pop_locked(len(queue._items))
             self._run_iteration(arrivals)
 
+    # -- flight recording -----------------------------------------------------
+    def _record_doom(self, request: InferenceRequest) -> None:
+        """Freeze a postmortem bundle for a doomed session (if recording)."""
+        if self.recorder is None:
+            return
+        self.recorder.note(
+            "doomed_session",
+            request_id=request.request_id,
+            session_id=request.session_id,
+        )
+        self.recorder.trigger(
+            "doomed_session",
+            registry=self.metrics.registry,
+            request_id=request.request_id,
+            session_id=request.session_id,
+        )
+
+    def _record_batch_failure(self, error: Exception, batch_size: int) -> None:
+        """Freeze a postmortem bundle for a failed batch (if recording)."""
+        if self.recorder is None:
+            return
+        self.recorder.note(
+            "serving_error", error=type(error).__name__, batch_size=batch_size
+        )
+        self.recorder.trigger(
+            "serving_error",
+            registry=self.metrics.registry,
+            error=type(error).__name__,
+            detail=str(error),
+            batch_size=batch_size,
+        )
+
     def _finished_time(self, batch_size: int) -> float:
         """Completion timestamp; charges the virtual iteration cost."""
         if self.iteration_cost is not None:
@@ -535,6 +578,7 @@ class ServingEngine:
                     error, started=started, finished=finished, batch_size=len(batch)
                 )
             self.metrics.record_failures(len(batch))
+            self._record_batch_failure(error, len(batch))
             return
         finished = self._finished_time(len(batch))
         self.metrics.record_batch(len(batch))
@@ -594,6 +638,7 @@ class ServingEngine:
                         )
                         tracer.end(request.span)
                 self.metrics.record_failures(len(batch))
+                self._record_batch_failure(error, len(batch))
                 return
             finished = self._finished_time(len(batch))
             self.metrics.record_batch(len(batch))

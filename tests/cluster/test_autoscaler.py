@@ -165,3 +165,59 @@ class TestDeterminism:
         assert fleet_a == fleet_b == 1
         kinds = [kind for _, kind, _, _ in events_a]
         assert "scale_up" in kinds and "drain" in kinds and "retire" in kinds
+
+
+class FakeMonitor:
+    """Stands in for an SLOMonitor: a scriptable firing() feed."""
+
+    def __init__(self, alerting=()):
+        self.alerting = list(alerting)
+        self.ticks = []
+
+    def firing(self):
+        return list(self.alerting)
+
+    def tick(self, now):
+        self.ticks.append(now)
+        return []
+
+
+class TestSLOAlertSignal:
+    def test_firing_alert_forces_scale_up(self):
+        policy = AutoscalerPolicy(
+            min_replicas=1, max_replicas=3, high_backlog=100.0
+        )
+        with scaled_cluster(policy) as cluster:
+            cluster.autoscaler.slo_monitor = FakeMonitor(["p95-latency"])
+            cluster.maintain()  # idle fleet, but the burn alert is firing
+            assert cluster.fleet_size == 2
+            (event,) = cluster.metrics.events
+            assert event.kind == "scale_up"
+            assert event.reason == "SLO burn-rate alert: p95-latency"
+
+    def test_firing_alert_vetoes_drain(self):
+        policy = AutoscalerPolicy(
+            min_replicas=1, max_replicas=2, high_backlog=100.0
+        )
+        with scaled_cluster(policy) as cluster:
+            monitor = FakeMonitor(["availability"])
+            cluster.autoscaler.slo_monitor = monitor
+            cluster.maintain()
+            assert cluster.fleet_size == 2  # alert scaled the fleet up
+            cluster.maintain()  # at max, idle — but draining is vetoed
+            assert cluster.fleet_size == 2
+            monitor.alerting.clear()
+            cluster.maintain()  # alert resolved: the idle fleet drains
+            kinds = [e.kind for e in cluster.metrics.events]
+            assert kinds == ["scale_up", "drain", "retire"]
+
+    def test_maintain_ticks_the_wired_monitor(self):
+        policy = AutoscalerPolicy(min_replicas=1, high_backlog=100.0)
+        clock = SimulatedClock()
+        monitor = FakeMonitor()
+        with scaled_cluster(policy, clock=clock) as cluster:
+            cluster.slo_monitor = monitor
+            cluster.maintain()
+            clock.advance(1e-3)
+            cluster.maintain()
+        assert monitor.ticks == [0.0, 1e-3]

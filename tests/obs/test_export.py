@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs import (
     Tracer,
     to_chrome_trace,
@@ -10,6 +12,7 @@ from repro.obs import (
     write_trace,
 )
 from repro.obs.demo import run_trace_workload, run_workload
+from repro.obs.export import _atomic_write_text
 from repro.serving.clock import SimulatedClock
 
 
@@ -72,6 +75,62 @@ class TestChromeTrace:
         assert jsonl.read_text().startswith("{")
         assert "traceEvents" in json.loads(chrome.read_text())
         assert json.loads(jsonl.read_text().splitlines()[0])["name"] == "root"
+
+    def test_unknown_extension_gets_chrome_form(self, tmp_path):
+        path = write_trace(sample_collector(), tmp_path / "trace.out")
+        assert "traceEvents" in json.loads(path.read_text())
+
+    def test_unfinished_span_is_flagged_incomplete(self):
+        clock = SimulatedClock()
+        tracer = Tracer(clock=clock)
+        tracer.start_span("crashed")  # never ended
+        with tracer.span("fine"):
+            clock.advance(1e-3)
+        payload = to_chrome_trace(tracer.collector)
+        by_name = {
+            e["name"]: e for e in payload["traceEvents"] if e["ph"] == "X"
+        }
+        assert by_name["crashed"]["args"]["incomplete"] is True
+        assert by_name["crashed"]["dur"] == 0.0
+        assert "incomplete" not in by_name["fine"]["args"]
+
+    def test_orphan_parent_anchors_own_track(self):
+        """A span whose parent was never collected gets its own track."""
+        clock = SimulatedClock()
+        foreign = Tracer(clock=clock)
+        parent = foreign.start_span("uncollected")
+        tracer = Tracer(clock=clock)
+        with tracer.span("orphan", parent=parent):
+            clock.advance(1e-3)
+            with tracer.span("grandchild"):
+                clock.advance(1e-3)
+        payload = to_chrome_trace(tracer.collector)
+        orphan_id = tracer.collector.find("orphan")[0].span_id
+        events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        # The orphan anchors the track; its descendant joins it.
+        assert {event["tid"] for event in events} == {orphan_id}
+
+
+class TestAtomicWrite:
+    def test_replaces_existing_file_without_tmp_residue(self, tmp_path):
+        target = tmp_path / "dump.jsonl"
+        target.write_text("old contents\n")
+        _atomic_write_text(target, "new contents\n")
+        assert target.read_text() == "new contents\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["dump.jsonl"]
+
+    def test_accepts_str_paths(self, tmp_path):
+        target = tmp_path / "dump.jsonl"
+        _atomic_write_text(str(target), "text\n")
+        assert target.read_text() == "text\n"
+
+    def test_failure_leaves_target_untouched_and_cleans_tmp(self, tmp_path):
+        target = tmp_path / "dump.jsonl"
+        target.write_text("original\n")
+        with pytest.raises(TypeError):
+            _atomic_write_text(target, object())  # write() rejects it
+        assert target.read_text() == "original\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["dump.jsonl"]
 
 
 class TestDemoWorkload:

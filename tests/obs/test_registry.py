@@ -31,11 +31,31 @@ class TestInstruments:
         assert histogram.total == 4
         assert histogram.sum == pytest.approx(102.0)
 
+    def test_histogram_bounds_are_inclusive_upper_edges(self):
+        histogram = Histogram(buckets=(1.0, 2.0))
+        histogram.observe(1.0)  # exactly at a bound: inside it
+        histogram.observe(2.0)
+        assert histogram.cumulative() == [(1.0, 1), (2.0, 2)]
+        assert histogram.inf == 0
+        # The first value strictly above the last bound is the +Inf edge.
+        histogram.observe(2.0 + 1e-12)
+        assert histogram.inf == 1
+
     def test_histogram_merge_requires_equal_bounds(self):
         a = Histogram(buckets=(1.0,))
         b = Histogram(buckets=(2.0,))
         with pytest.raises(ValueError):
             a.merge(b)
+
+    def test_failed_merge_leaves_counts_untouched(self):
+        a = Histogram(buckets=(1.0,))
+        a.observe(0.5)
+        b = Histogram(buckets=(1.0, 2.0))
+        b.observe(1.5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+        assert a.total == 1 and a.sum == 0.5
+        assert a.cumulative() == [(1.0, 1)]
 
 
 class TestRegistry:
@@ -127,6 +147,20 @@ class TestPrometheus:
         registry.counter("odd_total", tenant='say "hi"\n').inc()
         text = registry.to_prometheus()
         assert 'tenant="say \\"hi\\"\\n"' in text
+
+    def test_backslashes_escape_before_quotes(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", path='C:\\tmp\\"x"').inc()
+        text = registry.to_prometheus()
+        assert 'path="C:\\\\tmp\\\\\\"x\\""' in text
+
+    def test_observation_at_largest_bound_stays_out_of_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", buckets=(1.0, 2.0))
+        histogram.observe(2.0)
+        text = registry.to_prometheus()
+        assert 'lat_seconds_bucket{le="2"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text  # cumulative only
 
     def test_empty_registry_exposes_nothing(self):
         assert MetricsRegistry().to_prometheus() == ""

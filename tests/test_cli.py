@@ -301,3 +301,139 @@ class TestHotpathKnobFlags:
             "--chunk-size", "2", "--pipeline-depth", "2",
         ]) == 0
         assert "requests" in capsys.readouterr().out
+
+
+class TestTraceSamplingFlags:
+    def run_trace(self, capsys, *extra):
+        assert main(["trace", "--seed", "1", "--requests", "8", *extra]) == 0
+        return capsys.readouterr().out
+
+    def test_sampled_stdout_is_deterministic_subset(self, capsys):
+        full = self.run_trace(capsys)
+        sampled = self.run_trace(capsys, "--sample", "2")
+        again = self.run_trace(capsys, "--sample", "2")
+        assert sampled == again
+        assert 0 < len(sampled.splitlines()) < len(full.splitlines())
+        assert set(sampled.splitlines()) < set(full.splitlines())
+
+    def test_sampled_out_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "sampled.jsonl"
+        assert main([
+            "trace", "--seed", "1", "--requests", "8",
+            "--sample", "2", "--out", str(out),
+        ]) == 0
+        assert "sampled spans" in capsys.readouterr().out
+        stdout_lines = self.run_trace(capsys, "--sample", "2").splitlines()
+        assert out.read_text().splitlines() == stdout_lines
+
+    def test_sample_validation(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "--sample", "0"])
+        with pytest.raises(SystemExit):
+            main([
+                "trace", "--sample", "2",
+                "--out", str(tmp_path / "trace.json"),
+            ])
+
+    def test_stream_round_trips_the_batch_dump(self, tmp_path, capsys):
+        out = tmp_path / "stream.jsonl"
+        assert main([
+            "trace", "--seed", "1", "--requests", "8",
+            "--stream", "--out", str(out),
+        ]) == 0
+        message = capsys.readouterr().out
+        assert "streamed" in message and "peak" in message
+        batch = self.run_trace(capsys)
+        assert sorted(out.read_text().splitlines()) == sorted(
+            batch.splitlines()
+        )
+
+    def test_stream_with_sampler_matches_batch_sampling(self, tmp_path, capsys):
+        out = tmp_path / "stream.jsonl"
+        assert main([
+            "trace", "--seed", "1", "--requests", "8",
+            "--stream", "--sample", "2", "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        sampled = self.run_trace(capsys, "--sample", "2")
+        assert sorted(out.read_text().splitlines()) == sorted(
+            sampled.splitlines()
+        )
+
+    def test_stream_validation(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "--stream"])  # no --out
+        with pytest.raises(SystemExit):
+            main([
+                "trace", "--stream", "--out", str(tmp_path / "trace.json"),
+            ])
+
+
+class TestTopCommand:
+    def test_renders_frames_without_color(self, capsys):
+        assert main([
+            "top", "--no-color", "--replicas", "2",
+            "--requests", "12", "--frames", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet of 2" in out
+        assert "frames rendered" in out
+        assert "\x1b[" not in out
+
+    def test_color_frames_home_the_cursor(self, capsys):
+        assert main([
+            "top", "--replicas", "2", "--requests", "8", "--frames", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "\x1b[H\x1b[2J" in out
+
+    def test_fail_replica_prints_postmortem(self, capsys):
+        assert main([
+            "top", "--no-color", "--replicas", "2",
+            "--requests", "12", "--frames", "2", "--fail-replica", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "postmortem: replica_failed" in out
+        assert "spans" in out
+
+    def test_unknown_replica_rejected(self):
+        with pytest.raises(SystemExit):
+            main([
+                "top", "--no-color", "--replicas", "2",
+                "--requests", "8", "--fail-replica", "9",
+            ])
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["top", "--replicas", "0"])
+        with pytest.raises(SystemExit):
+            main(["top", "--requests", "0"])
+        with pytest.raises(SystemExit):
+            main(["top", "--rate", "0"])
+
+
+class TestMetricsCommand:
+    def test_prometheus_dump(self, capsys):
+        assert main(["metrics", "--requests", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE" in out
+        assert "_total" in out
+        assert out.endswith("\n")
+
+    def test_dump_is_deterministic(self, capsys):
+        assert main(["metrics", "--requests", "8"]) == 0
+        first = capsys.readouterr().out
+        assert main(["metrics", "--requests", "8"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_one_shot_http_self_scrape(self, capsys):
+        assert main([
+            "metrics", "--requests", "6", "--port", "0", "--self-scrape",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serving one scrape at http://127.0.0.1:" in out
+        assert "served 1 scrape" in out
+
+    def test_bad_requests_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["metrics", "--requests", "0"])
